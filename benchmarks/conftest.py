@@ -1,0 +1,23 @@
+"""Benchmark fixtures: the default-scale study, built once per session.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+regenerated paper tables alongside the timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import Study
+from repro.experiments.scenarios import DEFAULT_SCENARIO, cached_study
+
+
+@pytest.fixture(scope="session")
+def default_study() -> Study:
+    """The default-scale study (700 access ISPs, 163 vantage points)."""
+    return cached_study(DEFAULT_SCENARIO.name)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a regenerated paper artifact under a banner."""
+    print(f"\n===== {title} =====\n{body}")

@@ -1,0 +1,24 @@
+"""CF — the dispersal-mandate counterfactual (§6 policy levers).
+
+Re-place the 2023 deployments with colocation preference turned off and
+compare concentration and outage blast radius against the status quo.
+The takeaway mirrors §6: with 1-3 facilities per ISP, policy alone cannot
+undo the concentration — facility scarcity is the binding constraint.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.counterfactual_dispersal import run_dispersal_counterfactual
+
+
+@pytest.mark.benchmark(group="counterfactual")
+def test_dispersal_counterfactual(benchmark, default_study):
+    result = benchmark.pedantic(
+        run_dispersal_counterfactual, args=(default_study,), rounds=1, iterations=1
+    )
+    emit("Counterfactual: dispersal mandate vs status quo", result.render())
+    # Dispersal reduces concentration but cannot eliminate sharing.
+    assert result.dispersed.mean_best_facility_share <= result.status_quo.mean_best_facility_share
+    assert result.dispersed.shared_facility_fraction <= result.status_quo.shared_facility_fraction
+    assert result.dispersed.shared_facility_fraction > 0.5  # pigeonhole

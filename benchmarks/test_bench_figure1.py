@@ -1,0 +1,29 @@
+"""F1 — regenerate Figure 1 (per-country users in multi-hypergiant ISPs).
+
+Paper: in many countries most users are in ISPs hosting >= 2 hypergiants;
+coverage thins sharply from k=2 to k=3 in Europe/Africa; a handful of
+countries are ~fully covered at k=4.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.figure1 import run_figure1
+from repro.viz import render_world_map
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_country_fractions(benchmark, default_study):
+    result = benchmark(run_figure1, default_study)
+    emit("Figure 1: per-country user fractions (k = 2 / 3 / 4)", result.render())
+    emit("Figure 1: summary", result.summary())
+    for k in (2, 3, 4):
+        emit(
+            f"Figure 1{'abc'[k - 2]}: users in ISPs hosting >= {k} hypergiants",
+            render_world_map(
+                default_study.internet.world, result.panels[k].fraction_by_country
+            ),
+        )
+    assert result.majority_country_count(2) >= result.majority_country_count(3)
+    assert result.majority_country_count(3) >= result.majority_country_count(4)
+    assert result.majority_country_count(2) > 25

@@ -1,0 +1,34 @@
+"""F2 — regenerate Figure 2 (CCDF of single-facility traffic share).
+
+Paper: 76 % of users in ISPs with offnets, 56 % analyzable; 71-82 % of
+covered users have a facility able to serve >= 25 % of their traffic;
+18-31 % have a facility hosting all four hypergiants (52 % of traffic).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.figure2 import run_figure2
+from repro.viz import render_ccdf
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_concentration(benchmark, default_study):
+    result = benchmark(run_figure2, default_study)
+    emit("Figure 2: headline statistics", result.render())
+    # The actual figure: both CCDF curves on one plot.
+    series = {f"xi={xi}": result.ccdf(xi) for xi in sorted(result.concentrations)}
+    emit(
+        "Figure 2: CCDF of per-user single-facility traffic share",
+        render_ccdf(
+            series,
+            x_label="estimated fraction of traffic served from one facility",
+            y_label="CCDF of users in ISPs with offnets",
+            x_range=(0.0, 1.0),
+        ),
+    )
+    assert 0.55 < result.coverage["hosting"] < 0.9
+    low, high = result.share25_range()
+    assert high > 0.6
+    assert result.four_hg_range()[1] > 0.03

@@ -1,0 +1,50 @@
+"""FC — §3.3's intra-facility surge mechanism: colocated vs dispersed.
+
+A flash crowd / DoS on one hypergiant saturates the shared facility
+uplink and throttles *the other* hypergiants in the building — the
+collateral that cannot happen when deployments are dispersed.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro._util import format_table
+from repro.capacity.demand import DemandModel
+from repro.capacity.flashcrowd import FlashCrowdEvent, colocated_vs_dispersed
+from repro.experiments.section43_collateral import most_shared_facility
+
+
+@pytest.mark.benchmark(group="flashcrowd")
+def test_flash_crowd_colocated_vs_dispersed(benchmark, default_study):
+    state = default_study.history.state("2023")
+    facility_id, hypergiants = most_shared_facility(default_study)
+    isp = next(
+        s.isp for s in state.servers if s.facility.facility_id == facility_id
+    )
+    demand = DemandModel(traffic=default_study.traffic)
+    steady = {hg: demand.hypergiant_peak_gbps(isp, hg) for hg in hypergiants}
+    event = FlashCrowdEvent("Netflix" if "Netflix" in steady else sorted(steady)[0], peak_multiplier=4.0)
+
+    colocated, dispersed = benchmark.pedantic(
+        colocated_vs_dispersed, args=(steady, event), rounds=1, iterations=1
+    )
+    rows = []
+    for name in sorted(steady):
+        if name == event.target_hypergiant:
+            continue
+        rows.append(
+            [
+                name,
+                f"{100 * colocated.bystander_loss_fraction(name):.1f}%",
+                f"{colocated.degraded_minutes(name)} min",
+                "0.0% / 0 min",
+            ]
+        )
+    emit(
+        f"Flash crowd on {event.target_hypergiant} (x{event.peak_multiplier}) at the most-shared "
+        f"facility (uplink peak utilization x{colocated.peak_utilization:.2f})",
+        format_table(["bystander", "colocated loss", "colocated degraded", "dispersed"], rows),
+    )
+    for name in sorted(steady):
+        if name != event.target_hypergiant:
+            assert colocated.bystander_loss_fraction(name) > 0.0

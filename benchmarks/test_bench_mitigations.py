@@ -1,0 +1,29 @@
+"""S6 — the discussion's mitigation directions, quantified.
+
+Isolation policies on shared links (fair-share vs background protection vs
+per-hypergiant reserved slices) under the flagship facility outage, and the
+PNI upgrade cycle at several negotiation lead times (§4.2.2's "months or
+even ... impossible").
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.capacity.isolation import IsolationPolicy
+from repro.experiments.section6_mitigations import run_section6
+
+
+@pytest.mark.benchmark(group="mitigations")
+def test_section6_mitigations(benchmark, default_study):
+    result = benchmark.pedantic(run_section6, args=(default_study,), rounds=1, iterations=1)
+    emit("§6: isolation policies and upgrade dynamics", result.render())
+    fair = result.outcome(IsolationPolicy.FAIR_SHARE)
+    protected = result.outcome(IsolationPolicy.PROTECT_BACKGROUND)
+    assert protected.collateral_gbph < fair.collateral_gbph or fair.collateral_gbph == 0
+    assert (
+        result.upgrade_sweeps[12].overloaded_link_month_fraction()
+        >= result.upgrade_sweeps[2].overloaded_link_month_fraction()
+    )
+    # §4.2.2's flavour: with realistic lead times, a persistent share of
+    # PNIs spends time above capacity.
+    assert result.upgrade_sweeps[6].overloaded_link_month_fraction() > 0.05

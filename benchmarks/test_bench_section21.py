@@ -1,0 +1,22 @@
+"""S21 — §2.1's operator anecdote: offnets dwarf interdomain delivery.
+
+Paper: a ~2M-user ISP sees ~20-30 Gbps per hypergiant from offnets at peak
+(75-90+ % of each service's traffic), ~90 Gbps total from offnets vs
+< 15 Gbps over interdomain links.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.section21_anecdote import PAPER_OFFNET_FRACTIONS, run_section21
+
+
+@pytest.mark.benchmark(group="section21")
+def test_section21_anecdote(benchmark, default_study):
+    result = benchmark.pedantic(run_section21, args=(default_study,), rounds=1, iterations=1)
+    emit("§2.1: peak-hour offnet vs interdomain split", result.render())
+    for hypergiant, paper_fraction in PAPER_OFFNET_FRACTIONS.items():
+        if hypergiant in result.split:
+            assert result.offnet_fraction(hypergiant) == pytest.approx(paper_fraction, abs=0.12)
+    # Offnets dominate interdomain delivery by a wide margin.
+    assert result.offnet_total > 3 * result.interdomain_total

@@ -1,0 +1,36 @@
+"""S33 — §3.3's correlated risk as joint-outage inflation.
+
+"Risks become correlated when multiple hypergiants are colocated": the
+joint-outage probability of a service pair at a colocated facility is the
+single-facility outage probability itself, orders of magnitude above the
+independent-failure baseline.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.correlation import build_correlation_report
+
+
+@pytest.mark.benchmark(group="section33")
+def test_section33_correlated_risk(benchmark, default_study):
+    state = default_study.history.state("2023")
+    report = benchmark.pedantic(
+        build_correlation_report,
+        args=(state, default_study.population),
+        rounds=1,
+        iterations=1,
+    )
+    emit("§3.3: joint-outage inflation per service pair", report.render())
+    worst = report.worst_pairs(5)
+    rows = "\n".join(
+        f"  ASN {e.isp_asn}: {' + '.join(e.pair)} joint P(out)={e.joint_outage_probability:.1e} "
+        f"({e.users:,} users)"
+        for e in worst
+    )
+    emit("§3.3: highest-exposure pairs", rows)
+    # Colocation must show up as massive inflation over independence.
+    assert report.mean_correlation_factor() > 100.0
+    # Fully colocated single-facility pairs hit the shared-fate ceiling.
+    ceiling = report.facility_outage_probability
+    assert any(e.joint_outage_probability == pytest.approx(ceiling) for e in report.exposures)

@@ -1,0 +1,25 @@
+"""S41 — regenerate §4.1: single-site fractions and the COVID experiment.
+
+Paper: 75.3-91.2 % of ISPs have a single Netflix site (similar large
+fractions for the others); and under the 1.58x lockdown surge, offnet
+traffic rose only ~20 % while interdomain more than doubled.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.section41_capacity import run_section41
+
+
+@pytest.mark.benchmark(group="section41")
+def test_section41_capacity(benchmark, default_study):
+    result = benchmark.pedantic(
+        run_section41, args=(default_study,), kwargs={"covid_sample": 120}, rounds=1, iterations=1
+    )
+    emit("§4.1: single-site fractions and the COVID surge", result.render())
+    for hypergiant in ("Google", "Netflix", "Meta", "Akamai"):
+        assert result.single_site_range(hypergiant)[1] > 0.4
+    covid = result.covid
+    assert 0.05 < covid.offnet_change < 0.40
+    assert covid.interdomain_ratio > 2.0
+    assert 0.55 < covid.baseline_offnet_share < 0.85

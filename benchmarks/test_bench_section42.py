@@ -1,0 +1,27 @@
+"""S42 — regenerate §4.2: peering coverage and PNI headroom.
+
+Paper: 38.2 % of Google-offnet ISPs peer with Google, 13.3 % possible,
+48.4 % no evidence; 62.2 % of peers via IXP at least once, 42.5 % IXP-only;
+Meta saw 10 % of PNIs with demand at twice capacity.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.section42_peering import run_section42
+from repro.traceroute.peering import PeeringEvidence
+
+
+@pytest.mark.benchmark(group="section42")
+def test_section42_peering(benchmark, default_study):
+    result = benchmark.pedantic(
+        run_section42, args=(default_study,), kwargs={"n_regions": 8}, rounds=1, iterations=1
+    )
+    emit("§4.2: peering inference and PNI headroom", result.render())
+    assert 0.25 < result.fraction(PeeringEvidence.PEER) < 0.55
+    assert 0.35 < result.fraction(PeeringEvidence.NO_EVIDENCE) < 0.65
+    assert result.inference.ixp_at_least_once_fraction() > 0.4
+    assert result.precision > 0.99
+    google = result.pni_headroom["Google"]
+    assert 0.1 < google.overloaded_fraction < 0.6
+    assert 0.0 < result.pni_headroom["Meta"].twice_overloaded_fraction < 0.3

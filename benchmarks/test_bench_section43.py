@@ -1,0 +1,23 @@
+"""S43 — regenerate §4.3: collateral damage of correlated failures.
+
+The paper argues (qualitatively) that colocated offnets failing over to the
+same shared IXP/transit paths hurt other services; this bench quantifies it
+with the flagship facility-outage and bad-update scenarios.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.section43_collateral import run_section43
+
+
+@pytest.mark.benchmark(group="section43")
+def test_section43_collateral(benchmark, default_study):
+    result = benchmark.pedantic(
+        run_section43, args=(default_study,), kwargs={"sample": 120}, rounds=1, iterations=1
+    )
+    emit("§4.3: correlated-failure scenarios", result.render())
+    assert len(result.outage_hypergiants) >= 3
+    assert result.facility_outage.total_collateral_gbph > 0
+    assert result.facility_outage.affected_users() > 0
+    assert result.bad_update.aggregate_interdomain_ratio() > 1.0

@@ -1,0 +1,23 @@
+"""SB — §3.2's "impossible to know which users are served from which
+offnets": mapping coverage across steering eras.
+
+Paper account: the 2013 DNS technique worked for Google then; Google now
+steers via embedded URLs (as do Netflix and Meta), and Akamai gates ECS
+behind a resolver allowlist.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.steering_blindness import run_steering_blindness
+
+
+@pytest.mark.benchmark(group="steering")
+def test_steering_blindness(benchmark, default_study):
+    result = benchmark.pedantic(run_steering_blindness, args=(default_study,), rounds=1, iterations=1)
+    emit("§3.2: client-mapping coverage across steering eras", result.render())
+    assert result.coverage("Google", "legacy_dns") > 0.95
+    assert result.coverage("Google", "frontend") == 0.0
+    assert result.coverage("Netflix", "frontend") == 0.0
+    assert result.coverage("Meta", "frontend") == 0.0
+    assert result.coverage("Akamai", "ecs_allowlist") < 0.5

@@ -1,0 +1,20 @@
+"""T1 — regenerate Table 1 (offnet footprint growth, 2021 vs 2023).
+
+Paper: Google +23.2 %, Netflix +37.4 %, Meta +16.9 %, Akamai +0.0 %.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.table1 import PAPER_GROWTH_PERCENT, run_table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_growth(benchmark, default_study):
+    result = benchmark(run_table1, default_study)
+    emit("Table 1: # of ISPs hosting offnets (measured vs paper growth)", result.render())
+    assert result.growth_ranking() == sorted(
+        PAPER_GROWTH_PERCENT, key=lambda hg: -PAPER_GROWTH_PERCENT[hg]
+    )
+    for hypergiant, paper_value in PAPER_GROWTH_PERCENT.items():
+        assert result.growth_percent(hypergiant) == pytest.approx(paper_value, abs=4.0)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Peering survey: replay the §4.2.1 traceroute methodology.
+
+Issues traceroutes from a hypergiant's vantage regions to every ISP hosting
+its offnets, infers peering from "hypergiant IP directly followed by an IP
+mapped to the ISP" (with IXP fabric addresses resolved through a Euro-IX
+style dataset), and — something the real study cannot do — grades the
+inference against the generated ground-truth relationship graph.
+
+Run::
+
+    python examples/peering_survey.py [HYPERGIANT]
+"""
+
+import sys
+
+from repro._util import format_table
+from repro.experiments.scenarios import SMALL_SCENARIO, cached_study
+from repro.traceroute import CampaignConfig, PeeringEvidence, run_peering_campaign
+from repro.traceroute.engine import TracerouteEngine
+from repro.traceroute.peering import score_peering_inference
+from repro.topology.prefixes import ip_to_str
+
+
+def main(hypergiant: str = "Google") -> None:
+    study = cached_study(SMALL_SCENARIO.name)
+    state = study.history.state("2023")
+    hosting = state.isps_hosting(hypergiant)
+    print(f"{len(hosting)} ISPs host {hypergiant} offnets; tracerouting from "
+          f"{SMALL_SCENARIO.n_traceroute_regions} regions...")
+
+    inference = run_peering_campaign(
+        study.internet,
+        hypergiant,
+        hosting,
+        CampaignConfig(n_regions=SMALL_SCENARIO.n_traceroute_regions, targets_per_isp=2),
+        seed=9,
+    )
+    counts = inference.counts_for([isp.asn for isp in hosting])
+    total = len(hosting)
+    headers = ["evidence", "ISPs", "fraction", "paper"]
+    paper = {
+        PeeringEvidence.PEER: "38.2%",
+        PeeringEvidence.POSSIBLE_PEER: "13.3%",
+        PeeringEvidence.NO_EVIDENCE: "48.4%",
+    }
+    rows = [
+        [evidence.value, count, f"{100 * count / total:.1f}%", paper[evidence]]
+        for evidence, count in counts.items()
+    ]
+    print(format_table(headers, rows))
+    print(
+        f"of inferred peers: {100 * inference.ixp_at_least_once_fraction():.1f}% via IXP "
+        f"at least once (paper 62.2%), {100 * inference.ixp_only_fraction():.1f}% "
+        "only via IXP (paper 42.5%)"
+    )
+    score = score_peering_inference(study.internet, hypergiant, inference)
+    print(f"vs ground truth: precision {score.precision:.3f}, recall {score.recall:.3f}")
+
+    # Show one raw traceroute, the way the methodology sees it.
+    engine = TracerouteEngine(study.internet, seed=1)
+    target_isp = hosting[0]
+    destination = study.internet.plan.prefixes_of(target_isp)[0].base + 7
+    path = engine.trace(study.internet.hypergiant_as(hypergiant), destination, "region-000")
+    print(f"\nsample traceroute {hypergiant} -> {target_isp.name} ({ip_to_str(destination)}):")
+    for index, hop in enumerate(path.hops, start=1):
+        shown = ip_to_str(hop.address) if hop.address is not None else "*"
+        ixp = f" (IXP {hop.via_ixp_id})" if hop.via_ixp_id is not None else ""
+        print(f"  {index:2d}  {shown:16s} [true ASN {hop.true_asn}]{ixp}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "Google")

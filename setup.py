@@ -1,0 +1,4 @@
+"""Setup shim: enables legacy editable installs where 'wheel' is unavailable."""
+from setuptools import setup
+
+setup()

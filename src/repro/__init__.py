@@ -1,0 +1,50 @@
+"""Reproduction of *The Central Problem with Distributed Content* (HotNets'23).
+
+The paper measures how hypergiant offnet servers (Google, Netflix, Meta,
+Akamai caches hosted inside ISPs) are discovered, how often they are
+colocated in the same facility, how much of a user's traffic one facility
+can serve, and how little capacity the spillover paths have.  This library
+rebuilds the entire pipeline over a seeded synthetic Internet with ground
+truth, so every inference stage can be both *reproduced* and *scored*.
+
+Quick start::
+
+    from repro import StudyConfig, run_study
+    from repro.experiments.table2 import run_table2
+
+    study = run_study(StudyConfig())      # scan -> detect -> ping -> cluster
+    print(run_table2(study).render())     # the paper's Table 2
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+paper-vs-measured values of every table and figure.
+"""
+
+from repro.core.pipeline import Study, StudyConfig, run_study
+from repro.core.traffic_model import TrafficModel
+from repro.deployment.growth import DeploymentHistory, build_deployment_history
+from repro.deployment.placement import DeploymentState, OffnetServer, place_offnets
+from repro.scan.detection import OffnetInventory, detect_offnets
+from repro.scan.scanner import ScanResult, run_scan
+from repro.topology.generator import Internet, InternetConfig, generate_internet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeploymentHistory",
+    "DeploymentState",
+    "Internet",
+    "InternetConfig",
+    "OffnetInventory",
+    "OffnetServer",
+    "ScanResult",
+    "Study",
+    "StudyConfig",
+    "TrafficModel",
+    "__version__",
+    "build_deployment_history",
+    "detect_offnets",
+    "generate_internet",
+    "place_offnets",
+    "run_scan",
+    "run_study",
+]

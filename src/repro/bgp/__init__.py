@@ -1,0 +1,27 @@
+"""BGP route collection and IP-to-AS mapping (substrate).
+
+Every stage of the paper that attributes an IP address to a network —
+offnet detection (§2.2), traceroute peering inference (§4.2.1) — relies on
+an IP-to-AS dataset derived from BGP routing tables (RouteViews/RIPE RIS
+style).  This package models that derivation: ASes announce their prefixes
+(:mod:`repro.bgp.announcements`), collectors with a limited peer set record
+the AS paths they hear (:mod:`repro.bgp.collector`), and a longest-prefix
+-match dataset is distilled from the RIBs (:mod:`repro.bgp.ip2as`) —
+including the real-world artifacts: prefixes invisible to the collector's
+peers, MOAS conflicts, and IXP peering LANs that are *not* announced in
+BGP at all (which is why the §4.2.1 methodology needs Euro-IX data).
+"""
+
+from repro.bgp.announcements import Announcement, announced_prefixes
+from repro.bgp.collector import CollectorConfig, RouteCollector, build_route_collector
+from repro.bgp.ip2as import Ip2AsDataset, build_ip2as
+
+__all__ = [
+    "Announcement",
+    "CollectorConfig",
+    "Ip2AsDataset",
+    "RouteCollector",
+    "announced_prefixes",
+    "build_ip2as",
+    "build_route_collector",
+]

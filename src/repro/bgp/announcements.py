@@ -1,0 +1,53 @@
+"""Prefix origination: what each AS announces into BGP.
+
+Registered ASes announce their allocated prefixes.  IXP peering LANs are
+deliberately *not* announced (their owner pseudo-ASes are not routing
+participants) — reproducing the real-world property that fabric addresses
+cannot be attributed through BGP-derived IP-to-AS data.
+
+A small MOAS (multi-origin AS) rate injects the dataset's classic
+ambiguity: a prefix occasionally shows a second origin (anycast,
+misconfiguration, or a leak).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import make_rng, require_fraction
+from repro.topology.generator import Internet
+from repro.topology.prefixes import Prefix
+
+
+@dataclass(frozen=True)
+class Announcement:
+    """One (prefix, origin) pair as injected into BGP."""
+
+    prefix: Prefix
+    origin_asn: int
+    #: True for the rare bogus second origin of a MOAS conflict.
+    spurious: bool = False
+
+
+def announced_prefixes(
+    internet: Internet,
+    moas_rate: float = 0.01,
+    seed: int | np.random.Generator = 0,
+) -> list[Announcement]:
+    """Every announcement in the generated Internet, in prefix order."""
+    require_fraction(moas_rate, "moas_rate")
+    rng = make_rng(seed)
+    registered_asns = {autonomous_system.asn for autonomous_system in internet.registry}
+    all_asns = sorted(registered_asns)
+    announcements: list[Announcement] = []
+    for autonomous_system in internet.registry:
+        for prefix in internet.plan.prefixes_of(autonomous_system):
+            announcements.append(Announcement(prefix, autonomous_system.asn))
+            if rng.random() < moas_rate:
+                other = int(all_asns[int(rng.integers(0, len(all_asns)))])
+                if other != autonomous_system.asn:
+                    announcements.append(Announcement(prefix, other, spurious=True))
+    announcements.sort(key=lambda a: (a.prefix.base, a.prefix.length, a.origin_asn))
+    return announcements

@@ -1,0 +1,119 @@
+"""Route collectors: partial views of the routing system.
+
+A collector (RouteViews/RIPE RIS style) has BGP sessions with a set of
+peer ASes and records, for every announced prefix, the AS path each peer
+uses.  A prefix a peer has no valley-free route to simply does not appear
+in that peer's table — the collector's view is inherently partial, which
+is why collector-peer diversity matters for IP-to-AS completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import make_rng, require, spawn_rng
+from repro.bgp.announcements import Announcement, announced_prefixes
+from repro.topology.asn import AS, ASRole
+from repro.topology.generator import Internet
+from repro.topology.prefixes import Prefix
+
+
+@dataclass(frozen=True)
+class CollectorConfig:
+    """Collector peer-set composition."""
+
+    #: All tier-1s peer with the collector (full feeds).
+    include_tier1s: bool = True
+    #: Number of additional transit / access peers sampled.
+    n_extra_peers: int = 12
+    #: MOAS injection rate for the announcement set.
+    moas_rate: float = 0.01
+
+    def __post_init__(self) -> None:
+        require(self.n_extra_peers >= 0, "n_extra_peers must be >= 0")
+
+
+@dataclass(frozen=True)
+class RibEntry:
+    """One table entry at one collector peer."""
+
+    peer_asn: int
+    prefix: Prefix
+    as_path: tuple[int, ...]
+
+    @property
+    def origin_asn(self) -> int:
+        """The path's origin (last ASN)."""
+        return self.as_path[-1]
+
+
+@dataclass
+class RouteCollector:
+    """The assembled multi-peer RIB."""
+
+    peers: list[AS]
+    entries: list[RibEntry] = field(default_factory=list)
+
+    def entries_for(self, prefix: Prefix) -> list[RibEntry]:
+        """All entries for ``prefix`` across peers."""
+        return [entry for entry in self.entries if entry.prefix == prefix]
+
+    def visible_prefixes(self) -> list[Prefix]:
+        """Prefixes seen by at least one peer, deduplicated and sorted."""
+        seen = {(entry.prefix.base, entry.prefix.length): entry.prefix for entry in self.entries}
+        return [seen[key] for key in sorted(seen)]
+
+    def origins_of(self, prefix: Prefix) -> dict[int, int]:
+        """Origin ASN -> number of peers reporting it, for ``prefix``."""
+        votes: dict[int, int] = {}
+        for entry in self.entries_for(prefix):
+            votes[entry.origin_asn] = votes.get(entry.origin_asn, 0) + 1
+        return votes
+
+
+def build_route_collector(
+    internet: Internet,
+    config: CollectorConfig | None = None,
+    seed: int | np.random.Generator = 0,
+) -> RouteCollector:
+    """Collect routes from a tier-1-heavy peer set plus sampled extras."""
+    config = config or CollectorConfig()
+    root = make_rng(seed)
+    rng_peers = spawn_rng(root, "peers")
+
+    peers: list[AS] = []
+    if config.include_tier1s:
+        peers.extend(internet.registry.with_role(ASRole.TIER1))
+    candidates = [a for a in internet.isps if a not in peers]
+    if config.n_extra_peers and candidates:
+        indices = rng_peers.choice(
+            len(candidates), size=min(config.n_extra_peers, len(candidates)), replace=False
+        )
+        peers.extend(candidates[i] for i in sorted(indices))
+
+    by_asn = {a.asn: a for a in internet.registry}
+    collector = RouteCollector(peers=peers)
+    announcements = announced_prefixes(internet, config.moas_rate, seed=spawn_rng(root, "moas"))
+
+    # Group by origin so each (peer, origin) path is computed once.
+    by_origin: dict[int, list[Announcement]] = {}
+    for announcement in announcements:
+        by_origin.setdefault(announcement.origin_asn, []).append(announcement)
+
+    for origin_asn in sorted(by_origin):
+        origin = by_asn.get(origin_asn)
+        if origin is None:
+            continue
+        routes = internet.graph.routes_to(origin)
+        for peer in collector.peers:
+            if peer not in routes:
+                continue
+            path = internet.graph.as_path(peer, origin)
+            if path is None:
+                continue
+            as_path = tuple(a.asn for a in path)
+            for announcement in by_origin[origin_asn]:
+                collector.entries.append(RibEntry(peer.asn, announcement.prefix, as_path))
+    return collector

@@ -1,0 +1,67 @@
+"""IP-to-AS datasets distilled from collector RIBs.
+
+For every visible prefix, the origin is decided by majority vote across
+collector peers; prefixes with an unresolvable MOAS conflict (no origin
+reaches the vote threshold) stay unmapped, as do prefixes no peer could
+see and — structurally — IXP peering LANs, which are never announced.
+Lookup is longest-prefix match.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro._util import require, require_fraction
+from repro.bgp.collector import RouteCollector
+from repro.topology.prefixes import Prefix
+
+
+@dataclass
+class Ip2AsDataset:
+    """Longest-prefix-match IP-to-origin-AS mapping."""
+
+    #: (prefix, origin ASN), disjoint after vote resolution.
+    mappings: list[tuple[Prefix, int]]
+    #: Prefixes dropped because no origin won the vote.
+    conflicted: list[Prefix] = field(default_factory=list)
+    _bases: list[int] = field(init=False, repr=False)
+    _rows: list[tuple[int, int, int]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        rows = sorted((p.base, p.base + p.size, asn) for p, asn in self.mappings)
+        for (base_a, end_a, _), (base_b, _, _) in zip(rows, rows[1:]):
+            require(end_a <= base_b, "ip2as mappings must be disjoint")
+        self._rows = rows
+        self._bases = [row[0] for row in rows]
+
+    def lookup(self, address: int) -> int | None:
+        """Origin ASN covering ``address``, or None when unmapped."""
+        index = bisect_right(self._bases, address) - 1
+        if index < 0:
+            return None
+        base, end, asn = self._rows[index]
+        return asn if base <= address < end else None
+
+    def __len__(self) -> int:
+        return len(self.mappings)
+
+
+def build_ip2as(collector: RouteCollector, vote_threshold: float = 0.6) -> Ip2AsDataset:
+    """Distill ``collector``'s RIB into an :class:`Ip2AsDataset`.
+
+    ``vote_threshold`` is the fraction of reporting peers an origin must
+    reach; below it the prefix is recorded as conflicted and left out.
+    """
+    require_fraction(vote_threshold, "vote_threshold")
+    mappings: list[tuple[Prefix, int]] = []
+    conflicted: list[Prefix] = []
+    for prefix in collector.visible_prefixes():
+        votes = collector.origins_of(prefix)
+        total = sum(votes.values())
+        winner, winner_votes = max(votes.items(), key=lambda kv: (kv[1], -kv[0]))
+        if winner_votes / total >= vote_threshold:
+            mappings.append((prefix, winner))
+        else:
+            conflicted.append(prefix)
+    return Ip2AsDataset(mappings=mappings, conflicted=conflicted)

@@ -1,0 +1,29 @@
+"""Offnet cache simulation (substrate extension).
+
+Everywhere else in the library, the fraction of a hypergiant's traffic an
+offnet can serve is a constant taken from §2.1 (Google 80 %, Netflix 95 %,
+Meta 86 %, Akamai 75 %).  Those constants are really *byte hit ratios* of
+cache appliances against each service's content catalog.  This package
+makes them emergent: Zipf content catalogs per hypergiant
+(:mod:`repro.cache.catalog`), classic cache replacement policies
+(:mod:`repro.cache.policies`), and a request-stream simulator
+(:mod:`repro.cache.simulate`) whose hit ratios reproduce §2.1's numbers —
+and explain them: Netflix's small, head-heavy catalog fits on one
+appliance; YouTube's long tail does not.
+"""
+
+from repro.cache.catalog import DEFAULT_CATALOGS, CatalogSpec, ContentCatalog
+from repro.cache.policies import FifoCache, LfuCache, LruCache, make_cache
+from repro.cache.simulate import CacheSimResult, simulate_cache
+
+__all__ = [
+    "CacheSimResult",
+    "CatalogSpec",
+    "ContentCatalog",
+    "DEFAULT_CATALOGS",
+    "FifoCache",
+    "LfuCache",
+    "LruCache",
+    "make_cache",
+    "simulate_cache",
+]

@@ -1,0 +1,155 @@
+"""Cache replacement policies: LRU, LFU, FIFO.
+
+Byte-capacity caches over variable-size objects.  The interface is the
+classic one: ``access(object_id, size_gb) -> hit?``; on a miss the object
+is admitted (if it fits the cache at all) and victims are evicted in
+policy order until it fits.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro._util import require, require_positive
+
+
+@dataclass
+class _BaseCache:
+    capacity_gb: float
+    used_gb: float = 0.0
+    hits: int = 0
+    misses: int = 0
+    hit_bytes_gb: float = 0.0
+    miss_bytes_gb: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.capacity_gb, "capacity_gb")
+
+    # -- bookkeeping shared by the policies -----------------------------------
+
+    def _record(self, hit: bool, size_gb: float) -> None:
+        if hit:
+            self.hits += 1
+            self.hit_bytes_gb += size_gb
+        else:
+            self.misses += 1
+            self.miss_bytes_gb += size_gb
+
+    @property
+    def request_hit_ratio(self) -> float:
+        """Hits over requests."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def byte_hit_ratio(self) -> float:
+        """Hit bytes over requested bytes — §2.1's offnet fraction analogue."""
+        total = self.hit_bytes_gb + self.miss_bytes_gb
+        return self.hit_bytes_gb / total if total else 0.0
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss statistics (e.g. after a warm-up phase)."""
+        self.hits = self.misses = 0
+        self.hit_bytes_gb = self.miss_bytes_gb = 0.0
+
+
+@dataclass
+class LruCache(_BaseCache):
+    """Least-recently-used eviction."""
+
+    _entries: OrderedDict = field(default_factory=OrderedDict)
+
+    def access(self, object_id: int, size_gb: float) -> bool:
+        """Touch one object; returns True on a hit."""
+        require(size_gb > 0, "object size must be positive")
+        if object_id in self._entries:
+            self._entries.move_to_end(object_id)
+            self._record(True, size_gb)
+            return True
+        self._record(False, size_gb)
+        if size_gb <= self.capacity_gb:
+            while self.used_gb + size_gb > self.capacity_gb:
+                _, victim_size = self._entries.popitem(last=False)
+                self.used_gb -= victim_size
+            self._entries[object_id] = size_gb
+            self.used_gb += size_gb
+        return False
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._entries
+
+
+@dataclass
+class FifoCache(_BaseCache):
+    """First-in-first-out eviction (no recency update on hits)."""
+
+    _entries: OrderedDict = field(default_factory=OrderedDict)
+
+    def access(self, object_id: int, size_gb: float) -> bool:
+        """Touch one object; returns True on a hit."""
+        require(size_gb > 0, "object size must be positive")
+        if object_id in self._entries:
+            self._record(True, size_gb)
+            return True
+        self._record(False, size_gb)
+        if size_gb <= self.capacity_gb:
+            while self.used_gb + size_gb > self.capacity_gb:
+                _, victim_size = self._entries.popitem(last=False)
+                self.used_gb -= victim_size
+            self._entries[object_id] = size_gb
+            self.used_gb += size_gb
+        return False
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._entries
+
+
+@dataclass
+class LfuCache(_BaseCache):
+    """Least-frequently-used eviction (lazy heap, ties by insertion age)."""
+
+    _sizes: dict = field(default_factory=dict)
+    _counts: dict = field(default_factory=dict)
+    _heap: list = field(default_factory=list)
+    _age: int = 0
+
+    def access(self, object_id: int, size_gb: float) -> bool:
+        """Touch one object; returns True on a hit."""
+        require(size_gb > 0, "object size must be positive")
+        if object_id in self._sizes:
+            self._counts[object_id] += 1
+            heapq.heappush(self._heap, (self._counts[object_id], self._age, object_id))
+            self._age += 1
+            self._record(True, size_gb)
+            return True
+        self._record(False, size_gb)
+        if size_gb <= self.capacity_gb:
+            while self.used_gb + size_gb > self.capacity_gb:
+                self._evict_one()
+            self._sizes[object_id] = size_gb
+            self._counts[object_id] = 1
+            heapq.heappush(self._heap, (1, self._age, object_id))
+            self._age += 1
+            self.used_gb += size_gb
+        return False
+
+    def _evict_one(self) -> None:
+        while self._heap:
+            count, _, object_id = heapq.heappop(self._heap)
+            if object_id in self._counts and self._counts[object_id] == count:
+                self.used_gb -= self._sizes.pop(object_id)
+                del self._counts[object_id]
+                return
+        require(False, "LFU eviction with empty cache")  # pragma: no cover
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._sizes
+
+
+def make_cache(policy: str, capacity_gb: float):
+    """Factory: ``"lru"`` / ``"lfu"`` / ``"fifo"``."""
+    policies = {"lru": LruCache, "lfu": LfuCache, "fifo": FifoCache}
+    require(policy in policies, f"unknown cache policy {policy!r}")
+    return policies[policy](capacity_gb=capacity_gb)

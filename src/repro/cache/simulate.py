@@ -1,0 +1,98 @@
+"""Request-stream simulation: emergent byte hit ratios.
+
+Draw requests from a catalog's Zipf popularity, warm the cache, then
+measure the steady-state byte hit ratio — the §2.1 "offnet serve
+fraction" as an emergent property of catalog shape x appliance capacity x
+replacement policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import make_rng, require
+from repro.cache.catalog import CatalogSpec, ContentCatalog, build_catalog
+from repro.cache.policies import make_cache
+
+
+@dataclass(frozen=True)
+class CacheSimResult:
+    """Steady-state statistics of one simulation."""
+
+    hypergiant: str
+    policy: str
+    capacity_gb: float
+    byte_hit_ratio: float
+    request_hit_ratio: float
+    catalog_gb: float
+
+    @property
+    def capacity_to_catalog(self) -> float:
+        """Appliance capacity as a fraction of the catalog footprint."""
+        return self.capacity_gb / self.catalog_gb if self.catalog_gb else 0.0
+
+
+def simulate_cache(
+    spec: CatalogSpec,
+    capacity_gb: float,
+    policy: str = "lru",
+    n_requests: int = 150_000,
+    warmup_fraction: float = 0.4,
+    seed: int | np.random.Generator = 0,
+) -> CacheSimResult:
+    """Simulate one appliance against one catalog.
+
+    ``warmup_fraction`` of the requests fill the cache before counters are
+    reset, so the reported ratios are steady-state.
+    """
+    require(n_requests >= 10, "need a meaningful request count")
+    require(0.0 <= warmup_fraction < 1.0, "warmup_fraction must be in [0, 1)")
+    rng = make_rng(seed)
+    catalog = build_catalog(spec, seed=rng)
+    cache = make_cache(policy, capacity_gb)
+
+    requests = rng.choice(spec.n_objects, size=n_requests, p=catalog.popularity)
+    warmup = int(warmup_fraction * n_requests)
+    for index, object_id in enumerate(requests):
+        if index == warmup:
+            cache.reset_counters()
+        cache.access(int(object_id), float(catalog.sizes_gb[object_id]))
+
+    return CacheSimResult(
+        hypergiant=spec.hypergiant,
+        policy=policy,
+        capacity_gb=capacity_gb,
+        byte_hit_ratio=cache.byte_hit_ratio,
+        request_hit_ratio=cache.request_hit_ratio,
+        catalog_gb=catalog.total_gb,
+    )
+
+
+def capacity_for_target_ratio(
+    spec: CatalogSpec,
+    target_byte_hit_ratio: float,
+    policy: str = "lru",
+    seed: int = 0,
+    tolerance: float = 0.02,
+    max_iterations: int = 12,
+) -> tuple[float, CacheSimResult]:
+    """Binary-search the appliance capacity that hits a target byte ratio.
+
+    Used to check §2.1's constants are *reachable* with plausible
+    capacity-to-catalog fractions.
+    """
+    catalog = build_catalog(spec, seed=seed)
+    low, high = catalog.total_gb * 1e-4, catalog.total_gb
+    result = simulate_cache(spec, high, policy, seed=seed)
+    for _ in range(max_iterations):
+        middle = (low + high) / 2.0
+        result = simulate_cache(spec, middle, policy, seed=seed)
+        if abs(result.byte_hit_ratio - target_byte_hit_ratio) <= tolerance:
+            return middle, result
+        if result.byte_hit_ratio < target_byte_hit_ratio:
+            low = middle
+        else:
+            high = middle
+    return (low + high) / 2.0, result

@@ -1,0 +1,90 @@
+"""Diurnal per-ISP, per-hypergiant traffic demand.
+
+Calibrated against the §2.1 anecdotes: an ISP of a couple of million users
+sees ~20-30 Gbps of peak traffic per hypergiant from its offnets.  Demand
+follows a classic residential diurnal curve (trough before dawn, peak in the
+evening); the paper's §4.1 evidence — "during peak periods, a higher
+fraction of traffic from the same services instead comes from more distant
+servers" — falls out of the peak hours pushing offnets past capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import require, require_positive
+from repro.core.traffic_model import TrafficModel
+from repro.topology.asn import AS
+
+#: Hour-of-day multipliers (fraction of peak), residential shape.
+_DEFAULT_HOURLY = (
+    0.50, 0.42, 0.37, 0.35, 0.35, 0.38,  # 00-05: overnight trough
+    0.44, 0.52, 0.60, 0.65, 0.68, 0.70,  # 06-11: morning ramp
+    0.72, 0.73, 0.74, 0.76, 0.80, 0.86,  # 12-17: afternoon
+    0.92, 0.97, 1.00, 1.00, 0.90, 0.68,  # 18-23: evening peak
+)
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """A 24-hour demand shape with peak normalised to 1.0."""
+
+    hourly: tuple[float, ...] = _DEFAULT_HOURLY
+
+    def __post_init__(self) -> None:
+        require(len(self.hourly) == 24, "need exactly 24 hourly multipliers")
+        require(all(0 < m <= 1.0 for m in self.hourly), "multipliers must be in (0, 1]")
+        require(max(self.hourly) == 1.0, "peak must be normalised to 1.0")
+
+    def at(self, hour: int) -> float:
+        """Multiplier for ``hour`` (0-23)."""
+        return self.hourly[hour % 24]
+
+    @property
+    def mean(self) -> float:
+        """Day-average multiplier (peak-to-mean ratio's inverse)."""
+        return float(np.mean(self.hourly))
+
+
+@dataclass(frozen=True)
+class DemandModel:
+    """Converts ISP user counts into per-hypergiant Gbps demand."""
+
+    traffic: TrafficModel = field(default_factory=TrafficModel)
+    profile: DiurnalProfile = field(default_factory=DiurnalProfile)
+    #: Average concurrent demand per user at the daily peak, Mbps.  0.12
+    #: reproduces the §2.1 anecdote (1-2M-user ISP, ~20-30 Gbps/HG peak).
+    peak_mbps_per_user: float = 0.12
+
+    def __post_init__(self) -> None:
+        require_positive(self.peak_mbps_per_user, "peak_mbps_per_user")
+
+    def total_peak_gbps(self, isp: AS) -> float:
+        """The ISP's total Internet traffic at the daily peak."""
+        return isp.users * self.peak_mbps_per_user / 1000.0
+
+    def hypergiant_peak_gbps(self, isp: AS, hypergiant: str) -> float:
+        """Peak demand for one hypergiant's services in one ISP."""
+        return self.total_peak_gbps(isp) * self.traffic.profile(hypergiant).traffic_share
+
+    def hypergiant_demand_gbps(self, isp: AS, hypergiant: str, hour: int) -> float:
+        """Demand at ``hour`` for one hypergiant's services."""
+        return self.hypergiant_peak_gbps(isp, hypergiant) * self.profile.at(hour)
+
+    def offnet_eligible_gbps(self, isp: AS, hypergiant: str, hour: int) -> float:
+        """The slice of demand that offnets *could* serve (cacheable share)."""
+        return (
+            self.hypergiant_demand_gbps(isp, hypergiant, hour)
+            * self.traffic.offnet_traffic_fraction(hypergiant)
+        )
+
+    def background_peering_gbps(self, isp: AS, hour: int) -> float:
+        """Non-hypergiant traffic on the ISP's shared links (collateral pool).
+
+        Everything that is not one of the studied hypergiants: the remainder
+        of total traffic.
+        """
+        hypergiant_share = sum(p.traffic_share for p in self.traffic.profiles)
+        return self.total_peak_gbps(isp) * (1.0 - hypergiant_share) * self.profile.at(hour)

@@ -1,0 +1,164 @@
+"""Flash crowds on the shared facility uplink (§3.3's intra-facility risk).
+
+"Traffic surges from one hypergiant might monopolize the available
+bandwidth, inadvertently impeding other hypergiants.  Such surges could be
+caused by flash crowds, misconfigurations, or denial of service attacks."
+
+The colocated offnets of a facility share the building's uplink.  This
+module simulates a minute-resolution flash crowd on one hypergiant and
+measures what happens to *the other* hypergiants in the same facility —
+the collateral mechanism that simply cannot occur when deployments are
+dispersed across facilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import require, require_fraction, require_positive
+
+
+@dataclass(frozen=True)
+class FlashCrowdEvent:
+    """A surge profile: ramp up, plateau, decay (minute resolution)."""
+
+    target_hypergiant: str
+    peak_multiplier: float
+    ramp_minutes: int = 10
+    plateau_minutes: int = 20
+    decay_minutes: int = 30
+
+    def __post_init__(self) -> None:
+        require_positive(self.peak_multiplier, "peak_multiplier")
+        require(self.ramp_minutes >= 1 and self.decay_minutes >= 1, "bad ramp shape")
+
+    @property
+    def duration_minutes(self) -> int:
+        """Total event length."""
+        return self.ramp_minutes + self.plateau_minutes + self.decay_minutes
+
+    def multiplier_at(self, minute: int) -> float:
+        """Demand multiplier at ``minute`` (1.0 outside the event)."""
+        if minute < 0 or minute >= self.duration_minutes:
+            return 1.0
+        if minute < self.ramp_minutes:
+            fraction = (minute + 1) / self.ramp_minutes
+            return 1.0 + (self.peak_multiplier - 1.0) * fraction
+        if minute < self.ramp_minutes + self.plateau_minutes:
+            return self.peak_multiplier
+        decay_position = minute - self.ramp_minutes - self.plateau_minutes
+        fraction = 1.0 - (decay_position + 1) / self.decay_minutes
+        return 1.0 + (self.peak_multiplier - 1.0) * max(0.0, fraction)
+
+
+@dataclass(frozen=True)
+class FacilityUplink:
+    """The shared building uplink the colocated offnets serve through."""
+
+    capacity_gbps: float
+    #: Steady-state demand per hypergiant hosted in the facility, Gbps.
+    steady_demand_gbps: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        require_positive(self.capacity_gbps, "capacity_gbps")
+        require(bool(self.steady_demand_gbps), "facility hosts no demand")
+        for name, demand in self.steady_demand_gbps.items():
+            require(demand >= 0, f"negative demand for {name}")
+
+
+@dataclass
+class FlashCrowdOutcome:
+    """Minute-by-minute result of one event against one facility."""
+
+    uplink: FacilityUplink
+    event: FlashCrowdEvent
+    #: hypergiant -> per-minute served Gbps.
+    served: dict[str, np.ndarray] = field(default_factory=dict)
+    #: hypergiant -> per-minute offered Gbps.
+    offered: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def bystander_loss_fraction(self, hypergiant: str) -> float:
+        """Fraction of a *non-target* hypergiant's bytes lost to the surge."""
+        require(hypergiant != self.event.target_hypergiant, "ask about a bystander")
+        offered = self.offered[hypergiant].sum()
+        served = self.served[hypergiant].sum()
+        return 1.0 - served / offered if offered else 0.0
+
+    def degraded_minutes(self, hypergiant: str) -> int:
+        """Minutes during which the hypergiant was throttled."""
+        return int(
+            (self.served[hypergiant] < self.offered[hypergiant] * (1 - 1e-9)).sum()
+        )
+
+    @property
+    def peak_utilization(self) -> float:
+        """Highest offered-to-capacity ratio over the event."""
+        total_offered = sum(self.offered.values())
+        return float(total_offered.max() / self.uplink.capacity_gbps)
+
+
+def simulate_flash_crowd(uplink: FacilityUplink, event: FlashCrowdEvent) -> FlashCrowdOutcome:
+    """Run one event: per-minute fair-share allocation on the uplink.
+
+    The target hypergiant's demand follows the event profile; bystanders
+    stay at steady state.  When the uplink saturates, everyone is throttled
+    proportionally (the facility has no per-tenant isolation — §6's point).
+    """
+    require(
+        event.target_hypergiant in uplink.steady_demand_gbps,
+        f"{event.target_hypergiant} is not hosted in this facility",
+    )
+    minutes = event.duration_minutes
+    outcome = FlashCrowdOutcome(uplink=uplink, event=event)
+    for name in sorted(uplink.steady_demand_gbps):
+        outcome.offered[name] = np.empty(minutes)
+        outcome.served[name] = np.empty(minutes)
+
+    for minute in range(minutes):
+        offered_now: dict[str, float] = {}
+        for name, steady in uplink.steady_demand_gbps.items():
+            multiplier = event.multiplier_at(minute) if name == event.target_hypergiant else 1.0
+            offered_now[name] = steady * multiplier
+        total = sum(offered_now.values())
+        factor = min(1.0, uplink.capacity_gbps / total) if total > 0 else 1.0
+        for name, offered in offered_now.items():
+            outcome.offered[name][minute] = offered
+            outcome.served[name][minute] = offered * factor
+    return outcome
+
+
+def colocated_vs_dispersed(
+    steady_demand_gbps: dict[str, float],
+    event: FlashCrowdEvent,
+    headroom: float = 1.3,
+) -> tuple[FlashCrowdOutcome, dict[str, FlashCrowdOutcome]]:
+    """The §3.3 comparison: one shared facility vs one facility per HG.
+
+    ``headroom`` sizes every uplink at headroom x its steady demand.
+    Returns (colocated outcome, per-hypergiant dispersed outcomes).
+    """
+    require_positive(headroom, "headroom")
+    total = sum(steady_demand_gbps.values())
+    colocated = simulate_flash_crowd(
+        FacilityUplink(capacity_gbps=headroom * total, steady_demand_gbps=dict(steady_demand_gbps)),
+        event,
+    )
+    dispersed: dict[str, FlashCrowdOutcome] = {}
+    for name, steady in steady_demand_gbps.items():
+        single = FacilityUplink(
+            capacity_gbps=headroom * steady, steady_demand_gbps={name: steady}
+        )
+        if name == event.target_hypergiant:
+            dispersed[name] = simulate_flash_crowd(single, event)
+        else:
+            quiet = FlashCrowdEvent(
+                target_hypergiant=name,
+                peak_multiplier=1.0,
+                ramp_minutes=event.ramp_minutes,
+                plateau_minutes=event.plateau_minutes,
+                decay_minutes=event.decay_minutes,
+            )
+            dispersed[name] = simulate_flash_crowd(single, quiet)
+    return colocated, dispersed

@@ -1,0 +1,202 @@
+"""Capacity objects: offnet sites, PNIs, IXP ports, transit links.
+
+Provisioning reflects the paper's evidence:
+
+* offnet sites are sized with limited headroom over the demand they are
+  *expected* to absorb (§4.1: "offnets are running near capacity");
+* PNIs, where they exist at all, are sized with a noisy overprovisioning
+  factor whose distribution leaves a substantial minority undersized even
+  for normal peaks (§4.2.2: Google peaks exceeded capacity by >= 13 %, 10 %
+  of Meta PNIs saw demand at twice capacity);
+* IXP ports come in standard tiers (10/40/100/400 G) and are shared with
+  background peering traffic;
+* transit is provisioned against normal load, not hypergiant failover
+  (§4.3: "neither transit providers nor IXPs have enough capacity to handle
+  hypergiant traffic").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import make_rng, require, require_positive
+from repro.capacity.demand import DemandModel
+from repro.deployment.placement import DeploymentState
+from repro.topology.asn import AS
+from repro.topology.generator import Internet
+
+#: Standard IXP port/bundle sizes, Gbps (large ISPs buy port bundles).
+IXP_PORT_TIERS = (10.0, 40.0, 100.0, 400.0, 800.0, 1600.0, 3200.0, 6400.0, 12800.0)
+
+
+@dataclass
+class OffnetSiteCapacity:
+    """One hypergiant's offnet capacity in one facility of one ISP."""
+
+    facility_id: int
+    hypergiant: str
+    capacity_gbps: float
+    #: Operational fraction (events reduce this; 0 = site down).
+    availability: float = 1.0
+
+    @property
+    def usable_gbps(self) -> float:
+        """Capacity currently usable."""
+        return self.capacity_gbps * self.availability
+
+
+@dataclass(frozen=True)
+class PniLink:
+    """A dedicated private interconnect to one hypergiant."""
+
+    hypergiant: str
+    capacity_gbps: float
+
+
+@dataclass(frozen=True)
+class SharedLink:
+    """A capacity pool shared by many services (IXP port or transit)."""
+
+    kind: str
+    capacity_gbps: float
+
+    def __post_init__(self) -> None:
+        require(self.kind in ("ixp", "transit"), f"unknown shared link kind {self.kind!r}")
+        require_positive(self.capacity_gbps, "capacity_gbps")
+
+
+@dataclass
+class IspCapacityPlan:
+    """Everything one ISP can use to receive hypergiant traffic."""
+
+    isp: AS
+    offnet_sites: dict[str, list[OffnetSiteCapacity]] = field(default_factory=dict)
+    pni: dict[str, PniLink] = field(default_factory=dict)
+    ixp_port: SharedLink | None = None
+    transit: SharedLink = SharedLink("transit", 1.0)
+
+    def offnet_capacity_gbps(self, hypergiant: str) -> float:
+        """Total usable offnet capacity for ``hypergiant`` right now."""
+        return sum(site.usable_gbps for site in self.offnet_sites.get(hypergiant, ()))
+
+    def sites_of(self, hypergiant: str) -> list[OffnetSiteCapacity]:
+        """The hypergiant's sites in this ISP (may be empty)."""
+        return list(self.offnet_sites.get(hypergiant, ()))
+
+    def sites_in_facility(self, facility_id: int) -> list[OffnetSiteCapacity]:
+        """All hypergiants' site capacities in one facility."""
+        return [
+            site
+            for sites in self.offnet_sites.values()
+            for site in sites
+            if site.facility_id == facility_id
+        ]
+
+
+@dataclass(frozen=True)
+class ProvisioningConfig:
+    """Provisioning knobs (defaults calibrated to §4's reported statistics)."""
+
+    #: Offnet capacity headroom over expected peak offnet load.  1.2
+    #: reproduces the §4.1 COVID observation (demand +58 % => offnet traffic
+    #: +~20 % while interdomain more than doubles).
+    offnet_headroom: float = 1.2
+    #: Median and log-sigma of the PNI overprovisioning factor.
+    pni_overprovision_median: float = 1.2
+    pni_overprovision_sigma: float = 0.65
+    #: Fraction of an ISP's background (non-hypergiant) peering traffic that
+    #: rides its IXP port.
+    background_ixp_fraction: float = 0.4
+    #: Transit overprovisioning over expected normal transit load.
+    transit_headroom: float = 1.25
+
+    def __post_init__(self) -> None:
+        require_positive(self.offnet_headroom, "offnet_headroom")
+        require_positive(self.pni_overprovision_median, "pni_overprovision_median")
+        require(self.pni_overprovision_sigma >= 0, "pni_overprovision_sigma must be >= 0")
+        require_positive(self.transit_headroom, "transit_headroom")
+
+
+def _pick_port_tier(required_gbps: float) -> float:
+    """Smallest standard port at least ``required_gbps`` (largest otherwise)."""
+    for tier in IXP_PORT_TIERS:
+        if tier >= required_gbps:
+            return tier
+    return IXP_PORT_TIERS[-1]
+
+
+def build_capacity_plan(
+    internet: Internet,
+    state: DeploymentState,
+    demand: DemandModel,
+    config: ProvisioningConfig | None = None,
+    seed: int | np.random.Generator = 0,
+) -> dict[int, IspCapacityPlan]:
+    """Provision every offnet-hosting ISP; returns plans keyed by ASN."""
+    config = config or ProvisioningConfig()
+    rng = make_rng(seed)
+    plans: dict[int, IspCapacityPlan] = {}
+    for isp in state.hosting_isps():
+        plan = IspCapacityPlan(isp=isp)
+        hosted = state.hypergiants_in(isp)
+
+        for hypergiant in hosted:
+            deployment = state.deployment_of(hypergiant, isp)
+            expected_peak = demand.offnet_eligible_gbps(isp, hypergiant, hour=20)
+            total_capacity = expected_peak * config.offnet_headroom
+            # Split capacity across facilities proportionally to server count.
+            servers_by_facility: dict[int, int] = {}
+            for server in deployment.servers:
+                servers_by_facility[server.facility.facility_id] = (
+                    servers_by_facility.get(server.facility.facility_id, 0) + 1
+                )
+            n_servers = len(deployment.servers)
+            plan.offnet_sites[hypergiant] = [
+                OffnetSiteCapacity(
+                    facility_id=facility_id,
+                    hypergiant=hypergiant,
+                    capacity_gbps=total_capacity * count / n_servers,
+                )
+                for facility_id, count in sorted(servers_by_facility.items())
+            ]
+
+            # PNI, if the ground-truth graph has one.
+            hypergiant_as = internet.hypergiant_as(hypergiant)
+            if internet.graph.are_peers(isp, hypergiant_as) and internet.graph.peer_edge(isp, hypergiant_as).has_pni:
+                normal_interdomain_peak = demand.hypergiant_peak_gbps(isp, hypergiant) - expected_peak
+                normal_interdomain_peak = max(0.5, normal_interdomain_peak)
+                factor = float(
+                    rng.lognormal(np.log(config.pni_overprovision_median), config.pni_overprovision_sigma)
+                )
+                plan.pni[hypergiant] = PniLink(hypergiant, normal_interdomain_peak * factor)
+
+        # IXP port: present iff the ISP peers with anything over an IXP.
+        hypergiant_ases = [internet.hypergiant_as(name) for name in sorted(internet.hypergiant_ases)]
+        uses_ixp = any(
+            internet.graph.are_peers(isp, hg) and internet.graph.peer_edge(isp, hg).has_ixp
+            for hg in hypergiant_ases
+        )
+        background_peak = demand.background_peering_gbps(isp, hour=20)
+        if uses_ixp:
+            required = config.background_ixp_fraction * background_peak * 1.3
+            plan.ixp_port = SharedLink("ixp", _pick_port_tier(max(10.0, required)))
+
+        # Transit: sized for normal load (background via transit + the
+        # interdomain slices of hypergiants lacking a PNI).  Without an IXP
+        # port, all background peering traffic rides transit.
+        background_transit_fraction = (
+            1.0 - config.background_ixp_fraction if plan.ixp_port is not None else 1.0
+        )
+        normal_transit = background_transit_fraction * background_peak
+        for hypergiant in hosted:
+            if hypergiant not in plan.pni:
+                normal_transit += max(
+                    0.0,
+                    demand.hypergiant_peak_gbps(isp, hypergiant)
+                    - demand.offnet_eligible_gbps(isp, hypergiant, hour=20),
+                )
+        plan.transit = SharedLink("transit", max(1.0, normal_transit * config.transit_headroom))
+        plans[isp.asn] = plan
+    return plans

@@ -1,0 +1,120 @@
+"""Per-service traffic composition (an extension of the demand model).
+
+Each hypergiant's traffic is a mix of services with different diurnal
+shapes and cacheabilities: evening-peaked streaming video, flatter
+web/API traffic, and bursty software-update pushes (§3.3's flash-crowd
+and bad-update risks have service-level roots).
+:class:`ServiceAwareDemandModel` is a drop-in replacement for
+:class:`~repro.capacity.demand.DemandModel` whose aggregate behaviour
+matches the flat model at the daily peak but whose hour-by-hour shape and
+offnet-eligible share vary by the mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import require, require_fraction
+from repro.capacity.demand import DemandModel, DiurnalProfile
+from repro.topology.asn import AS
+
+#: A flatter, business-hours shape (web/API traffic).
+_FLAT_HOURLY = (
+    0.55, 0.50, 0.47, 0.45, 0.46, 0.50,
+    0.60, 0.72, 0.84, 0.92, 0.96, 1.00,
+    1.00, 0.98, 0.97, 0.95, 0.93, 0.92,
+    0.90, 0.88, 0.85, 0.78, 0.70, 0.62,
+)
+#: An overnight-heavy shape (scheduled software updates, prefetch).
+_OVERNIGHT_HOURLY = (
+    0.90, 1.00, 1.00, 0.95, 0.85, 0.70,
+    0.50, 0.40, 0.35, 0.32, 0.30, 0.30,
+    0.32, 0.33, 0.35, 0.38, 0.42, 0.50,
+    0.58, 0.65, 0.72, 0.78, 0.82, 0.86,
+)
+
+
+@dataclass(frozen=True)
+class ServiceClass:
+    """One service within a hypergiant's traffic mix."""
+
+    name: str
+    #: Share of the hypergiant's peak traffic.
+    share: float
+    profile: DiurnalProfile
+    #: Fraction of this service's bytes an offnet can serve.
+    cacheability: float
+
+    def __post_init__(self) -> None:
+        require_fraction(self.share, "share")
+        require_fraction(self.cacheability, "cacheability")
+
+
+def _video(share: float, cacheability: float) -> ServiceClass:
+    return ServiceClass("video", share, DiurnalProfile(), cacheability)
+
+
+def _web(share: float, cacheability: float) -> ServiceClass:
+    return ServiceClass("web", share, DiurnalProfile(hourly=_FLAT_HOURLY), cacheability)
+
+
+def _updates(share: float, cacheability: float) -> ServiceClass:
+    return ServiceClass("updates", share, DiurnalProfile(hourly=_OVERNIGHT_HOURLY), cacheability)
+
+
+#: Default service mixes per hypergiant.  Shares sum to 1; the weighted
+#: cacheability reproduces each profile's offnet_serve_fraction (§2.1), so
+#: the aggregate eligible share at peak matches the flat model.
+DEFAULT_SERVICE_MIXES: dict[str, tuple[ServiceClass, ...]] = {
+    # 0.70*0.93 + 0.30*0.497 ≈ 0.80
+    "Google": (_video(0.70, 0.93), _web(0.30, 0.497)),
+    # 0.95*0.97 + 0.05*0.57 ≈ 0.95
+    "Netflix": (_video(0.95, 0.97), _web(0.05, 0.57)),
+    # 0.60*0.95 + 0.40*0.725 ≈ 0.86
+    "Meta": (_video(0.60, 0.95), _web(0.40, 0.725)),
+    # 0.35*0.92 + 0.65*0.658 ≈ 0.75
+    "Akamai": (_updates(0.35, 0.92), _web(0.65, 0.658)),
+}
+
+
+@dataclass(frozen=True)
+class ServiceAwareDemandModel(DemandModel):
+    """Demand with per-service diurnal shapes and cacheabilities."""
+
+    mixes: dict[str, tuple[ServiceClass, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_SERVICE_MIXES)
+    )
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        for hypergiant, mix in self.mixes.items():
+            total = sum(service.share for service in mix)
+            require(abs(total - 1.0) < 1e-9, f"{hypergiant} service shares must sum to 1")
+
+    def _mix_for(self, hypergiant: str) -> tuple[ServiceClass, ...]:
+        mix = self.mixes.get(hypergiant)
+        require(mix is not None, f"no service mix for {hypergiant!r}")
+        return mix
+
+    def hypergiant_demand_gbps(self, isp: AS, hypergiant: str, hour: int) -> float:
+        """Demand at ``hour``: the mix-weighted sum of service curves."""
+        peak = self.hypergiant_peak_gbps(isp, hypergiant)
+        return peak * sum(
+            service.share * service.profile.at(hour) for service in self._mix_for(hypergiant)
+        )
+
+    def offnet_eligible_gbps(self, isp: AS, hypergiant: str, hour: int) -> float:
+        """Cacheable slice at ``hour``: per-service cacheability applies."""
+        peak = self.hypergiant_peak_gbps(isp, hypergiant)
+        return peak * sum(
+            service.share * service.profile.at(hour) * service.cacheability
+            for service in self._mix_for(hypergiant)
+        )
+
+    def service_demand_gbps(self, isp: AS, hypergiant: str, service_name: str, hour: int) -> float:
+        """One service's demand at ``hour`` (for event targeting)."""
+        peak = self.hypergiant_peak_gbps(isp, hypergiant)
+        for service in self._mix_for(hypergiant):
+            if service.name == service_name:
+                return peak * service.share * service.profile.at(hour)
+        raise KeyError(f"{hypergiant} has no service {service_name!r}")

@@ -1,0 +1,151 @@
+"""PNI upgrade dynamics: why dedicated links stay overloaded (§4.2.2).
+
+"Hypergiants cannot unilaterally upgrade capacity as demand grows, and
+getting ISPs to upgrade can take months or even be impossible."  This
+module turns that sentence into a time-stepped model: demand on each PNI
+grows month over month; when peak utilization crosses a trigger, an
+upgrade is *ordered*, but it lands only after a negotiation/installation
+lead time — and a fraction of ISPs never upgrade at all.  The steady state
+is exactly the paper's evidence: a persistent share of links whose peak
+demand exceeds capacity, some at twice capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import make_rng, require, require_fraction, require_positive
+
+
+@dataclass(frozen=True)
+class UpgradeConfig:
+    """Knobs of the upgrade-cycle simulation."""
+
+    months: int = 36
+    #: Mean month-over-month demand growth (~2.5 %/mo = ~34 %/yr).
+    monthly_growth: float = 0.025
+    #: Std-dev of the per-link, per-month growth noise.
+    growth_noise: float = 0.015
+    #: Peak utilization that triggers an upgrade order.
+    trigger_utilization: float = 0.8
+    #: Capacity multiplier when an upgrade lands.
+    upgrade_factor: float = 2.0
+    #: Uniform range of months between order and delivery.
+    lead_time_months: tuple[int, int] = (2, 12)
+    #: Fraction of ISPs that never upgrade ("or even be impossible").
+    never_upgrade_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        require(self.months >= 1, "months must be >= 1")
+        require_positive(self.upgrade_factor, "upgrade_factor")
+        require_fraction(self.never_upgrade_fraction, "never_upgrade_fraction")
+        require(0 < self.trigger_utilization, "trigger_utilization must be > 0")
+        low, high = self.lead_time_months
+        require(1 <= low <= high, "bad lead_time_months range")
+
+
+@dataclass
+class LinkTrajectory:
+    """One PNI's simulated history."""
+
+    initial_demand: float
+    initial_capacity: float
+    demand: list[float] = field(default_factory=list)
+    capacity: list[float] = field(default_factory=list)
+    upgrades_landed: int = 0
+    never_upgrades: bool = False
+
+    def utilization(self, month: int) -> float:
+        """Peak-demand-to-capacity ratio at ``month``."""
+        return self.demand[month] / self.capacity[month]
+
+    @property
+    def overloaded_month_fraction(self) -> float:
+        """Fraction of months with peak demand above capacity."""
+        months = len(self.demand)
+        return sum(1 for m in range(months) if self.utilization(m) > 1.0) / months
+
+
+@dataclass
+class UpgradeReport:
+    """Fleet-wide outcome of the upgrade cycle."""
+
+    config: UpgradeConfig
+    trajectories: list[LinkTrajectory] = field(default_factory=list)
+
+    def overloaded_link_month_fraction(self) -> float:
+        """Share of all link-months spent above capacity."""
+        if not self.trajectories:
+            return 0.0
+        return float(np.mean([t.overloaded_month_fraction for t in self.trajectories]))
+
+    def final_overloaded_fraction(self, factor: float = 1.0) -> float:
+        """Share of links whose final peak demand exceeds factor x capacity."""
+        if not self.trajectories:
+            return 0.0
+        last = len(self.trajectories[0].demand) - 1
+        return float(
+            np.mean([t.utilization(last) > factor for t in self.trajectories])
+        )
+
+    def mean_final_utilization(self) -> float:
+        """Average final peak utilization across links."""
+        last = len(self.trajectories[0].demand) - 1
+        return float(np.mean([t.utilization(last) for t in self.trajectories]))
+
+
+def simulate_upgrade_cycle(
+    initial_links: list[tuple[float, float]],
+    config: UpgradeConfig | None = None,
+    seed: int | np.random.Generator = 0,
+) -> UpgradeReport:
+    """Simulate ``config.months`` of demand growth and lagged upgrades.
+
+    ``initial_links`` holds (peak demand, capacity) pairs, e.g. from
+    :func:`repro.capacity.links.build_capacity_plan`'s PNIs.
+    """
+    config = config or UpgradeConfig()
+    rng = make_rng(seed)
+    report = UpgradeReport(config=config)
+    for demand0, capacity0 in initial_links:
+        require(demand0 >= 0 and capacity0 > 0, "bad initial link state")
+        trajectory = LinkTrajectory(
+            initial_demand=demand0,
+            initial_capacity=capacity0,
+            never_upgrades=bool(rng.random() < config.never_upgrade_fraction),
+        )
+        demand = demand0
+        capacity = capacity0
+        pending_delivery: int | None = None
+        for month in range(config.months):
+            growth = rng.normal(config.monthly_growth, config.growth_noise)
+            demand *= max(0.5, 1.0 + growth)
+            if pending_delivery is not None and month >= pending_delivery:
+                capacity *= config.upgrade_factor
+                trajectory.upgrades_landed += 1
+                pending_delivery = None
+            if (
+                pending_delivery is None
+                and not trajectory.never_upgrades
+                and demand / capacity >= config.trigger_utilization
+            ):
+                low, high = config.lead_time_months
+                pending_delivery = month + int(rng.integers(low, high + 1))
+            trajectory.demand.append(demand)
+            trajectory.capacity.append(capacity)
+        report.trajectories.append(trajectory)
+    return report
+
+
+def pni_links_from_plans(plans, demand_model) -> list[tuple[float, float]]:
+    """Extract (normal peak interdomain demand, PNI capacity) per link."""
+    links: list[tuple[float, float]] = []
+    for plan in plans.values():
+        for hypergiant, pni in sorted(plan.pni.items()):
+            peak_total = demand_model.hypergiant_peak_gbps(plan.isp, hypergiant)
+            peak_eligible = demand_model.offnet_eligible_gbps(plan.isp, hypergiant, hour=20)
+            peak_offnet = min(plan.offnet_capacity_gbps(hypergiant), peak_eligible)
+            links.append((max(0.0, peak_total - peak_offnet), pni.capacity_gbps))
+    return links

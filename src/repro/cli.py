@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``study``    — run the pipeline and print selected paper artifacts.
+* ``cascade``  — simulate a facility outage and print the damage report.
+* ``peering``  — run the §4.2.1 traceroute campaign for one hypergiant.
+* ``mapping``  — run the steering-blindness (client-mapping) experiment.
+* ``export``   — run the pipeline and write a dataset archive to a directory.
+* ``info``     — library version and available scenarios/sections.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import __version__
+from repro.report import available_sections
+
+
+def _add_scenario_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario",
+        choices=("small", "default", "large"),
+        default="small",
+        help="study scenario preset (default: small)",
+    )
+
+
+def _load_study(name: str):
+    from repro.experiments.scenarios import cached_study
+
+    print(f"running the {name!r} study...", file=sys.stderr)
+    return cached_study(name)
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.report import build_report
+
+    study = _load_study(args.scenario)
+    sections = tuple(args.sections.split(",")) if args.sections != "all" else None
+    print(build_report(study, sections))
+    return 0
+
+
+def _cmd_cascade(args: argparse.Namespace) -> int:
+    from repro.capacity.demand import DemandModel
+    from repro.capacity.events import facility_outage_scenario
+    from repro.capacity.links import build_capacity_plan
+    from repro.capacity.cascade import simulate_cascade
+    from repro.experiments.section43_collateral import most_shared_facility
+
+    study = _load_study(args.scenario)
+    state = study.history.state("2023")
+    if args.facility == "auto":
+        facility_id, hypergiants = most_shared_facility(study)
+        print(f"auto-selected facility {facility_id} (hosts {'+'.join(hypergiants)})")
+    else:
+        facility_id = int(args.facility)
+    demand = DemandModel(traffic=study.traffic)
+    plans = build_capacity_plan(study.internet, state, demand, seed=11)
+    owner_asns = sorted(
+        {s.isp.asn for s in state.servers if s.facility.facility_id == facility_id}
+    )
+    if not owner_asns:
+        print(f"facility {facility_id} hosts no offnets", file=sys.stderr)
+        return 1
+    report = simulate_cascade(
+        study.internet,
+        demand,
+        plans,
+        facility_outage_scenario(facility_id),
+        study.population,
+        asns=owner_asns,
+    )
+    for asn, outcome in report.outcomes.items():
+        print(
+            f"ASN {asn}: offnet {100 * outcome.offnet_change:+.0f}%, "
+            f"interdomain x{outcome.interdomain_ratio:.2f}, "
+            f"{outcome.congested_hours} congested hours, "
+            f"collateral {outcome.collateral_gbph:.0f} Gbps-h"
+        )
+    print(f"affected users: {report.affected_users():,}")
+    return 0
+
+
+def _cmd_peering(args: argparse.Namespace) -> int:
+    from repro.experiments.section42_peering import run_section42
+
+    study = _load_study(args.scenario)
+    result = run_section42(study, hypergiant=args.hypergiant, n_regions=args.regions)
+    print(result.render())
+    return 0
+
+
+def _cmd_mapping(args: argparse.Namespace) -> int:
+    from repro.experiments.steering_blindness import run_steering_blindness
+
+    study = _load_study(args.scenario)
+    print(run_steering_blindness(study).render())
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.io.archive import save_archive
+
+    study = _load_study(args.scenario)
+    directory = save_archive(study, args.output)
+    files = sorted(p.name for p in directory.iterdir())
+    print(f"wrote {len(files)} files to {directory}:")
+    for name in files:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    print(f"repro {__version__}")
+    print("scenarios: small, default, large")
+    print(f"report sections: {', '.join(available_sections())}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'The Central Problem with Distributed Content' (HotNets'23)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    study = subparsers.add_parser("study", help="run the pipeline and print paper artifacts")
+    _add_scenario_argument(study)
+    study.add_argument(
+        "--sections",
+        default="all",
+        help=f"comma-separated section ids or 'all' ({','.join(available_sections())})",
+    )
+    study.set_defaults(handler=_cmd_study)
+
+    cascade = subparsers.add_parser("cascade", help="simulate a facility outage")
+    _add_scenario_argument(cascade)
+    cascade.add_argument("--facility", default="auto", help="facility id or 'auto' (most shared)")
+    cascade.set_defaults(handler=_cmd_cascade)
+
+    peering = subparsers.add_parser("peering", help="run the §4.2.1 traceroute campaign")
+    _add_scenario_argument(peering)
+    peering.add_argument("--hypergiant", default="Google", choices=("Google", "Netflix", "Meta", "Akamai"))
+    peering.add_argument("--regions", type=int, default=4, help="source regions (paper: 112)")
+    peering.set_defaults(handler=_cmd_peering)
+
+    mapping = subparsers.add_parser("mapping", help="run the steering-blindness experiment")
+    _add_scenario_argument(mapping)
+    mapping.set_defaults(handler=_cmd_mapping)
+
+    export = subparsers.add_parser("export", help="write a dataset archive")
+    _add_scenario_argument(export)
+    export.add_argument("--output", required=True, help="destination directory")
+    export.set_defaults(handler=_cmd_export)
+
+    info = subparsers.add_parser("info", help="version and available options")
+    info.set_defaults(handler=_cmd_info)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)

@@ -1,0 +1,78 @@
+"""The trimmed normalised Manhattan distance between latency vectors.
+
+Appendix A: "for each pair of IP addresses, we calculate the distance as the
+(normalized) Manhattan distance after excluding measurements from the 20% of
+M-Lab sites that have the largest latency discrepancy between the two
+addresses".  Trimming makes the distance robust to vantage points that took
+a detour to one address but not the other; normalisation (mean rather than
+sum) makes distances comparable across pairs with different numbers of
+usable vantage points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import require, require_fraction
+
+
+def trimmed_manhattan(a: np.ndarray, b: np.ndarray, trim_fraction: float = 0.2) -> float:
+    """Distance between two latency vectors (NaN entries are skipped).
+
+    Returns NaN when fewer than two vantage points measured both addresses.
+    """
+    require_fraction(trim_fraction, "trim_fraction")
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    require(a.shape == b.shape, "latency vectors must align")
+    differences = np.abs(a - b)
+    differences = differences[~np.isnan(differences)]
+    if differences.size < 2:
+        return float("nan")
+    n_trim = int(np.floor(trim_fraction * differences.size))
+    if n_trim:
+        differences = np.sort(differences)[: differences.size - n_trim]
+    return float(differences.mean())
+
+
+def pairwise_trimmed_manhattan(columns: np.ndarray, trim_fraction: float = 0.2) -> np.ndarray:
+    """All-pairs distance matrix for ``columns`` of shape ``(n_vps, n_ips)``.
+
+    Fully vectorised: for each pair, discrepancies at vantage points lacking
+    either measurement are dropped before trimming.  The diagonal is 0;
+    entries for pairs with fewer than two common vantage points are NaN.
+    Equivalent to calling :func:`trimmed_manhattan` per pair (the reference
+    implementation, kept for clarity and property-testing), but ~50x faster
+    at paper scale.
+    """
+    require_fraction(trim_fraction, "trim_fraction")
+    columns = np.asarray(columns, dtype=float)
+    require(columns.ndim == 2, "columns must be (n_vps, n_ips)")
+    n_vps, n_ips = columns.shape
+    if n_ips == 0:
+        return np.zeros((0, 0))
+    # Work in (row-block, n_ips, n_vps) chunks with the vantage axis last:
+    # the per-pair sort runs over contiguous memory, and the chunking keeps
+    # the temporaries cache-friendly even for very large ISPs.
+    transposed = np.ascontiguousarray(columns.T)
+    matrix = np.empty((n_ips, n_ips))
+    block = max(1, int(4_000_000 / max(1, n_ips * n_vps)))
+    for start in range(0, n_ips, block):
+        stop = min(n_ips, start + block)
+        # NaN where either side is missing; sort puts NaNs last, aligning
+        # per-pair valid prefixes.
+        diffs = np.abs(transposed[start:stop, None, :] - transposed[None, :, :])
+        valid_counts = (~np.isnan(diffs)).sum(axis=2)
+        diffs.sort(axis=2)
+        # Number of entries kept after trimming, per pair.
+        kept = valid_counts - np.floor(trim_fraction * valid_counts).astype(int)
+        np.nan_to_num(diffs, copy=False)  # NaNs are sorted past every kept index
+        cumulative = np.cumsum(diffs, axis=2)
+        kept_index = np.clip(kept - 1, 0, n_vps - 1)
+        sums = np.take_along_axis(cumulative, kept_index[:, :, None], axis=2)[:, :, 0]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            rows = sums / kept
+        rows[valid_counts < 2] = np.nan
+        matrix[start:stop] = rows
+    np.fill_diagonal(matrix, 0.0)
+    return matrix

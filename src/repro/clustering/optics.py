@@ -1,0 +1,117 @@
+"""OPTICS ordering (Ankerst, Breunig, Kriegel, Sander — SIGMOD'99).
+
+Works directly on a precomputed distance matrix (the latency-vector
+distances), with an unbounded generating radius (eps = inf), which is the
+exact setting the colocation study needs: no a-priori number or size of
+clusters.  The output is the cluster-ordering with reachability and core
+distances, consumed by the xi extraction in :mod:`repro.clustering.xi`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import require
+
+
+@dataclass
+class OpticsResult:
+    """The OPTICS cluster-ordering of a point set."""
+
+    #: Point indices in visit order.
+    ordering: np.ndarray
+    #: Reachability of each point *in ordering position order* (inf for the
+    #: first point of each connected exploration).
+    reachability: np.ndarray
+    #: Core distance per point (indexed by point id, not ordering position).
+    core_distance: np.ndarray
+
+    @property
+    def n_points(self) -> int:
+        """Number of points ordered."""
+        return int(self.ordering.shape[0])
+
+
+def optics_order(distances: np.ndarray, min_pts: int = 2) -> OpticsResult:
+    """Compute the OPTICS ordering of points given a distance matrix.
+
+    ``distances`` is a symmetric ``(n, n)`` matrix; NaN entries are treated
+    as "unconnectable" (infinite distance).  ``min_pts`` counts the point
+    itself, matching the common (sklearn) convention — the paper's
+    ``n_min = 2`` therefore means "a cluster can be as small as two
+    addresses", i.e. the core distance is the nearest-neighbour distance.
+    """
+    distances = np.asarray(distances, dtype=float)
+    require(distances.ndim == 2 and distances.shape[0] == distances.shape[1], "need a square matrix")
+    require(min_pts >= 2, "min_pts must be >= 2")
+    n = distances.shape[0]
+    working = np.where(np.isnan(distances), np.inf, distances)
+
+    # Core distance: distance to the (min_pts)-th nearest point counting the
+    # point itself; with min_pts=2 that is the nearest other point.
+    core = np.full(n, np.inf)
+    if n >= min_pts:
+        sorted_rows = np.sort(working, axis=1)  # column 0 is the self-distance 0
+        core = sorted_rows[:, min_pts - 1]
+
+    ordering = np.empty(n, dtype=int)
+    reachability_by_point = np.full(n, np.inf)
+    processed = np.zeros(n, dtype=bool)
+    position = 0
+
+    for start in range(n):
+        if processed[start]:
+            continue
+        # Begin a new exploration at the unprocessed point with smallest id
+        # (deterministic), reachability undefined (inf).
+        current = start
+        while current is not None:
+            processed[current] = True
+            ordering[position] = current
+            position += 1
+            if np.isfinite(core[current]):
+                # Update reachabilities of unprocessed points.
+                new_reach = np.maximum(core[current], working[current])
+                mask = ~processed
+                improved = mask & (new_reach < reachability_by_point)
+                reachability_by_point[improved] = new_reach[improved]
+            # Next: unprocessed point with smallest reachability (ties by id);
+            # if all remaining are inf, fall back to the outer loop.
+            remaining = np.flatnonzero(~processed)
+            if remaining.size == 0:
+                current = None
+                break
+            best = remaining[np.argmin(reachability_by_point[remaining])]
+            if not np.isfinite(reachability_by_point[best]):
+                current = None  # disconnected: restart from the outer loop
+            else:
+                current = int(best)
+
+    return OpticsResult(
+        ordering=ordering,
+        reachability=_reorder_reachability(working, core, ordering),
+        core_distance=core,
+    )
+
+
+def _reorder_reachability(working: np.ndarray, core: np.ndarray, ordering: np.ndarray) -> np.ndarray:
+    """Replay the ordering to produce reachability per ordering position.
+
+    Replaying (rather than reusing the mutated array from the main loop)
+    guarantees the reported reachability is the value each point had *when it
+    was selected*, which is what the xi extraction consumes.
+    """
+    n = ordering.shape[0]
+    reachability = np.full(n, np.inf)
+    best = np.full(n, np.inf)
+    seen = np.zeros(n, dtype=bool)
+    for position, point in enumerate(ordering):
+        reachability[position] = best[point]
+        seen[point] = True
+        if np.isfinite(core[point]):
+            candidate = np.maximum(core[point], working[point])
+            improved = ~seen & (candidate < best)
+            best[improved] = candidate[improved]
+    return reachability

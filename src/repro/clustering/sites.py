@@ -1,0 +1,143 @@
+"""Per-ISP site clustering: the §3.2 / Appendix-A driver.
+
+Given the filtered latency matrix of one ISP's offnet IPs, compute the
+trimmed-Manhattan distance matrix, run OPTICS, extract xi clusters, and
+return the site assignment.  IPs not assigned to any cluster are treated as
+"not colocated" (Appendix A: "OPTICS will not assign an IP address to a
+cluster if no address is within a short distance, in which case we consider
+the offnet as not colocated").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import require, require_fraction
+from repro.clustering.distance import pairwise_trimmed_manhattan
+from repro.clustering.optics import optics_order
+from repro.clustering.xi import extract_xi_clusters, split_clusters_on_spikes, xi_labels
+
+
+@dataclass(frozen=True)
+class ClusteringConfig:
+    """Parameters of the per-ISP clustering (paper's Appendix A)."""
+
+    xi: float = 0.1
+    min_pts: int = 2
+    trim_fraction: float = 0.2
+    #: Interior reachability spikes beyond this multiple of the cluster's
+    #: median split the cluster (see
+    #: :func:`repro.clustering.xi.split_clusters_on_spikes`).
+    spike_factor: float = 5.0
+
+    def __post_init__(self) -> None:
+        require(0.0 < self.xi < 1.0, "xi must be in (0, 1)")
+        require(self.min_pts >= 2, "min_pts must be >= 2")
+        require_fraction(self.trim_fraction, "trim_fraction")
+        require(self.spike_factor > 1.0, "spike_factor must be > 1")
+
+
+@dataclass
+class SiteClustering:
+    """The inferred sites of one ISP's offnets."""
+
+    ips: list[int]
+    #: Cluster label per IP, aligned with ``ips``; -1 = not colocated.
+    labels: np.ndarray
+    config: ClusteringConfig
+    _clusters: dict[int, list[int]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        require(self.labels.shape == (len(self.ips),), "labels must align with ips")
+        self._clusters = {}
+        for ip, label in zip(self.ips, self.labels):
+            if label >= 0:
+                self._clusters.setdefault(int(label), []).append(ip)
+
+    @property
+    def clusters(self) -> list[list[int]]:
+        """Clustered IPs, one (sorted) list per cluster, by label order."""
+        return [sorted(self._clusters[label]) for label in sorted(self._clusters)]
+
+    @property
+    def noise_ips(self) -> list[int]:
+        """IPs OPTICS did not place in any cluster, sorted."""
+        return sorted(ip for ip, label in zip(self.ips, self.labels) if label < 0)
+
+    def label_of(self, ip: int) -> int:
+        """Cluster label of ``ip`` (-1 if unclustered)."""
+        return int(self.labels[self.ips.index(ip)])
+
+    @property
+    def site_count(self) -> int:
+        """Number of inferred sites: clusters plus unclustered singletons.
+
+        §4.1 counts an ISP's offnet "sites" for one hypergiant this way; an
+        unclustered IP is its own site.
+        """
+        return len(self._clusters) + len(self.noise_ips)
+
+
+def cluster_isp_offnets(
+    columns: np.ndarray,
+    ips: list[int],
+    config: ClusteringConfig | None = None,
+) -> SiteClustering:
+    """Cluster one ISP's offnet IPs from their latency columns.
+
+    ``columns`` has shape ``(n_vps, len(ips))``.  Handles the degenerate
+    single-IP case (one cluster of one? no — one *unclustered* IP, matching
+    OPTICS semantics with min_pts = 2).
+    """
+    config = config or ClusteringConfig()
+    require(columns.shape[1] == len(ips), "columns must align with ips")
+    n = len(ips)
+    if n == 0:
+        return SiteClustering(ips=[], labels=np.empty(0, dtype=int), config=config)
+    if n == 1:
+        return SiteClustering(ips=list(ips), labels=np.array([-1]), config=config)
+    distances = pairwise_trimmed_manhattan(columns, config.trim_fraction)
+    result = optics_order(distances, config.min_pts)
+    clusters = extract_xi_clusters(result.reachability, config.xi, config.min_pts)
+    clusters = split_clusters_on_spikes(
+        result.reachability, clusters, config.spike_factor, config.min_pts
+    )
+    position_labels = xi_labels(n, clusters)
+    labels = np.full(n, -1, dtype=int)
+    labels[result.ordering] = position_labels
+    return SiteClustering(ips=list(ips), labels=labels, config=config)
+
+
+def pair_confusion_counts(
+    labels_a: np.ndarray, labels_b: np.ndarray
+) -> tuple[int, int, int, int]:
+    """Pairwise agreement counts between two labelings (for Rand index).
+
+    Noise labels (-1) are treated as singleton clusters unique to each point.
+    Returns ``(both_together, a_only, b_only, both_apart)`` over all pairs.
+    """
+    require(labels_a.shape == labels_b.shape, "labelings must align")
+    n = labels_a.shape[0]
+    both_together = a_only = b_only = both_apart = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            together_a = labels_a[i] >= 0 and labels_a[i] == labels_a[j]
+            together_b = labels_b[i] >= 0 and labels_b[i] == labels_b[j]
+            if together_a and together_b:
+                both_together += 1
+            elif together_a:
+                a_only += 1
+            elif together_b:
+                b_only += 1
+            else:
+                both_apart += 1
+    return both_together, a_only, b_only, both_apart
+
+
+def rand_index(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Rand index in [0, 1] between two labelings (1 = identical grouping)."""
+    together, a_only, b_only, apart = pair_confusion_counts(labels_a, labels_b)
+    total = together + a_only + b_only + apart
+    return (together + apart) / total if total else 1.0

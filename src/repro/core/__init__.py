@@ -1,0 +1,35 @@
+"""The paper's analysis layer: colocation, concentration, and risk.
+
+This is the "primary contribution" package: given the measurement substrate
+outputs (detected offnets, filtered latency matrices, site clusterings,
+population estimates), it computes the paper's headline artifacts —
+Table 2's colocation buckets (:mod:`repro.core.colocation`), Figure 1's
+per-country multi-hypergiant user fractions (:mod:`repro.core.country`),
+Figure 2's single-facility traffic-share CCDF
+(:mod:`repro.core.concentration`), facility-level correlated-risk scores
+(:mod:`repro.core.risk`) — and the end-to-end study driver
+(:mod:`repro.core.pipeline`).
+"""
+
+from repro.core.colocation import ColocationBucket, ColocationTable, build_colocation_table
+from repro.core.concentration import ConcentrationResult, single_facility_concentration
+from repro.core.country import CountryHostingResult, country_hosting_fractions
+from repro.core.pipeline import Study, StudyConfig, run_study
+from repro.core.risk import FacilityRisk, rank_facility_risks
+from repro.core.traffic_model import TrafficModel
+
+__all__ = [
+    "ColocationBucket",
+    "ColocationTable",
+    "ConcentrationResult",
+    "CountryHostingResult",
+    "FacilityRisk",
+    "Study",
+    "StudyConfig",
+    "TrafficModel",
+    "build_colocation_table",
+    "country_hosting_fractions",
+    "rank_facility_risks",
+    "run_study",
+    "single_facility_concentration",
+]

@@ -1,0 +1,127 @@
+"""Figure 2: the single-facility traffic-share CCDF.
+
+"Since we cannot know exactly which users are served from a facility
+hosting offnets, for each ISP we focus on the facility hosting the most
+hypergiants and estimate the fraction of traffic it serves" (§3.2).  A
+facility here is a latency cluster; its servable share is the sum of the
+member hypergiants' servable traffic shares.  Users are weighted by the
+population dataset, and the analysis reports a CCDF per clustering
+parameter xi (the paper plots both bounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import ccdf, require
+from repro.clustering.sites import SiteClustering
+from repro.core.traffic_model import TrafficModel
+from repro.population.users import PopulationDataset
+from repro.scan.detection import OffnetInventory
+
+
+@dataclass
+class ConcentrationResult:
+    """Per-ISP best-facility shares plus the user-weighted CCDF."""
+
+    xi: float
+    #: ASN -> servable share of the ISP's best facility (cluster).
+    best_facility_share: dict[int, float] = field(default_factory=dict)
+    #: ASN -> number of hypergiants in that best facility.
+    best_facility_hypergiants: dict[int, int] = field(default_factory=dict)
+    #: ASN -> estimated users (copied from the population dataset).
+    users: dict[int, int] = field(default_factory=dict)
+
+    def ccdf_points(self) -> tuple[np.ndarray, np.ndarray]:
+        """(share values, P(share >= value)) weighted by users (Figure 2)."""
+        asns = sorted(self.best_facility_share)
+        values = [self.best_facility_share[a] for a in asns]
+        weights = [self.users[a] for a in asns]
+        return ccdf(values, weights)
+
+    def user_fraction_with_share_at_least(self, threshold: float) -> float:
+        """Fraction of covered users whose best facility serves >= threshold.
+
+        "71%-82% are in an ISP with a facility ... capable of delivering at
+        least 25% of their traffic."
+        """
+        total = sum(self.users.values())
+        if total == 0:
+            return 0.0
+        qualifying = sum(
+            self.users[asn]
+            for asn, share in self.best_facility_share.items()
+            if share >= threshold
+        )
+        return qualifying / total
+
+    def user_fraction_with_hypergiants_at_least(self, count: int) -> float:
+        """Fraction of covered users whose best facility hosts >= count HGs."""
+        total = sum(self.users.values())
+        if total == 0:
+            return 0.0
+        qualifying = sum(
+            self.users[asn]
+            for asn, n in self.best_facility_hypergiants.items()
+            if n >= count
+        )
+        return qualifying / total
+
+
+def single_facility_concentration(
+    xi: float,
+    clusterings_by_isp: dict[int, SiteClustering],
+    hypergiant_of_ip: dict[int, str],
+    population: PopulationDataset,
+    traffic: TrafficModel | None = None,
+) -> ConcentrationResult:
+    """Compute Figure 2's per-user concentration estimates at one xi.
+
+    For each analyzable ISP, every latency cluster is a candidate facility;
+    unclustered IPs are single-hypergiant candidate facilities of their own.
+    The ISP's value is the servable share of the facility hosting the most
+    hypergiants (ties broken by share).
+    """
+    traffic = traffic or TrafficModel()
+    result = ConcentrationResult(xi=xi)
+    for asn in sorted(clusterings_by_isp):
+        clustering = clusterings_by_isp[asn]
+        require(bool(clustering.ips), f"ISP {asn} clustering is empty")
+        hypergiants_by_label: dict[int, set[str]] = {}
+        for ip, label in zip(clustering.ips, clustering.labels):
+            hypergiant = hypergiant_of_ip.get(ip)
+            if hypergiant is None:
+                continue
+            if label >= 0:
+                hypergiants_by_label.setdefault(int(label), set()).add(hypergiant)
+            else:
+                # An unclustered offnet stands alone in its own facility.
+                hypergiants_by_label.setdefault(-1 - ip, set()).add(hypergiant)
+        best_share = 0.0
+        best_count = 0
+        for members in hypergiants_by_label.values():
+            share = traffic.facility_share(members)
+            if (len(members), share) > (best_count, best_share):
+                best_count, best_share = len(members), share
+        result.best_facility_share[asn] = best_share
+        result.best_facility_hypergiants[asn] = best_count
+        result.users[asn] = population.users_of(asn)
+    return result
+
+
+def coverage_statistics(
+    inventory: OffnetInventory,
+    analyzable_asns: list[int],
+    population: PopulationDataset,
+) -> dict[str, float]:
+    """The §3.2 coverage headlines.
+
+    Returns fractions of all Internet users: ``hosting`` (in ISPs with at
+    least one offnet; paper: 76 %) and ``analyzable`` (in ISPs whose offnets
+    supported the colocation analysis; paper: 56 %).
+    """
+    hosting = population.world_fraction(inventory.hosting_isp_asns())
+    analyzable = population.world_fraction(set(analyzable_asns))
+    return {"hosting": hosting, "analyzable": analyzable}

@@ -1,0 +1,155 @@
+"""Correlated-failure exposure: the §3.3 "shared fate" claim, as numbers.
+
+"Risks become correlated when multiple hypergiants are colocated."  Given
+a facility outage rate, a user's expected *joint* outage time for a pair
+of services depends entirely on whether the serving offnets share a
+facility: colocated servers fail together (joint outage ≈ single outage),
+dispersed servers fail (nearly) independently (joint outage ≈ the product
+of two small probabilities).  This module computes, per ISP and service
+pair, the joint-outage inflation factor that colocation causes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro._util import format_table, require, require_fraction
+from repro.deployment.placement import DeploymentState
+from repro.population.users import PopulationDataset
+
+
+@dataclass(frozen=True)
+class PairExposure:
+    """Joint-outage exposure of one service pair in one ISP."""
+
+    isp_asn: int
+    pair: tuple[str, str]
+    #: Probability both services are down at once (facility-outage model).
+    joint_outage_probability: float
+    #: The independent-failure baseline for the same pair.
+    independent_baseline: float
+    users: int
+
+    @property
+    def correlation_factor(self) -> float:
+        """How much colocation inflates the joint outage (1 = independent)."""
+        if self.independent_baseline == 0:
+            return 1.0
+        return self.joint_outage_probability / self.independent_baseline
+
+
+@dataclass
+class CorrelationReport:
+    """All pairs, all ISPs, plus user-weighted aggregates."""
+
+    facility_outage_probability: float
+    exposures: list[PairExposure] = field(default_factory=list)
+
+    def mean_correlation_factor(self, pair: tuple[str, str] | None = None) -> float:
+        """User-weighted mean inflation factor (optionally one pair)."""
+        rows = [
+            e
+            for e in self.exposures
+            if pair is None or e.pair == tuple(sorted(pair))
+        ]
+        total_users = sum(e.users for e in rows)
+        if total_users == 0:
+            return 1.0
+        return sum(e.correlation_factor * e.users for e in rows) / total_users
+
+    def worst_pairs(self, top: int = 10) -> list[PairExposure]:
+        """Highest-exposure (users x joint probability) pairs."""
+        return sorted(
+            self.exposures,
+            key=lambda e: -(e.users * e.joint_outage_probability),
+        )[:top]
+
+    def render(self) -> str:
+        """Per-pair aggregate table."""
+        pairs = sorted({e.pair for e in self.exposures})
+        headers = ["service pair", "mean correlation factor", "user-weighted joint P(out)"]
+        rows = []
+        for pair in pairs:
+            pair_rows = [e for e in self.exposures if e.pair == pair]
+            total_users = sum(e.users for e in pair_rows) or 1
+            weighted_joint = sum(e.joint_outage_probability * e.users for e in pair_rows) / total_users
+            rows.append(
+                [
+                    " + ".join(pair),
+                    f"x{self.mean_correlation_factor(pair):.1e}",
+                    f"{weighted_joint:.2e}",
+                ]
+            )
+        note = (
+            f"(facility outage probability {self.facility_outage_probability}; "
+            "x1 means the pair fails as if its facilities were disjoint — every "
+            "shared facility multiplies the joint-outage odds by another "
+            f"1/p = {1.0 / self.facility_outage_probability:.0f}x)"
+        )
+        return format_table(headers, rows) + "\n" + note
+
+
+def _facility_sets(state: DeploymentState, isp, hypergiant: str) -> set[int]:
+    deployment = state.deployment_of(hypergiant, isp)
+    if deployment is None:
+        return set()
+    return {facility.facility_id for facility in deployment.facilities}
+
+
+def joint_outage_probability(
+    facilities_a: set[int], facilities_b: set[int], outage_probability: float
+) -> float:
+    """P(service A down AND service B down) under per-facility outages.
+
+    A service is down when *all* its facilities in the ISP are out.
+    Facilities fail independently with ``outage_probability``; shared
+    facilities make the two events overlap.  Exact enumeration over the
+    union (facility counts per ISP are tiny).
+    """
+    require_fraction(outage_probability, "outage_probability")
+    require(facilities_a and facilities_b, "both services need facilities")
+    universe = sorted(facilities_a | facilities_b)
+    probability = 0.0
+    for states in itertools.product((False, True), repeat=len(universe)):
+        down = {facility for facility, is_down in zip(universe, states) if is_down}
+        if facilities_a <= down and facilities_b <= down:
+            weight = 1.0
+            for is_down in states:
+                weight *= outage_probability if is_down else (1.0 - outage_probability)
+            probability += weight
+    return probability
+
+
+def build_correlation_report(
+    state: DeploymentState,
+    population: PopulationDataset,
+    facility_outage_probability: float = 0.001,
+    hypergiants: tuple[str, ...] = ("Google", "Netflix", "Meta", "Akamai"),
+) -> CorrelationReport:
+    """Joint-outage exposure for every hosted service pair in every ISP."""
+    report = CorrelationReport(facility_outage_probability=facility_outage_probability)
+    for isp in state.hosting_isps():
+        hosted = [hg for hg in hypergiants if hg in state.hypergiants_in(isp)]
+        for a, b in itertools.combinations(hosted, 2):
+            facilities_a = _facility_sets(state, isp, a)
+            facilities_b = _facility_sets(state, isp, b)
+            if not facilities_a or not facilities_b:
+                continue
+            joint = joint_outage_probability(
+                facilities_a, facilities_b, facility_outage_probability
+            )
+            independent = (
+                facility_outage_probability ** len(facilities_a)
+                * facility_outage_probability ** len(facilities_b)
+            )
+            report.exposures.append(
+                PairExposure(
+                    isp_asn=isp.asn,
+                    pair=tuple(sorted((a, b))),
+                    joint_outage_probability=joint,
+                    independent_baseline=independent,
+                    users=population.users_of(isp.asn),
+                )
+            )
+    return report

@@ -1,0 +1,71 @@
+"""Figure 1: per-country Internet users in ISPs hosting multiple hypergiants.
+
+For thresholds k = 2, 3, 4, compute per country the fraction of the
+country's Internet users that are in ISPs hosting offnets from at least k of
+the four hypergiants.  The paper renders these as world maps (Figures 1a-1c)
+and highlights countries whose entire user base is in 4-hypergiant ISPs
+(Mexico, Bolivia, Uruguay, New Zealand, Mongolia, Greenland).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import format_table, require
+from repro.population.users import PopulationDataset
+from repro.scan.detection import OffnetInventory
+
+
+@dataclass
+class CountryHostingResult:
+    """Per-country user fractions at one hosting threshold k."""
+
+    min_hypergiants: int
+    #: country code -> fraction of the country's users in qualifying ISPs.
+    fraction_by_country: dict[str, float] = field(default_factory=dict)
+
+    def fraction(self, country_code: str) -> float:
+        """The fraction for ``country_code`` (0 if absent)."""
+        return self.fraction_by_country.get(country_code, 0.0)
+
+    def countries_above(self, threshold: float) -> list[str]:
+        """Country codes whose fraction is >= ``threshold``, sorted."""
+        return sorted(c for c, f in self.fraction_by_country.items() if f >= threshold)
+
+    def world_user_fraction(self, population: PopulationDataset) -> float:
+        """User-weighted world-wide fraction (for headline statements)."""
+        total = population.total_users
+        if total == 0:
+            return 0.0
+        weighted = sum(
+            self.fraction_by_country.get(code, 0.0) * users
+            for code, users in population.country_totals.items()
+        )
+        return weighted / total
+
+    def render(self, top: int = 15) -> str:
+        """Plain-text table of the ``top`` highest-fraction countries."""
+        ranked = sorted(self.fraction_by_country.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+        headers = [f"Country (>= {self.min_hypergiants} HGs)", "user fraction"]
+        rows = [[code, f"{100 * fraction:.0f}%"] for code, fraction in ranked]
+        return format_table(headers, rows)
+
+
+def country_hosting_fractions(
+    inventory: OffnetInventory,
+    population: PopulationDataset,
+    min_hypergiants: int,
+) -> CountryHostingResult:
+    """Compute one Figure-1 panel from a detected offnet inventory."""
+    require(min_hypergiants >= 1, "min_hypergiants must be >= 1")
+    qualifying_asns = {
+        asn
+        for asn in inventory.hosting_isp_asns()
+        if len(inventory.hypergiants_in_isp(asn)) >= min_hypergiants
+    }
+    result = CountryHostingResult(min_hypergiants=min_hypergiants)
+    for country_code in sorted(population.country_totals):
+        result.fraction_by_country[country_code] = population.country_fraction(
+            country_code, qualifying_asns
+        )
+    return result

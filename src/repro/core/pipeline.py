@@ -1,0 +1,220 @@
+"""The end-to-end study driver.
+
+:func:`run_study` executes the paper's whole measurement pipeline on a
+generated Internet: place deployments (2021 + 2023), scan both epochs,
+detect offnets, run the latency campaign from the vantage points, apply the
+Appendix-A filters, cluster every analyzable ISP at each xi, and attach the
+population dataset — returning a :class:`Study` from which each table and
+figure is derived.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro._util import make_rng, require, spawn_rng
+from repro.clustering.sites import ClusteringConfig, SiteClustering, cluster_isp_offnets
+from repro.core.colocation import ColocationTable, build_colocation_table
+from repro.core.concentration import ConcentrationResult, single_facility_concentration
+from repro.core.country import CountryHostingResult, country_hosting_fractions
+from repro.core.traffic_model import TrafficModel
+from repro.deployment.growth import DeploymentHistory, build_deployment_history
+from repro.deployment.placement import PlacementConfig
+from repro.mlab.matrix import (
+    FilteredCampaign,
+    LatencyCampaignConfig,
+    LatencyMatrix,
+    apply_quality_filters,
+    measure_offnets,
+)
+from repro.mlab.vantage import VantagePoint, build_vantage_points
+from repro.population.users import PopulationDataset, build_population_dataset
+from repro.rdns.ptr import PtrConfig, PtrDataset, build_ptr_dataset
+from repro.rdns.validation import ValidationSummary, validate_clusters
+from repro.rdns.geohints import build_default_parser
+from repro.scan.detection import OffnetInventory, detect_offnets
+from repro.scan.scanner import ScanConfig, ScanResult, run_scan
+from repro.topology.generator import Internet, InternetConfig, generate_internet
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Everything needed to reproduce one full study run."""
+
+    internet: InternetConfig = field(default_factory=InternetConfig)
+    placement: PlacementConfig = field(default_factory=PlacementConfig)
+    scan: ScanConfig = field(default_factory=ScanConfig)
+    campaign: LatencyCampaignConfig = field(default_factory=LatencyCampaignConfig)
+    ptr: PtrConfig = field(default_factory=PtrConfig)
+    n_vantage_points: int = 163
+    xis: tuple[float, ...] = (0.1, 0.9)
+    #: Log-normal sigma of the population-estimate noise (0 = exact).
+    population_noise_sigma: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        require(self.n_vantage_points >= 2, "need at least two vantage points")
+        require(bool(self.xis), "need at least one xi value")
+        for xi in self.xis:
+            require(0.0 < xi < 1.0, f"xi must be in (0, 1), got {xi}")
+
+
+@dataclass
+class Study:
+    """All pipeline artifacts of one run, plus derived-result helpers."""
+
+    config: StudyConfig
+    internet: Internet
+    history: DeploymentHistory
+    scans: dict[str, ScanResult]
+    inventories: dict[str, OffnetInventory]
+    vantage_points: list[VantagePoint]
+    matrix: LatencyMatrix
+    campaign: FilteredCampaign
+    clusterings: dict[float, dict[int, SiteClustering]]
+    population: PopulationDataset
+    ptr: PtrDataset
+    traffic: TrafficModel = field(default_factory=TrafficModel)
+
+    # -- convenient views -----------------------------------------------------
+
+    @property
+    def latest_inventory(self) -> OffnetInventory:
+        """The 2023 (headline) offnet inventory."""
+        return self.inventories["2023"]
+
+    @property
+    def hypergiant_of_ip(self) -> dict[int, str]:
+        """Detected hypergiant per offnet IP (2023 inventory)."""
+        return {d.ip: d.hypergiant for d in self.latest_inventory.detections}
+
+    @property
+    def hypergiants_by_isp(self) -> dict[int, list[str]]:
+        """Detected hypergiants per hosting ISP ASN (2023 inventory)."""
+        inventory = self.latest_inventory
+        return {asn: inventory.hypergiants_in_isp(asn) for asn in inventory.hosting_isp_asns()}
+
+    # -- paper artifacts -------------------------------------------------------
+
+    def colocation_table(self, xi: float) -> ColocationTable:
+        """Table 2's panel at ``xi``."""
+        return build_colocation_table(
+            xi, self.clusterings[xi], self.hypergiant_of_ip, self.hypergiants_by_isp
+        )
+
+    def concentration(self, xi: float) -> ConcentrationResult:
+        """Figure 2's inputs at ``xi``."""
+        return single_facility_concentration(
+            xi, self.clusterings[xi], self.hypergiant_of_ip, self.population, self.traffic
+        )
+
+    def country_result(self, min_hypergiants: int) -> CountryHostingResult:
+        """Figure 1's panel for >= ``min_hypergiants`` hypergiants."""
+        return country_hosting_fractions(self.latest_inventory, self.population, min_hypergiants)
+
+    def validation(self, xi: float) -> ValidationSummary:
+        """§3.2's hostname-based cluster validation at ``xi``."""
+        parser = build_default_parser(self.internet.world)
+        clusters = [
+            cluster
+            for clustering in self.clusterings[xi].values()
+            for cluster in clustering.clusters
+        ]
+        return validate_clusters(clusters, self.ptr, parser)
+
+    def single_site_fraction(self, hypergiant: str, xi: float) -> float:
+        """§4.1: fraction of hosting ISPs with a single site for ``hypergiant``.
+
+        Computed over analyzable ISPs hosting the hypergiant; a site is a
+        latency cluster (or unclustered singleton) restricted to the
+        hypergiant's own IPs.
+        """
+        hypergiant_of_ip = self.hypergiant_of_ip
+        total = 0
+        single = 0
+        for asn, clustering in self.clusterings[xi].items():
+            own_ips = [ip for ip in clustering.ips if hypergiant_of_ip.get(ip) == hypergiant]
+            if not own_ips:
+                continue
+            labels = {clustering.label_of(ip) for ip in own_ips}
+            n_sites = sum(1 for label in labels if label >= 0)
+            n_sites += sum(1 for ip in own_ips if clustering.label_of(ip) < 0)
+            total += 1
+            if n_sites == 1:
+                single += 1
+        return single / total if total else 0.0
+
+
+def run_study(config: StudyConfig | None = None) -> Study:
+    """Run the full pipeline; deterministic given ``config.seed``."""
+    config = config or StudyConfig()
+    root = make_rng(config.seed)
+
+    internet = generate_internet(config.internet)
+    history = build_deployment_history(
+        internet, config=config.placement, seed=spawn_rng(root, "deployment")
+    )
+
+    scans: dict[str, ScanResult] = {}
+    inventories: dict[str, OffnetInventory] = {}
+    for epoch in sorted(history.epochs):
+        scans[epoch] = run_scan(internet, history.state(epoch), config.scan, seed=spawn_rng(root, f"scan-{epoch}"))
+        inventories[epoch] = detect_offnets(internet, scans[epoch])
+
+    vantage_points = build_vantage_points(
+        internet.world, config.n_vantage_points, seed=spawn_rng(root, "vps")
+    )
+
+    # Measure the detected (not ground-truth) IPs: the pipeline must live
+    # with its own detection errors, as the real study does.
+    state_2023 = history.state("2023")
+    target_ips = sorted(
+        ip for ip in (d.ip for d in inventories["2023"].detections)
+        if state_2023.server_at(ip) is not None
+    )
+    matrix = measure_offnets(
+        internet, state_2023, target_ips, vantage_points, config.campaign, seed=spawn_rng(root, "pings")
+    )
+
+    # Scale the per-ISP coverage threshold to the vantage-point count (the
+    # paper's 100-of-163 is ~61 %).
+    effective_min_vps = min(config.campaign.min_vps_per_isp, math.ceil(0.61 * config.n_vantage_points))
+    campaign_config = LatencyCampaignConfig(
+        ping=config.campaign.ping,
+        unresponsive_ip_fraction=config.campaign.unresponsive_ip_fraction,
+        split_location_fraction=config.campaign.split_location_fraction,
+        inflation_seed=config.campaign.inflation_seed,
+        plausibility_slack_ms=config.campaign.plausibility_slack_ms,
+        min_vps_per_isp=effective_min_vps,
+    )
+    ip_to_isp = {d.ip: d.isp_asn for d in inventories["2023"].detections}
+    campaign = apply_quality_filters(matrix, ip_to_isp, campaign_config)
+
+    clusterings: dict[float, dict[int, SiteClustering]] = {}
+    for xi in config.xis:
+        clustering_config = ClusteringConfig(xi=xi)
+        per_isp: dict[int, SiteClustering] = {}
+        for asn in campaign.analyzable_isp_asns:
+            ips = campaign.ips_by_isp[asn]
+            per_isp[asn] = cluster_isp_offnets(matrix.submatrix(ips), ips, clustering_config)
+        clusterings[xi] = per_isp
+
+    population = build_population_dataset(
+        internet, config.population_noise_sigma, seed=spawn_rng(root, "population")
+    )
+    ptr = build_ptr_dataset(state_2023, internet.world, config.ptr, seed=spawn_rng(root, "ptr"))
+
+    return Study(
+        config=config,
+        internet=internet,
+        history=history,
+        scans=scans,
+        inventories=inventories,
+        vantage_points=vantage_points,
+        matrix=matrix,
+        campaign=campaign,
+        clusterings=clusterings,
+        population=population,
+        ptr=ptr,
+    )

@@ -1,0 +1,110 @@
+"""Correlated-risk scoring of facilities (§3.3).
+
+Quantifies the paper's qualitative argument: a facility hosting offnets of
+several hypergiants is a shared-fate domain — a power/cooling outage, a
+bandwidth-monopolising surge, or an attack there simultaneously degrades
+every hosted service for the ISP's users.  The risk score of a facility is
+(users it serves) x (share of their traffic it can serve), i.e. the expected
+volume of user-traffic disrupted by a facility-wide event; country-level
+"choke point" counts summarise how few facilities cover most of a country's
+offnet-served traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import require, require_fraction
+from repro.clustering.sites import SiteClustering
+from repro.core.traffic_model import TrafficModel
+from repro.population.users import PopulationDataset
+
+
+@dataclass(frozen=True)
+class FacilityRisk:
+    """Risk summary of one inferred facility (latency cluster)."""
+
+    isp_asn: int
+    cluster_label: int
+    hypergiants: tuple[str, ...]
+    servable_share: float
+    users: int
+
+    @property
+    def exposure(self) -> float:
+        """Expected disrupted user-traffic volume (users x servable share)."""
+        return self.users * self.servable_share
+
+
+def rank_facility_risks(
+    clusterings_by_isp: dict[int, SiteClustering],
+    hypergiant_of_ip: dict[int, str],
+    population: PopulationDataset,
+    traffic: TrafficModel | None = None,
+    min_hypergiants: int = 2,
+) -> list[FacilityRisk]:
+    """All multi-hypergiant facilities, ranked by exposure (highest first).
+
+    Only clusters hosting at least ``min_hypergiants`` hypergiants are shared
+    -fate domains in the paper's sense.
+    """
+    require(min_hypergiants >= 1, "min_hypergiants must be >= 1")
+    traffic = traffic or TrafficModel()
+    risks: list[FacilityRisk] = []
+    for asn in sorted(clusterings_by_isp):
+        clustering = clusterings_by_isp[asn]
+        members_by_label: dict[int, set[str]] = {}
+        for ip, label in zip(clustering.ips, clustering.labels):
+            if label < 0:
+                continue
+            hypergiant = hypergiant_of_ip.get(ip)
+            if hypergiant is not None:
+                members_by_label.setdefault(int(label), set()).add(hypergiant)
+        for label in sorted(members_by_label):
+            members = members_by_label[label]
+            if len(members) < min_hypergiants:
+                continue
+            risks.append(
+                FacilityRisk(
+                    isp_asn=asn,
+                    cluster_label=label,
+                    hypergiants=tuple(sorted(members)),
+                    servable_share=traffic.facility_share(members),
+                    users=population.users_of(asn),
+                )
+            )
+    risks.sort(key=lambda r: (-r.exposure, r.isp_asn, r.cluster_label))
+    return risks
+
+
+def choke_point_count(
+    risks: list[FacilityRisk],
+    population: PopulationDataset,
+    country_code: str,
+    coverage: float = 0.5,
+) -> int | None:
+    """Minimum number of facilities covering ``coverage`` of the country's
+    facility-servable exposure.
+
+    Returns None when the country has no multi-hypergiant facilities.  A
+    small number means a government (or an attacker) needs to touch only a
+    handful of local choke points to affect most offnet-served traffic
+    (§3.3's content-control observation).
+    """
+    require_fraction(coverage, "coverage")
+    country_risks = [
+        r for r in risks if population.country_by_asn.get(r.isp_asn) == country_code
+    ]
+    if not country_risks:
+        return None
+    total = sum(r.exposure for r in country_risks)
+    if total == 0:
+        return None
+    needed = 0
+    covered = 0.0
+    for risk in sorted(country_risks, key=lambda r: -r.exposure):
+        covered += risk.exposure
+        needed += 1
+        if covered >= coverage * total:
+            return needed
+    return needed

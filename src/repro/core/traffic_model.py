@@ -1,0 +1,55 @@
+"""Traffic shares and the single-facility serviceability arithmetic (§3.2).
+
+The paper combines two public estimates: each hypergiant's share of total
+Internet traffic (Sandvine) and the fraction of that hypergiant's traffic
+its offnets can serve (operator claims).  A facility hosting offnets of a
+set of hypergiants can then serve the *sum* of their servable shares of a
+user's total traffic: e.g. all four hypergiants together
+17 % + 9 % + 13 % + 13 % = 52 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import require
+from repro.deployment.hypergiants import DEFAULT_HYPERGIANT_PROFILES, HypergiantProfile
+
+
+@dataclass(frozen=True)
+class TrafficModel:
+    """Servable-traffic arithmetic over a set of hypergiant profiles."""
+
+    profiles: tuple[HypergiantProfile, ...] = DEFAULT_HYPERGIANT_PROFILES
+
+    def profile(self, name: str) -> HypergiantProfile:
+        """The profile named ``name``."""
+        for profile in self.profiles:
+            if profile.name == name:
+                return profile
+        raise KeyError(f"unknown hypergiant {name!r}")
+
+    def servable_share(self, hypergiant: str) -> float:
+        """Share of a user's total traffic one hypergiant's offnet can serve."""
+        return self.profile(hypergiant).servable_traffic_share
+
+    def facility_share(self, hypergiants: set[str] | list[str]) -> float:
+        """Share of a user's total traffic a facility hosting ``hypergiants``
+        can serve (the §3.2 sum)."""
+        names = set(hypergiants)
+        require(len(names) == len(list(hypergiants)) or isinstance(hypergiants, set), "duplicate hypergiants")
+        return sum(self.servable_share(name) for name in sorted(names))
+
+    @property
+    def all_hypergiants_share(self) -> float:
+        """The paper's headline: a 4-hypergiant facility's servable share."""
+        return self.facility_share({p.name for p in self.profiles})
+
+    def offnet_traffic_fraction(self, hypergiant: str) -> float:
+        """Fraction of the hypergiant's own traffic served from offnets."""
+        return self.profile(hypergiant).offnet_serve_fraction
+
+    def interdomain_fraction(self, hypergiant: str) -> float:
+        """Fraction of the hypergiant's traffic crossing interdomain links
+        even in normal operation (1 - offnet fraction)."""
+        return 1.0 - self.offnet_traffic_fraction(hypergiant)

@@ -1,0 +1,86 @@
+"""ISP eligibility for hosting a hypergiant's offnets.
+
+The hypergiants publish criteria: enough traffic demand and adequate hosting
+capability (§1 cites Google's and Netflix's requirement pages).  We model
+eligibility as a deterministic threshold (user base, i.e. demand) plus a
+probabilistic acceptance that grows with ISP size and the hypergiant's
+``adoption_affinity`` — both sides must want the deployment, and larger ISPs
+are more attractive and more capable.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._util import require
+from repro.deployment.hypergiants import HypergiantProfile
+from repro.topology.asn import AS
+
+
+def is_national_incumbent(
+    isp: AS, profile: HypergiantProfile, country_total_users: int | None
+) -> bool:
+    """Whether ``isp`` dominates its national market.
+
+    Incumbents of small countries are eligible below the absolute demand
+    threshold: serving (say) half of Mongolia is worth a rack even though
+    the absolute user count is tiny.
+    """
+    if not country_total_users:
+        return False
+    return isp.users >= profile.incumbent_country_share * country_total_users
+
+
+def meets_demand_threshold(
+    isp: AS, profile: HypergiantProfile, country_total_users: int | None = None
+) -> bool:
+    """Hard criteria: enough demand (absolute or incumbent) in an open market."""
+    if isp.country_code in profile.restricted_countries:
+        return False
+    if isp.users >= profile.min_isp_users:
+        return True
+    return is_national_incumbent(isp, profile, country_total_users)
+
+
+def adoption_probability(
+    isp: AS, profile: HypergiantProfile, country_total_users: int | None = None
+) -> float:
+    """Probability that an eligible ISP actually hosts the hypergiant (2023).
+
+    Log-scales with users above the threshold; saturates below 0.97 so even
+    huge ISPs occasionally decline (matching the paper's observation that
+    some large ISPs host only a subset of the hypergiants).  National
+    incumbents get a boost: a single deployment covers the whole market.
+    """
+    if not meets_demand_threshold(isp, profile, country_total_users):
+        return 0.0
+    headroom = max(1.0, isp.users / profile.min_isp_users)
+    base = 0.28 * profile.adoption_affinity * (1.0 + 0.35 * math.log10(headroom))
+    if is_national_incumbent(isp, profile, country_total_users):
+        base *= profile.incumbent_boost
+    return min(0.97, base)
+
+
+def select_hosting_isps(
+    isps: list[AS],
+    profile: HypergiantProfile,
+    rng: np.random.Generator,
+    country_totals: dict[str, int] | None = None,
+) -> list[AS]:
+    """The ISPs that host ``profile``'s offnets in 2023, in ASN order.
+
+    Draws an independent Bernoulli per ISP with
+    :func:`adoption_probability`; deterministic given ``rng`` state and the
+    (ASN-sorted) ISP order.  ``country_totals`` enables the incumbent rule.
+    """
+    require(len({isp.asn for isp in isps}) == len(isps), "duplicate ISPs")
+    country_totals = country_totals or {}
+    ordered = sorted(isps, key=lambda a: a.asn)
+    selected = []
+    for isp in ordered:
+        total = country_totals.get(isp.country_code)
+        if rng.random() < adoption_probability(isp, profile, total):
+            selected.append(isp)
+    return selected

@@ -1,0 +1,153 @@
+"""2021 → 2023 footprint evolution.
+
+Table 1 of the paper compares the number of ISPs hosting each hypergiant in
+2021/04 (from the SIGCOMM'21 study) and 2023/04 (the paper's scan): Google
++23.2 %, Netflix +37.4 %, Meta +16.9 %, Akamai +0.0 %.  We model growth as
+monotone: the 2021 footprint is a subset of the 2023 footprint, with early
+adopters skewed toward larger ISPs (hypergiants expanded from big networks
+outward, per the longitudinal findings of the 2021 paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import make_rng, require, spawn_rng
+from repro.deployment.hypergiants import DEFAULT_HYPERGIANT_PROFILES, HypergiantProfile, profile_by_name
+from repro.deployment.placement import Deployment, DeploymentState, PlacementConfig, place_offnets
+from repro.topology.generator import Internet
+
+
+@dataclass
+class DeploymentHistory:
+    """Deployment snapshots keyed by epoch label."""
+
+    epochs: dict[str, DeploymentState]
+
+    def state(self, epoch: str) -> DeploymentState:
+        """The snapshot at ``epoch`` (KeyError if absent)."""
+        return self.epochs[epoch]
+
+    @property
+    def latest(self) -> DeploymentState:
+        """The snapshot with the lexicographically greatest epoch label."""
+        return self.epochs[max(self.epochs)]
+
+
+def _early_adopter_weights(deployments: list[Deployment]) -> np.ndarray:
+    """Sampling weights favouring large ISPs as 2021 incumbents."""
+    users = np.array([max(1, d.isp.users) for d in deployments], dtype=float)
+    return np.log10(users + 10.0) ** 2
+
+
+def derive_earlier_state(
+    state: DeploymentState,
+    profiles: tuple[HypergiantProfile, ...] = DEFAULT_HYPERGIANT_PROFILES,
+    seed: int | np.random.Generator = 0,
+    epoch: str = "2021",
+) -> DeploymentState:
+    """Subsample ``state`` down to each hypergiant's 2021 footprint ratio."""
+    rng = make_rng(seed)
+    kept: list[Deployment] = []
+    for profile in sorted(profiles, key=lambda p: p.name):
+        hypergiant_deployments = [d for d in state.deployments if d.hypergiant == profile.name]
+        n_keep = int(round(profile.footprint_2021_ratio * len(hypergiant_deployments)))
+        require(0 <= n_keep <= len(hypergiant_deployments), "bad 2021 ratio")
+        if n_keep == len(hypergiant_deployments):
+            kept.extend(hypergiant_deployments)
+            continue
+        weights = _early_adopter_weights(hypergiant_deployments)
+        probabilities = weights / weights.sum()
+        indices = rng.choice(len(hypergiant_deployments), size=n_keep, replace=False, p=probabilities)
+        kept.extend(hypergiant_deployments[i] for i in sorted(indices))
+    return DeploymentState(epoch=epoch, deployments=kept)
+
+
+def build_deployment_history(
+    internet: Internet,
+    profiles: tuple[HypergiantProfile, ...] = DEFAULT_HYPERGIANT_PROFILES,
+    config: PlacementConfig | None = None,
+    seed: int | np.random.Generator = 0,
+) -> DeploymentHistory:
+    """Place the 2023 footprint and derive the 2021 subset (Table 1 inputs)."""
+    root = make_rng(seed)
+    state_2023 = place_offnets(internet, profiles, config, seed=spawn_rng(root, "placement"), epoch="2023")
+    state_2021 = derive_earlier_state(state_2023, profiles, seed=spawn_rng(root, "history"), epoch="2021")
+    return DeploymentHistory(epochs={"2021": state_2021, "2023": state_2023})
+
+
+#: Approximate footprint fraction (relative to 2023) per year, shaped after
+#: the SIGCOMM'21 "Seven Years in the Life of Hypergiants' Off-Nets"
+#: longitudinal curves: Akamai was built out early and flat; the others
+#: ramped through the late 2010s.
+DEFAULT_EPOCH_TRAJECTORIES: dict[str, dict[str, float]] = {
+    "Google": {"2017": 0.45, "2019": 0.62, "2021": 3810 / 4697, "2023": 1.0},
+    "Netflix": {"2017": 0.25, "2019": 0.45, "2021": 2115 / 2906, "2023": 1.0},
+    "Meta": {"2017": 0.15, "2019": 0.50, "2021": 2214 / 2588, "2023": 1.0},
+    "Akamai": {"2017": 0.95, "2019": 1.0, "2021": 1.0, "2023": 1.0},
+}
+
+
+def build_epoch_series(
+    internet: Internet,
+    trajectories: dict[str, dict[str, float]] | None = None,
+    profiles: tuple[HypergiantProfile, ...] = DEFAULT_HYPERGIANT_PROFILES,
+    config: PlacementConfig | None = None,
+    seed: int | np.random.Generator = 0,
+) -> DeploymentHistory:
+    """A multi-epoch history (2017-2023 by default) with nested footprints.
+
+    Each epoch's footprint is a subset of the next ones (monotone growth),
+    drawn with the same early-adopters-are-large skew as the two-epoch
+    history.  Supports the §3.1 longitudinal claim that cohosting keeps
+    rising.
+    """
+    trajectories = trajectories or DEFAULT_EPOCH_TRAJECTORIES
+    root = make_rng(seed)
+    final_state = place_offnets(internet, profiles, config, seed=spawn_rng(root, "placement"), epoch="2023")
+    epochs_sorted = sorted({epoch for t in trajectories.values() for epoch in t})
+    require(epochs_sorted and epochs_sorted[-1] == "2023", "trajectories must end at 2023")
+
+    rng_subset = spawn_rng(root, "subsets")
+    epochs: dict[str, DeploymentState] = {"2023": final_state}
+    # Walk backwards so each epoch is a subset of its successor.
+    current: dict[str, list[Deployment]] = {}
+    for profile in sorted(profiles, key=lambda p: p.name):
+        current[profile.name] = [d for d in final_state.deployments if d.hypergiant == profile.name]
+    for epoch in reversed(epochs_sorted[:-1]):
+        kept: list[Deployment] = []
+        for profile in sorted(profiles, key=lambda p: p.name):
+            pool = current[profile.name]
+            ratio_here = trajectories.get(profile.name, {}).get(epoch, 1.0)
+            ratio_next = 1.0
+            for later in epochs_sorted:
+                if later > epoch and later in trajectories.get(profile.name, {}):
+                    ratio_next = trajectories[profile.name][later]
+                    break
+            keep_fraction = min(1.0, ratio_here / ratio_next) if ratio_next else 1.0
+            n_keep = int(round(keep_fraction * len(pool)))
+            if n_keep >= len(pool):
+                subset = list(pool)
+            elif n_keep == 0:
+                subset = []
+            else:
+                weights = _early_adopter_weights(pool)
+                probabilities = weights / weights.sum()
+                indices = rng_subset.choice(len(pool), size=n_keep, replace=False, p=probabilities)
+                subset = [pool[i] for i in sorted(indices)]
+            current[profile.name] = subset
+            kept.extend(subset)
+        epochs[epoch] = DeploymentState(epoch=epoch, deployments=kept)
+    return DeploymentHistory(epochs=epochs)
+
+
+def growth_percent(history: DeploymentHistory, hypergiant: str) -> float:
+    """Percent growth in hosting-ISP count from 2021 to 2023 (Table 1)."""
+    profile = profile_by_name(hypergiant)
+    del profile  # validates the name
+    n_2021 = len(history.state("2021").isps_hosting(hypergiant))
+    n_2023 = len(history.state("2023").isps_hosting(hypergiant))
+    require(n_2021 > 0, f"{hypergiant} has no 2021 footprint")
+    return 100.0 * (n_2023 - n_2021) / n_2021

@@ -1,0 +1,34 @@
+"""One module per paper artifact.
+
+==================  ==========================================  =========================
+Experiment id       Paper artifact                              Module
+==================  ==========================================  =========================
+T1                  Table 1 (offnet footprint growth)           :mod:`repro.experiments.table1`
+F1                  Figure 1 (per-country multi-HG users)       :mod:`repro.experiments.figure1`
+T2                  Table 2 (colocation buckets)                :mod:`repro.experiments.table2`
+F2                  Figure 2 (single-facility share CCDF)       :mod:`repro.experiments.figure2`
+S32                 §3.2 narrative + validation counts          :mod:`repro.experiments.section32`
+S41                 §4.1 capacity / COVID spillover             :mod:`repro.experiments.section41_capacity`
+S42                 §4.2 peering coverage + PNI headroom        :mod:`repro.experiments.section42_peering`
+S43                 §4.3 collateral damage                      :mod:`repro.experiments.section43_collateral`
+==================  ==========================================  =========================
+
+:mod:`repro.experiments.scenarios` defines the canonical seeded scenario
+presets shared by the examples, tests, and benchmark harnesses.
+"""
+
+from repro.experiments.scenarios import (
+    DEFAULT_SCENARIO,
+    LARGE_SCENARIO,
+    SMALL_SCENARIO,
+    Scenario,
+    cached_study,
+)
+
+__all__ = [
+    "DEFAULT_SCENARIO",
+    "LARGE_SCENARIO",
+    "SMALL_SCENARIO",
+    "Scenario",
+    "cached_study",
+]

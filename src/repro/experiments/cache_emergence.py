@@ -1,0 +1,75 @@
+"""CE — §2.1's offnet fractions as emergent cache hit ratios.
+
+The paper treats "offnets serve 70-90 % of Google traffic / 95 % of
+Netflix traffic / 86 % of Meta / 75 % of Akamai" as reported constants.
+This experiment derives them: simulate each hypergiant's appliance (LRU
+over its content catalog) and search for the capacity that reproduces the
+reported byte hit ratio.  The per-hypergiant *ordering* falls out of
+catalog shape: Netflix's compact head-heavy catalog reaches 95 % with a
+modest appliance; Akamai's many-customer tail is the hardest to cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import format_table
+from repro.cache.catalog import DEFAULT_CATALOGS
+from repro.cache.simulate import CacheSimResult, capacity_for_target_ratio, simulate_cache
+from repro.deployment.hypergiants import profile_by_name
+
+
+@dataclass
+class CacheEmergenceResult:
+    """Calibrated capacities plus the emergent ratios."""
+
+    results: dict[str, CacheSimResult] = field(default_factory=dict)
+    policy_comparison: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = [
+            "Hypergiant",
+            "paper offnet fraction",
+            "emergent byte hit ratio",
+            "capacity (GB)",
+            "capacity / catalog",
+        ]
+        rows = []
+        for hypergiant in sorted(self.results):
+            result = self.results[hypergiant]
+            target = profile_by_name(hypergiant).offnet_serve_fraction
+            rows.append(
+                [
+                    hypergiant,
+                    f"{target:.2f}",
+                    f"{result.byte_hit_ratio:.3f}",
+                    f"{result.capacity_gb:,.0f}",
+                    f"{100 * result.capacity_to_catalog:.0f}%",
+                ]
+            )
+        blocks = [format_table(headers, rows)]
+        if self.policy_comparison:
+            headers2 = ["Hypergiant", "lru", "lfu", "fifo"]
+            rows2 = []
+            for hypergiant in sorted(self.policy_comparison):
+                ratios = self.policy_comparison[hypergiant]
+                rows2.append(
+                    [hypergiant] + [f"{ratios[p]:.3f}" for p in ("lru", "lfu", "fifo")]
+                )
+            blocks.append(format_table(headers2, rows2))
+        return "\n\n".join(blocks)
+
+
+def run_cache_emergence(seed: int = 0, compare_policies: bool = True) -> CacheEmergenceResult:
+    """Calibrate each hypergiant's appliance and compare policies."""
+    result = CacheEmergenceResult()
+    for hypergiant, spec in DEFAULT_CATALOGS.items():
+        target = profile_by_name(hypergiant).offnet_serve_fraction
+        capacity, sim = capacity_for_target_ratio(spec, target, seed=seed)
+        result.results[hypergiant] = sim
+        if compare_policies:
+            result.policy_comparison[hypergiant] = {
+                policy: simulate_cache(spec, capacity, policy, seed=seed).byte_hit_ratio
+                for policy in ("lru", "lfu", "fifo")
+            }
+    return result

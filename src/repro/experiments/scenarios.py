@@ -1,0 +1,83 @@
+"""Canonical seeded scenario presets.
+
+Three sizes: ``SMALL`` runs the whole pipeline in a few seconds and backs
+the test suite; ``DEFAULT`` approximates the study's scale relative to our
+synthetic Internet and backs the benchmark harnesses; ``LARGE`` stresses
+scalability.  :func:`cached_study` memoises pipeline runs per scenario so a
+benchmark session pays for each study once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.pipeline import Study, StudyConfig, run_study
+from repro.topology.generator import InternetConfig
+
+
+@dataclass(frozen=True)
+class StudyScenario:
+    """A named, fully-pinned study configuration."""
+
+    name: str
+    config: StudyConfig
+    #: Source regions for the traceroute campaign.
+    n_traceroute_regions: int
+    #: ISPs sampled in the capacity/cascade analyses (None = all).
+    capacity_sample: int | None
+
+    def run(self) -> Study:
+        """Run the pipeline for this scenario (uncached)."""
+        return run_study(self.config)
+
+
+SMALL_SCENARIO = StudyScenario(
+    name="small",
+    config=StudyConfig(
+        internet=InternetConfig(seed=1, n_access_isps=60, n_ixps=25),
+        n_vantage_points=40,
+        seed=1,
+    ),
+    n_traceroute_regions=4,
+    capacity_sample=30,
+)
+
+DEFAULT_SCENARIO = StudyScenario(
+    name="default",
+    config=StudyConfig(
+        internet=InternetConfig(seed=7, n_access_isps=700),
+        n_vantage_points=163,
+        seed=7,
+    ),
+    n_traceroute_regions=8,
+    capacity_sample=120,
+)
+
+LARGE_SCENARIO = StudyScenario(
+    name="large",
+    config=StudyConfig(
+        internet=InternetConfig(seed=11, n_access_isps=1400),
+        n_vantage_points=163,
+        seed=11,
+    ),
+    n_traceroute_regions=8,
+    capacity_sample=200,
+)
+
+_BY_NAME = {s.name: s for s in (SMALL_SCENARIO, DEFAULT_SCENARIO, LARGE_SCENARIO)}
+
+
+def scenario_by_name(name: str) -> StudyScenario:
+    """Look up a preset by name."""
+    return _BY_NAME[name]
+
+
+@lru_cache(maxsize=4)
+def cached_study(name: str) -> Study:
+    """Run (once) and cache the study for the named scenario."""
+    return scenario_by_name(name).run()
+
+
+# Backwards-friendly alias used in module docs.
+Scenario = StudyScenario

@@ -1,0 +1,145 @@
+"""S41 — §4.1: offnets run near capacity; single-site fractions.
+
+Two artifacts:
+
+1. **Single-site fractions**: the paper clusters offnet IPs into sites and
+   finds 75.3-91.2 % of ISPs have only a single Netflix site, 37.8-64.3 %
+   a single Meta site, 34.3-78.4 % a single Google site, 34.6-75.1 % a
+   single Akamai site (ranges over xi).  For those ISPs any spillover must
+   cross interdomain boundaries.
+
+2. **The COVID experiment**: before lockdown, offnets in some European ISPs
+   served 63 % of Netflix traffic; demand spiked 58 %, offnet traffic rose
+   only ~20 %, interdomain traffic more than doubled — i.e. offnets had no
+   headroom.  We reproduce it by running the spillover waterfall with
+   capacity-constrained offnets at a healthy operating point (90 %
+   utilization target), then at crisis operation under a 1.58x surge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import format_table
+from repro.capacity.demand import DemandModel
+from repro.capacity.links import ProvisioningConfig, build_capacity_plan
+from repro.capacity.spillover import SpilloverModel
+from repro.core.pipeline import Study
+
+#: Paper single-site ranges per hypergiant (min, max over xi).
+PAPER_SINGLE_SITE = {
+    "Netflix": (0.753, 0.912),
+    "Meta": (0.378, 0.643),
+    "Google": (0.343, 0.784),
+    "Akamai": (0.346, 0.751),
+}
+#: Paper COVID observations.
+PAPER_COVID_BASELINE_OFFNET_SHARE = 0.63
+PAPER_COVID_DEMAND_MULTIPLIER = 1.58
+PAPER_COVID_OFFNET_INCREASE = 0.20
+
+
+@dataclass
+class CovidResult:
+    """Measured lockdown-surge outcome for one hypergiant."""
+
+    hypergiant: str
+    baseline_offnet_share: float
+    offnet_change: float
+    interdomain_ratio: float
+
+
+@dataclass
+class Section41Result:
+    """Single-site fractions per (hypergiant, xi) plus the COVID run."""
+
+    single_site: dict[str, dict[float, float]] = field(default_factory=dict)
+    covid: CovidResult | None = None
+
+    def single_site_range(self, hypergiant: str) -> tuple[float, float]:
+        """(min, max) single-site fraction over the xi settings."""
+        values = list(self.single_site[hypergiant].values())
+        return (min(values), max(values))
+
+    def render(self) -> str:
+        """Single-site table plus COVID headline, measured vs paper."""
+        headers = ["Hypergiant", "single-site (measured)", "single-site (paper)"]
+        rows = []
+        for hypergiant in sorted(self.single_site):
+            low, high = self.single_site_range(hypergiant)
+            paper_low, paper_high = PAPER_SINGLE_SITE[hypergiant]
+            rows.append(
+                [
+                    hypergiant,
+                    f"{100 * low:.1f}%-{100 * high:.1f}%",
+                    f"{100 * paper_low:.1f}%-{100 * paper_high:.1f}%",
+                ]
+            )
+        blocks = [format_table(headers, rows)]
+        if self.covid is not None:
+            blocks.append(
+                f"COVID surge ({self.covid.hypergiant}, x{PAPER_COVID_DEMAND_MULTIPLIER}): "
+                f"baseline offnet share {100 * self.covid.baseline_offnet_share:.0f}% (paper 63%), "
+                f"offnet {100 * self.covid.offnet_change:+.0f}% (paper ~+20%), "
+                f"interdomain x{self.covid.interdomain_ratio:.2f} (paper: more than doubled)"
+            )
+        return "\n\n".join(blocks)
+
+
+def run_covid_experiment(
+    study: Study,
+    hypergiant: str = "Netflix",
+    multiplier: float = PAPER_COVID_DEMAND_MULTIPLIER,
+    offnet_headroom: float = 0.62,
+    sample: int | None = None,
+    seed: int = 11,
+) -> CovidResult:
+    """The lockdown surge over capacity-constrained offnets.
+
+    ``offnet_headroom`` < 1 models the European ISPs of the pre-COVID
+    study, whose offnets could not even cover the normal evening peak.
+    """
+    state = study.history.state("2023")
+    demand = DemandModel(traffic=study.traffic)
+    plans = build_capacity_plan(
+        study.internet, state, demand, ProvisioningConfig(offnet_headroom=offnet_headroom), seed=seed
+    )
+    model = SpilloverModel(study.internet, demand, plans)
+    asns = [isp.asn for isp in state.isps_hosting(hypergiant)]
+    if sample is not None:
+        asns = asns[:sample]
+
+    def day_totals(demand_multiplier: float, utilization_cap: float) -> tuple[float, float, float]:
+        offnet = interdomain = total = 0.0
+        for asn in asns:
+            for hour in range(24):
+                report = model.report(
+                    asn, hour, {hypergiant: demand_multiplier}, offnet_utilization_cap=utilization_cap
+                )
+                flow = report.flows.get(hypergiant)
+                if flow is None:
+                    continue
+                offnet += flow.offnet_gbps
+                interdomain += flow.interdomain_gbps
+                total += flow.demand_gbps
+        return offnet, interdomain, total
+
+    base_offnet, base_interdomain, base_total = day_totals(1.0, utilization_cap=0.9)
+    surge_offnet, surge_interdomain, _ = day_totals(multiplier, utilization_cap=1.0)
+    return CovidResult(
+        hypergiant=hypergiant,
+        baseline_offnet_share=base_offnet / base_total if base_total else 0.0,
+        offnet_change=surge_offnet / base_offnet - 1.0 if base_offnet else 0.0,
+        interdomain_ratio=surge_interdomain / base_interdomain if base_interdomain else float("inf"),
+    )
+
+
+def run_section41(study: Study, covid_sample: int | None = None) -> Section41Result:
+    """Single-site fractions at each xi, plus the COVID experiment."""
+    result = Section41Result()
+    for hypergiant in ("Google", "Netflix", "Meta", "Akamai"):
+        result.single_site[hypergiant] = {
+            xi: study.single_site_fraction(hypergiant, xi) for xi in study.config.xis
+        }
+    result.covid = run_covid_experiment(study, sample=covid_sample)
+    return result

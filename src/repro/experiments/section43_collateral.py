@@ -1,0 +1,103 @@
+"""S43 — §4.3: spillover onto shared paths causes collateral damage.
+
+The paper argues (without a table — this experiment makes the argument
+quantitative) that when colocated offnets fail over to the same shared IXP
+and transit links, services *other* than the hypergiants get hurt.  We run
+the flagship correlated-failure event — an outage of the facility hosting
+the most hypergiants — and a hypergiant-wide bad-update event, and report
+congested shared links, throttled background traffic, and affected users,
+against the no-failure baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import format_table
+from repro.capacity.cascade import CascadeReport, simulate_cascade
+from repro.capacity.demand import DemandModel
+from repro.capacity.events import bad_update_scenario, facility_outage_scenario
+from repro.capacity.links import build_capacity_plan
+from repro.core.pipeline import Study
+
+
+@dataclass
+class Section43Result:
+    """Outcomes of the correlated-failure scenarios."""
+
+    #: Facility chosen for the outage and the hypergiants it hosted.
+    outage_facility_id: int = -1
+    outage_hypergiants: tuple[str, ...] = ()
+    facility_outage: CascadeReport | None = None
+    bad_update: CascadeReport | None = None
+    covered_users: int = 0
+
+    def render(self) -> str:
+        """Scenario table: congestion, collateral, affected users."""
+        headers = ["Scenario", "congested ISPs", "collateral (Gbps-h)", "affected users"]
+        rows = []
+        for label, report in (
+            (f"facility {self.outage_facility_id} outage ({'+'.join(self.outage_hypergiants)})", self.facility_outage),
+            ("Netflix fleet bad update (50% of sites)", self.bad_update),
+        ):
+            if report is None:
+                continue
+            rows.append(
+                [
+                    label,
+                    len(report.congested_isp_asns),
+                    f"{report.total_collateral_gbph:.0f}",
+                    f"{report.affected_users():,}",
+                ]
+            )
+        return format_table(headers, rows)
+
+
+def most_shared_facility(study: Study) -> tuple[int, tuple[str, ...]]:
+    """The ground-truth facility hosting the most hypergiants (ties: users)."""
+    state = study.history.state("2023")
+    hosts: dict[int, set[str]] = {}
+    users: dict[int, int] = {}
+    for server in state.servers:
+        facility_id = server.facility.facility_id
+        hosts.setdefault(facility_id, set()).add(server.hypergiant)
+        users[facility_id] = server.isp.users
+    best = max(hosts, key=lambda fid: (len(hosts[fid]), users.get(fid, 0), -fid))
+    return best, tuple(sorted(hosts[best]))
+
+
+def run_section43(study: Study, sample: int | None = None, seed: int = 11) -> Section43Result:
+    """Run both §4.3 scenarios over provisioned capacity plans."""
+    state = study.history.state("2023")
+    demand = DemandModel(traffic=study.traffic)
+    plans = build_capacity_plan(study.internet, state, demand, seed=seed)
+    asns = sorted(plans)
+    if sample is not None:
+        asns = asns[:sample]
+
+    result = Section43Result()
+    result.outage_facility_id, result.outage_hypergiants = most_shared_facility(study)
+    owner_asn = next(
+        server.isp.asn
+        for server in state.servers
+        if server.facility.facility_id == result.outage_facility_id
+    )
+    outage_asns = sorted(set(asns) | {owner_asn})
+    result.facility_outage = simulate_cascade(
+        study.internet,
+        demand,
+        plans,
+        facility_outage_scenario(result.outage_facility_id),
+        study.population,
+        asns=outage_asns,
+    )
+    result.bad_update = simulate_cascade(
+        study.internet,
+        demand,
+        plans,
+        bad_update_scenario("Netflix", failure_fraction=0.5, seed=seed),
+        study.population,
+        asns=asns,
+    )
+    result.covered_users = study.population.users_in_asns(set(asns))
+    return result

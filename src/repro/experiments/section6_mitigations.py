@@ -1,0 +1,122 @@
+"""S6 — the discussion section's mitigation directions, evaluated.
+
+Two quantitative follow-ups to §6:
+
+1. **Isolation policies** ("isolation mechanisms ... to protect capacity
+   for each hypergiant and for other Internet traffic"): replay the §4.3
+   facility-outage cascade under fair-share (status quo), background
+   protection, and per-hypergiant reserved slices, and compare collateral
+   damage vs unserved hypergiant overflow.
+
+2. **Upgrade dynamics** (§4.2.2: "getting ISPs to upgrade can take months
+   or even be impossible"): simulate the PNI upgrade cycle with different
+   lead times and report the steady-state overload fractions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import format_table
+from repro.capacity.demand import DemandModel
+from repro.capacity.events import facility_outage_scenario
+from repro.capacity.isolation import IsolationPolicy
+from repro.capacity.links import build_capacity_plan
+from repro.capacity.spillover import SpilloverModel
+from repro.capacity.upgrades import UpgradeConfig, UpgradeReport, pni_links_from_plans, simulate_upgrade_cycle
+from repro.core.pipeline import Study
+from repro.experiments.section43_collateral import most_shared_facility
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    """Day totals for the outage ISP under one isolation policy."""
+
+    policy: IsolationPolicy
+    collateral_gbph: float
+    unserved_gbph: float
+    interdomain_gbph: float
+
+
+@dataclass
+class Section6Result:
+    """Isolation comparison plus upgrade-cycle sweeps."""
+
+    outage_facility_id: int = -1
+    policies: list[PolicyOutcome] = field(default_factory=list)
+    #: upgrade lead-time (months, midpoint) -> report.
+    upgrade_sweeps: dict[int, UpgradeReport] = field(default_factory=dict)
+
+    def outcome(self, policy: IsolationPolicy) -> PolicyOutcome:
+        """The outcome row for ``policy``."""
+        return next(o for o in self.policies if o.policy is policy)
+
+    def render(self) -> str:
+        """Both mitigation tables."""
+        headers = ["isolation policy", "collateral (Gbps-h)", "unserved HG (Gbps-h)"]
+        rows = [
+            [o.policy.value, f"{o.collateral_gbph:.0f}", f"{o.unserved_gbph:.0f}"]
+            for o in self.policies
+        ]
+        blocks = [format_table(headers, rows)]
+        headers2 = ["upgrade lead time", "overloaded link-months", "final peak>cap", "final peak>=2x"]
+        rows2 = []
+        for lead, report in sorted(self.upgrade_sweeps.items()):
+            rows2.append(
+                [
+                    f"~{lead} months",
+                    f"{100 * report.overloaded_link_month_fraction():.0f}%",
+                    f"{100 * report.final_overloaded_fraction():.0f}%",
+                    f"{100 * report.final_overloaded_fraction(2.0):.0f}%",
+                ]
+            )
+        blocks.append(format_table(headers2, rows2))
+        return "\n\n".join(blocks)
+
+
+def run_isolation_comparison(study: Study, seed: int = 11) -> tuple[int, list[PolicyOutcome]]:
+    """Outage-day totals for the most-shared facility, per policy."""
+    state = study.history.state("2023")
+    demand = DemandModel(traffic=study.traffic)
+    plans = build_capacity_plan(study.internet, state, demand, seed=seed)
+    facility_id, _ = most_shared_facility(study)
+    owner_asn = next(
+        server.isp.asn for server in state.servers if server.facility.facility_id == facility_id
+    )
+    damaged = facility_outage_scenario(facility_id).apply_to_plans(plans)
+    outcomes = []
+    for policy in IsolationPolicy:
+        model = SpilloverModel(study.internet, demand, damaged, policy=policy)
+        reports = model.daily_reports(owner_asn)
+        outcomes.append(
+            PolicyOutcome(
+                policy=policy,
+                collateral_gbph=sum(r.background_collateral_gbps for r in reports),
+                unserved_gbph=sum(r.total_unserved_gbps for r in reports),
+                interdomain_gbph=sum(r.total_interdomain_gbps for r in reports),
+            )
+        )
+    return facility_id, outcomes
+
+
+def run_upgrade_sweep(
+    study: Study, lead_times: tuple[int, ...] = (2, 6, 12), seed: int = 11
+) -> dict[int, UpgradeReport]:
+    """The PNI upgrade cycle at several negotiation lead times."""
+    state = study.history.state("2023")
+    demand = DemandModel(traffic=study.traffic)
+    plans = build_capacity_plan(study.internet, state, demand, seed=seed)
+    links = pni_links_from_plans(plans, demand)
+    sweeps: dict[int, UpgradeReport] = {}
+    for lead in lead_times:
+        config = UpgradeConfig(lead_time_months=(max(1, lead - 1), lead + 1))
+        sweeps[lead] = simulate_upgrade_cycle(links, config, seed=seed)
+    return sweeps
+
+
+def run_section6(study: Study, seed: int = 11) -> Section6Result:
+    """Both §6 mitigation analyses."""
+    result = Section6Result()
+    result.outage_facility_id, result.policies = run_isolation_comparison(study, seed)
+    result.upgrade_sweeps = run_upgrade_sweep(study, seed=seed)
+    return result

@@ -1,0 +1,73 @@
+"""SB — §3.2's measurement-blindness claim, quantified.
+
+"With existing methodologies, it is impossible to know which users are
+served from which offnets.  An earlier technique provided such results for
+Google in 2013, but it only works if the hypergiant uses DNS to direct
+users ... Google no longer does so ... Akamai does use DNS ... but it only
+accepts EDNS Client Subnet queries from allow-listed DNS resolvers."
+
+This experiment runs the 2013 client-mapping technique against every
+steering era and reports the recovered coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import format_table
+from repro.core.pipeline import Study
+from repro.steering.dns import SteeringMode
+from repro.steering.mapping import ClientMappingResult, build_authority, run_client_mapping
+from repro.steering.policy import build_steering_policy
+
+
+@dataclass
+class SteeringBlindnessResult:
+    """Mapping coverage per (hypergiant, steering era)."""
+
+    results: dict[tuple[str, str], ClientMappingResult] = field(default_factory=dict)
+
+    def coverage(self, hypergiant: str, mode: str) -> float:
+        """Recovered-mapping coverage for one configuration."""
+        return self.results[(hypergiant, mode)].coverage
+
+    def render(self) -> str:
+        """Coverage table across steering eras."""
+        headers = ["Hypergiant", "steering era", "mapping coverage", "paper's account"]
+        notes = {
+            ("Google", SteeringMode.LEGACY_DNS.value): "worked in 2013 [12]",
+            ("Google", SteeringMode.FRONTEND.value): "Google no longer uses DNS steering",
+            ("Netflix", SteeringMode.FRONTEND.value): "embedded URLs, pages onnet/cloud",
+            ("Meta", SteeringMode.FRONTEND.value): "embedded URLs, pages onnet/cloud",
+            ("Akamai", SteeringMode.ECS_ALLOWLIST.value): "ECS only from allow-listed resolvers",
+        }
+        rows = []
+        for (hypergiant, mode), result in sorted(self.results.items()):
+            rows.append(
+                [
+                    hypergiant,
+                    mode,
+                    f"{100 * result.coverage:.0f}%",
+                    notes.get((hypergiant, mode), ""),
+                ]
+            )
+        return format_table(headers, rows)
+
+
+def run_steering_blindness(study: Study, seed: int = 4) -> SteeringBlindnessResult:
+    """Run the mapping campaign against each steering configuration."""
+    policy = build_steering_policy(study.internet, study.history.state("2023"))
+    result = SteeringBlindnessResult()
+    configurations = [
+        ("Google", SteeringMode.LEGACY_DNS),
+        ("Google", SteeringMode.FRONTEND),
+        ("Netflix", SteeringMode.FRONTEND),
+        ("Meta", SteeringMode.FRONTEND),
+        ("Akamai", SteeringMode.ECS_ALLOWLIST),
+    ]
+    for hypergiant, mode in configurations:
+        authority = build_authority(study.internet, policy, hypergiant, mode)
+        result.results[(hypergiant, mode.value)] = run_client_mapping(
+            study.internet, authority, seed=seed
+        )
+    return result

@@ -1,0 +1,75 @@
+"""T2 — Table 2: % of offnets colocated with another hypergiant.
+
+Paper values (each row sums to 100 % across buckets)::
+
+                xi    Sole HG   0 %    (0,50)   [50,100)   100 %
+    Google      0.1   31 %      15 %   12 %     9 %        33 %
+                0.9   31 %      2 %    2 %      3 %        62 %
+    Akamai      0.1   16 %      25 %   36 %     7 %        16 %
+                0.9   16 %      7 %    4 %      15 %       58 %
+    Meta        0.1   6 %       23 %   27 %     12 %       32 %
+                0.9   6 %       4 %    2 %      4 %        84 %
+    Netflix     0.1   12 %      21 %   10 %     11 %       46 %
+                0.9   12 %      8 %    2 %      7 %        71 %
+
+The shape assertions: colocation is widespread at every setting; xi = 0.9
+(conservative clustering) reports *more* colocation than xi = 0.1; Akamai
+(legacy deployments) shows the most partial colocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.colocation import ColocationBucket, ColocationTable
+from repro.core.pipeline import Study
+
+#: Paper percentages for the FULL (100 %) bucket, per hypergiant and xi.
+PAPER_FULL_BUCKET = {
+    ("Google", 0.1): 0.33,
+    ("Google", 0.9): 0.62,
+    ("Akamai", 0.1): 0.16,
+    ("Akamai", 0.9): 0.58,
+    ("Meta", 0.1): 0.32,
+    ("Meta", 0.9): 0.84,
+    ("Netflix", 0.1): 0.46,
+    ("Netflix", 0.9): 0.71,
+}
+
+
+@dataclass
+class Table2Result:
+    """Both xi panels."""
+
+    tables: dict[float, ColocationTable] = field(default_factory=dict)
+
+    def full_colocation(self, hypergiant: str, xi: float) -> float:
+        """The 100 %-colocated bucket share."""
+        return self.tables[xi].percentage(hypergiant, ColocationBucket.FULL)
+
+    def majority_colocation(self, hypergiant: str, xi: float) -> float:
+        """Share of ISPs colocating at least half of the HG's offnets."""
+        table = self.tables[xi]
+        return table.percentage(hypergiant, ColocationBucket.HALF_OR_MORE) + table.percentage(
+            hypergiant, ColocationBucket.FULL
+        )
+
+    def partial_colocation(self, hypergiant: str, xi: float) -> float:
+        """Share of ISPs that are neither 0 % nor 100 % colocated (the
+        Akamai-is-different metric)."""
+        table = self.tables[xi]
+        return table.percentage(hypergiant, ColocationBucket.UNDER_HALF) + table.percentage(
+            hypergiant, ColocationBucket.HALF_OR_MORE
+        )
+
+    def render(self) -> str:
+        """Both panels, paper layout."""
+        return "\n\n".join(self.tables[xi].render() for xi in sorted(self.tables))
+
+
+def run_table2(study: Study) -> Table2Result:
+    """Build both Table-2 panels from the study's clusterings."""
+    result = Table2Result()
+    for xi in study.config.xis:
+        result.tables[xi] = study.colocation_table(xi)
+    return result

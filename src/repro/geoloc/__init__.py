@@ -1,0 +1,15 @@
+"""Latency-based geolocation (substrate extension).
+
+The paper uses speed-of-light constraints only to *discard* impossible
+measurements (Appendix A).  The same physics supports constraint-based
+geolocation (CBG): every vantage point's RTT bounds the target inside a
+disk, and the intersection localises it.  This package implements CBG over
+the campaign's latency matrix and scores it against the ground-truth
+facility coordinates — a natural extension the validation section hints
+at (cluster locations could be checked against *estimated* positions, not
+just hostname hints).
+"""
+
+from repro.geoloc.cbg import CbgEstimate, estimate_position, geolocate_clusters
+
+__all__ = ["CbgEstimate", "estimate_position", "geolocate_clusters"]

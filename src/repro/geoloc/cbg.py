@@ -1,0 +1,117 @@
+"""Constraint-based geolocation from vantage-point RTT vectors.
+
+Classic CBG: from each vantage point, the RTT upper-bounds the distance
+(light travels one way in rtt/2, with a calibrated "bestline" slope for
+path inflation).  The target lies in the intersection of the disks.  Our
+estimator samples candidate positions on a grid seeded by the tightest
+vantage points and picks the point minimising total constraint violation;
+the achievable accuracy is bounded by the path-inflation uncertainty, as
+in real CBG deployments (tens to hundreds of km).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import FIBRE_LIGHT_SPEED_M_S, great_circle_m, require
+from repro.mlab.vantage import VantagePoint
+
+#: Calibration slope: distance <= rtt/2 * speed / slope.  Real CBG fits a
+#: per-VP "bestline"; we use the minimum plausible path inflation.
+MIN_PLAUSIBLE_INFLATION = 1.4
+
+
+@dataclass(frozen=True)
+class CbgEstimate:
+    """A position estimate with its residual violation."""
+
+    lat: float
+    lon: float
+    #: Total constraint violation (metres summed over violated disks).
+    violation_m: float
+    #: Vantage points with usable measurements.
+    n_constraints: int
+
+    def error_m(self, true_lat: float, true_lon: float) -> float:
+        """Great-circle error against a known true position."""
+        return great_circle_m(self.lat, self.lon, true_lat, true_lon)
+
+
+def _distance_bounds_m(rtts_ms: np.ndarray) -> np.ndarray:
+    """Per-VP upper bounds on the target's distance."""
+    one_way_s = rtts_ms / 2.0 / 1000.0
+    return one_way_s * FIBRE_LIGHT_SPEED_M_S / MIN_PLAUSIBLE_INFLATION
+
+
+def _violation(lat: float, lon: float, vps: list[VantagePoint], bounds_m: np.ndarray, valid: np.ndarray) -> float:
+    total = 0.0
+    for index in np.flatnonzero(valid):
+        distance = great_circle_m(lat, lon, vps[index].lat, vps[index].lon)
+        if distance > bounds_m[index]:
+            total += distance - bounds_m[index]
+    return total
+
+
+def estimate_position(
+    rtts_ms: np.ndarray,
+    vps: list[VantagePoint],
+    refine_steps: int = 3,
+) -> CbgEstimate | None:
+    """CBG position estimate from one RTT vector (NaN = no measurement).
+
+    Strategy: start from the vantage point with the tightest bound (the
+    target must be near it), then hill-descend on a shrinking grid around
+    the best candidate, minimising total disk violation.
+    Returns None with fewer than three usable constraints.
+    """
+    rtts_ms = np.asarray(rtts_ms, dtype=float)
+    require(rtts_ms.shape == (len(vps),), "rtts must align with vantage points")
+    valid = ~np.isnan(rtts_ms)
+    if valid.sum() < 3:
+        return None
+    bounds = _distance_bounds_m(np.where(valid, rtts_ms, np.inf))
+
+    anchor_index = int(np.argmin(np.where(valid, bounds, np.inf)))
+    best_lat, best_lon = vps[anchor_index].lat, vps[anchor_index].lon
+    best_violation = _violation(best_lat, best_lon, vps, bounds, valid)
+
+    # Grid refinement: start at the anchor's bound radius, halve each pass.
+    radius_deg = max(0.05, bounds[anchor_index] / 111_000.0)
+    for _ in range(refine_steps):
+        for dlat in np.linspace(-radius_deg, radius_deg, 5):
+            for dlon in np.linspace(-radius_deg, radius_deg, 5):
+                lat = float(np.clip(best_lat + dlat, -90.0, 90.0))
+                lon = float((best_lon + dlon + 180.0) % 360.0 - 180.0)
+                violation = _violation(lat, lon, vps, bounds, valid)
+                if violation < best_violation:
+                    best_lat, best_lon, best_violation = lat, lon, violation
+        radius_deg /= 2.0
+
+    return CbgEstimate(
+        lat=best_lat,
+        lon=best_lon,
+        violation_m=best_violation,
+        n_constraints=int(valid.sum()),
+    )
+
+
+def geolocate_clusters(
+    clusters: list[list[int]],
+    matrix,
+    vps: list[VantagePoint],
+) -> dict[int, CbgEstimate | None]:
+    """Estimate a position per cluster from the median member RTT vector.
+
+    ``matrix`` is a :class:`repro.mlab.matrix.LatencyMatrix`; clusters are
+    lists of member IPs.  Aggregating members before estimating sheds the
+    per-probe noise.
+    """
+    estimates: dict[int, CbgEstimate | None] = {}
+    for index, cluster in enumerate(clusters):
+        columns = matrix.submatrix(list(cluster))
+        with np.errstate(all="ignore"):
+            median_rtts = np.nanmedian(columns, axis=1)
+        estimates[index] = estimate_position(median_rtts, vps)
+    return estimates

@@ -1,0 +1,13 @@
+"""Study archives: export measurement artifacts to portable files.
+
+Real measurement studies release their datasets (scan snapshots, inferred
+inventories, latency matrices, clusterings); this package does the same for
+a :class:`~repro.core.pipeline.Study` — JSON/CSV for the relational
+artifacts, ``.npz`` for the latency matrix — and loads them back into
+plain-data structures that the analysis layer can consume without
+re-running the pipeline.
+"""
+
+from repro.io.archive import ArchiveManifest, LoadedArchive, load_archive, save_archive
+
+__all__ = ["ArchiveManifest", "LoadedArchive", "load_archive", "save_archive"]

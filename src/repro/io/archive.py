@@ -1,0 +1,218 @@
+"""Save/load study artifacts as a directory of portable files.
+
+Layout of an archive directory::
+
+    manifest.json          version, epoch list, xi list, counts
+    inventory_<epoch>.csv  detected offnets: ip, hypergiant, isp_asn
+    isps.csv               ASN, name, country, users (estimates)
+    latency.npz            rtt matrix + target ips + vantage coordinates
+    clusterings.json       per xi: {asn: {"ips": [...], "labels": [...]}}
+    ptr.csv                ip, hostname
+    results.json           headline metrics (paper-shape numbers)
+
+Everything round-trips: :func:`load_archive` returns a
+:class:`LoadedArchive` from which Table 2 and Figure 2 can be recomputed
+without the generator (see ``tests/test_io.py``), which is exactly how a
+third party would reanalyse a released dataset.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro import __version__
+from repro._util import require
+from repro.clustering.sites import ClusteringConfig, SiteClustering
+from repro.core.pipeline import Study
+
+_MANIFEST_NAME = "manifest.json"
+
+
+@dataclass(frozen=True)
+class ArchiveManifest:
+    """Archive-level metadata."""
+
+    version: str
+    epochs: tuple[str, ...]
+    xis: tuple[float, ...]
+    n_vantage_points: int
+    n_detections: int
+
+    def to_json(self) -> dict:
+        """JSON-serialisable form."""
+        return {
+            "version": self.version,
+            "epochs": list(self.epochs),
+            "xis": list(self.xis),
+            "n_vantage_points": self.n_vantage_points,
+            "n_detections": self.n_detections,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ArchiveManifest":
+        """Parse the manifest file."""
+        return cls(
+            version=data["version"],
+            epochs=tuple(data["epochs"]),
+            xis=tuple(float(x) for x in data["xis"]),
+            n_vantage_points=int(data["n_vantage_points"]),
+            n_detections=int(data["n_detections"]),
+        )
+
+
+def save_archive(study: Study, directory: str | Path) -> Path:
+    """Write ``study``'s artifacts into ``directory`` (created if needed)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    # Inventories, one CSV per epoch.
+    for epoch, inventory in sorted(study.inventories.items()):
+        with open(directory / f"inventory_{epoch}.csv", "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["ip", "hypergiant", "isp_asn"])
+            for detection in inventory.detections:
+                writer.writerow([detection.ip, detection.hypergiant, detection.isp_asn])
+
+    # ISP table with population estimates.
+    with open(directory / "isps.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["asn", "name", "country", "users"])
+        for isp in study.internet.isps:
+            writer.writerow(
+                [isp.asn, isp.name, isp.country_code, study.population.users_of(isp.asn)]
+            )
+
+    # The latency matrix plus measurement geometry.
+    np.savez_compressed(
+        directory / "latency.npz",
+        rtt_ms=study.matrix.rtt_ms,
+        ips=np.array(study.matrix.ips, dtype=np.int64),
+        vp_lat=np.array([vp.lat for vp in study.vantage_points]),
+        vp_lon=np.array([vp.lon for vp in study.vantage_points]),
+        vp_site=np.array([vp.site_code for vp in study.vantage_points]),
+    )
+
+    # Clusterings per xi.
+    clusterings_json: dict[str, dict[str, dict]] = {}
+    for xi, per_isp in study.clusterings.items():
+        clusterings_json[str(xi)] = {
+            str(asn): {"ips": clustering.ips, "labels": clustering.labels.tolist()}
+            for asn, clustering in sorted(per_isp.items())
+        }
+    (directory / "clusterings.json").write_text(json.dumps(clusterings_json))
+
+    # PTR records.
+    with open(directory / "ptr.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["ip", "hostname"])
+        for ip in sorted(study.ptr.records):
+            writer.writerow([ip, study.ptr.records[ip]])
+
+    # Headline results for quick diffing.
+    from repro.experiments.table1 import run_table1
+
+    table1 = run_table1(study)
+    results = {
+        "table1": {
+            hypergiant: dict(counts) for hypergiant, counts in table1.counts.items()
+        },
+        "analyzable_isps": len(study.campaign.analyzable_isp_asns),
+    }
+    (directory / "results.json").write_text(json.dumps(results, indent=2))
+
+    manifest = ArchiveManifest(
+        version=__version__,
+        epochs=tuple(sorted(study.inventories)),
+        xis=tuple(study.config.xis),
+        n_vantage_points=len(study.vantage_points),
+        n_detections=len(study.latest_inventory),
+    )
+    (directory / _MANIFEST_NAME).write_text(json.dumps(manifest.to_json(), indent=2))
+    return directory
+
+
+@dataclass
+class LoadedArchive:
+    """A study's released artifacts, loaded without the generator."""
+
+    manifest: ArchiveManifest
+    #: epoch -> list of (ip, hypergiant, isp_asn).
+    inventories: dict[str, list[tuple[int, str, int]]]
+    #: asn -> (name, country, users).
+    isps: dict[int, tuple[str, str, int]]
+    rtt_ms: np.ndarray
+    target_ips: list[int]
+    #: xi -> asn -> SiteClustering.
+    clusterings: dict[float, dict[int, SiteClustering]] = field(default_factory=dict)
+    ptr: dict[int, str] = field(default_factory=dict)
+    results: dict = field(default_factory=dict)
+
+    def hypergiant_of_ip(self, epoch: str) -> dict[int, str]:
+        """Detected hypergiant per IP for ``epoch``."""
+        return {ip: hypergiant for ip, hypergiant, _ in self.inventories[epoch]}
+
+    def hypergiants_by_isp(self, epoch: str) -> dict[int, list[str]]:
+        """Detected hypergiants per hosting ISP for ``epoch``."""
+        mapping: dict[int, set[str]] = {}
+        for _ip, hypergiant, asn in self.inventories[epoch]:
+            mapping.setdefault(asn, set()).add(hypergiant)
+        return {asn: sorted(hypergiants) for asn, hypergiants in mapping.items()}
+
+
+def load_archive(directory: str | Path) -> LoadedArchive:
+    """Load an archive written by :func:`save_archive`."""
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST_NAME
+    require(manifest_path.exists(), f"not an archive: {directory} (missing {_MANIFEST_NAME})")
+    manifest = ArchiveManifest.from_json(json.loads(manifest_path.read_text()))
+
+    inventories: dict[str, list[tuple[int, str, int]]] = {}
+    for epoch in manifest.epochs:
+        rows: list[tuple[int, str, int]] = []
+        with open(directory / f"inventory_{epoch}.csv", newline="") as handle:
+            for record in csv.DictReader(handle):
+                rows.append((int(record["ip"]), record["hypergiant"], int(record["isp_asn"])))
+        inventories[epoch] = rows
+
+    isps: dict[int, tuple[str, str, int]] = {}
+    with open(directory / "isps.csv", newline="") as handle:
+        for record in csv.DictReader(handle):
+            isps[int(record["asn"])] = (record["name"], record["country"], int(record["users"]))
+
+    with np.load(directory / "latency.npz", allow_pickle=False) as data:
+        rtt_ms = data["rtt_ms"]
+        target_ips = [int(ip) for ip in data["ips"]]
+
+    clusterings: dict[float, dict[int, SiteClustering]] = {}
+    raw = json.loads((directory / "clusterings.json").read_text())
+    for xi_text, per_isp in raw.items():
+        xi = float(xi_text)
+        clusterings[xi] = {}
+        for asn_text, payload in per_isp.items():
+            clusterings[xi][int(asn_text)] = SiteClustering(
+                ips=[int(ip) for ip in payload["ips"]],
+                labels=np.array(payload["labels"], dtype=int),
+                config=ClusteringConfig(xi=xi),
+            )
+
+    ptr: dict[int, str] = {}
+    with open(directory / "ptr.csv", newline="") as handle:
+        for record in csv.DictReader(handle):
+            ptr[int(record["ip"])] = record["hostname"]
+
+    results = json.loads((directory / "results.json").read_text())
+    return LoadedArchive(
+        manifest=manifest,
+        inventories=inventories,
+        isps=isps,
+        rtt_ms=rtt_ms,
+        target_ips=target_ips,
+        clusterings=clusterings,
+        ptr=ptr,
+        results=results,
+    )

@@ -1,0 +1,24 @@
+"""M-Lab-style latency measurement (substrate).
+
+The paper measures latencies from the 163 M-Lab sites to all 261K offnet IP
+addresses, taking the second-smallest of 8 pings (Appendix A).  This package
+provides: globally distributed vantage points with known geolocations
+(:mod:`repro.mlab.vantage`), a propagation + queueing latency model
+(:mod:`repro.mlab.latency`), the 8-ping probe process
+(:mod:`repro.mlab.pings`), and the measurement matrix with the paper's
+responsiveness and speed-of-light filters (:mod:`repro.mlab.matrix`).
+"""
+
+from repro.mlab.matrix import LatencyCampaignConfig, LatencyMatrix, measure_offnets
+from repro.mlab.pings import PingConfig, ping_rtts
+from repro.mlab.vantage import VantagePoint, build_vantage_points
+
+__all__ = [
+    "LatencyCampaignConfig",
+    "LatencyMatrix",
+    "PingConfig",
+    "VantagePoint",
+    "build_vantage_points",
+    "measure_offnets",
+    "ping_rtts",
+]

@@ -1,0 +1,68 @@
+"""Measurement vantage points (M-Lab-style sites).
+
+M-Lab operates pods in metro areas worldwide with well-known geolocations;
+the paper uses all 163 of them.  We scatter the same number of vantage points
+over the world's cities (weighted toward the heavy, well-connected metros
+where M-Lab actually deploys) and give each a site code in the M-Lab style
+(``lga02`` = IATA + index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import make_rng, require
+from repro.topology.facilities import jittered_coordinates
+from repro.topology.geo import City, World
+
+
+@dataclass(frozen=True)
+class VantagePoint:
+    """A measurement site with a known, trusted geolocation."""
+
+    vp_id: int
+    site_code: str
+    city: City
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        require(self.vp_id >= 0, "vp_id must be >= 0")
+        require(bool(self.site_code), "site_code required")
+
+
+def build_vantage_points(
+    world: World,
+    count: int = 163,
+    seed: int | np.random.Generator = 0,
+) -> list[VantagePoint]:
+    """Place ``count`` vantage points over ``world``'s cities.
+
+    Cities are sampled with replacement, weighted by city weight (M-Lab has
+    several pods in big metros), and each vantage point sits a few km from
+    the city centre.  Deterministic given ``seed``.
+    """
+    require(count >= 1, "need at least one vantage point")
+    rng = make_rng(seed)
+    cities = sorted(world.cities, key=lambda c: c.iata)
+    weights = np.array([c.weight for c in cities])
+    probabilities = weights / weights.sum()
+    vantage_points: list[VantagePoint] = []
+    per_city_index: dict[str, int] = {}
+    for vp_id in range(count):
+        city = cities[int(rng.choice(len(cities), p=probabilities))]
+        index = per_city_index.get(city.iata, 0) + 1
+        per_city_index[city.iata] = index
+        lat, lon = jittered_coordinates(city, rng, max_offset_km=20.0)
+        vantage_points.append(
+            VantagePoint(
+                vp_id=vp_id,
+                site_code=f"{city.iata}{index:02d}",
+                city=city,
+                lat=lat,
+                lon=lon,
+            )
+        )
+    return vantage_points

@@ -1,0 +1,5 @@
+"""APNIC-style per-ISP Internet-user population estimates (substrate)."""
+
+from repro.population.users import PopulationDataset, build_population_dataset
+
+__all__ = ["PopulationDataset", "build_population_dataset"]

@@ -1,0 +1,24 @@
+"""Reverse DNS and hostname geolocation (substrate).
+
+The paper validates its latency clusters by checking that the hostnames of
+IP addresses inside one cluster name consistent locations (§3.2): PTR
+records come from a Rapid7-style dataset (:mod:`repro.rdns.ptr`), locations
+are extracted from hostnames with a HOIHO-style geohint parser
+(:mod:`repro.rdns.geohints`), and the cluster-consistency check is in
+:mod:`repro.rdns.validation`.
+"""
+
+from repro.rdns.geohints import GeohintParser, build_default_parser
+from repro.rdns.ptr import PtrConfig, PtrDataset, build_ptr_dataset
+from repro.rdns.validation import ClusterGeoConsistency, ValidationSummary, validate_clusters
+
+__all__ = [
+    "ClusterGeoConsistency",
+    "GeohintParser",
+    "PtrConfig",
+    "PtrDataset",
+    "ValidationSummary",
+    "build_default_parser",
+    "build_ptr_dataset",
+    "validate_clusters",
+]

@@ -1,0 +1,85 @@
+"""HOIHO-style geohint extraction from router/cache hostnames.
+
+HOIHO (Luckie et al., CoNEXT'21) learns rules that map hostname substrings
+to locations.  Our parser implements the rule family that matters here:
+IATA codes and city names as hyphen/dot-delimited hostname tokens.  It also
+reproduces HOIHO's known failure mode — short dictionary words inside
+hostnames misread as place codes (the paper manually corrected ``host``
+being read as Hostert, LU) — via an ambiguous-token list that the parser
+can either naively accept or (default) suppress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import require
+from repro.topology.geo import City, World
+
+#: Hostname tokens that collide with place codes/names but almost always
+#: mean something else on the Internet (HOIHO's misinterpretation traps).
+AMBIGUOUS_TOKENS = frozenset(
+    {
+        "host",  # ≠ Hostert, LU
+        "node",
+        "core",
+        "cache",
+        "static",
+        "dyn",
+        "pool",
+        "net",
+        "for",  # collides with Fortaleza's IATA code
+        "per",  # collides with Perth's IATA code
+        "man",  # collides with Manchester's IATA code
+    }
+)
+
+
+@dataclass
+class GeohintParser:
+    """Token-dictionary hostname geolocator."""
+
+    world: World
+    #: Suppress tokens known to be ambiguous (the paper's manual correction).
+    suppress_ambiguous: bool = True
+    _iata_to_city: dict[str, City] = field(init=False, repr=False)
+    _name_to_city: dict[str, City] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._iata_to_city = {c.iata: c for c in self.world.cities}
+        self._name_to_city = {}
+        for city in self.world.cities:
+            slug = city.name.lower().replace(" ", "")
+            self._name_to_city[slug] = city
+
+    def tokens_of(self, hostname: str) -> list[str]:
+        """Hostname split into candidate tokens (labels and hyphen parts)."""
+        require(bool(hostname), "empty hostname")
+        tokens: list[str] = []
+        for label in hostname.lower().split("."):
+            tokens.extend(part for part in label.split("-") if part)
+        return tokens
+
+    def city_of(self, hostname: str) -> City | None:
+        """The city a hostname names, or None.
+
+        IATA tokens and city-name tokens are both recognised; the first
+        match wins.  With ``suppress_ambiguous`` (default) tokens from
+        :data:`AMBIGUOUS_TOKENS` never match, avoiding the Hostert-style
+        misreads the paper had to fix by hand.
+        """
+        for token in self.tokens_of(hostname):
+            if self.suppress_ambiguous and token in AMBIGUOUS_TOKENS:
+                continue
+            city = self._iata_to_city.get(token)
+            if city is not None:
+                return city
+            city = self._name_to_city.get(token)
+            if city is not None:
+                return city
+        return None
+
+
+def build_default_parser(world: World) -> GeohintParser:
+    """The parser used by the validation stage (ambiguity suppression on)."""
+    return GeohintParser(world=world, suppress_ambiguous=True)

@@ -1,0 +1,93 @@
+"""PTR record synthesis (Rapid7 Project-Sonar style).
+
+Generates reverse-DNS names for offnet IPs following the conventions real
+ISPs use, with the incompletenesses the paper reports: many IPs have no PTR
+record at all, many records carry no recognisable location, and a few are
+*stale* — they name the city a server used to be in (the paper cites DNS
+misnaming as a known error source [57]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import make_rng, require_fraction
+from repro.deployment.placement import DeploymentState, OffnetServer
+from repro.topology.geo import World
+
+
+@dataclass(frozen=True)
+class PtrConfig:
+    """Coverage and quality knobs for PTR synthesis."""
+
+    #: Fraction of offnet IPs with any PTR record.
+    coverage: float = 0.6
+    #: Of covered IPs, fraction whose hostname embeds a city geohint.
+    geohint_fraction: float = 0.7
+    #: Of geohinted hostnames, fraction naming a *wrong* (stale) city —
+    #: typically another city in the ISP's own footprint (the server moved,
+    #: the PTR record did not follow).
+    stale_fraction: float = 0.02
+
+    def __post_init__(self) -> None:
+        require_fraction(self.coverage, "coverage")
+        require_fraction(self.geohint_fraction, "geohint_fraction")
+        require_fraction(self.stale_fraction, "stale_fraction")
+
+
+@dataclass
+class PtrDataset:
+    """IP → hostname mapping plus ground truth for tests."""
+
+    records: dict[int, str]
+    #: IPs whose hostname names a stale/incorrect location (ground truth).
+    stale_ips: frozenset[int] = frozenset()
+
+    def hostname_of(self, ip: int) -> str | None:
+        """The PTR record for ``ip``, or None."""
+        return self.records.get(ip)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def _hostname_for(server: OffnetServer, city_iata: str, with_hint: bool, index: int) -> str:
+    """An ISP-style cache hostname, optionally embedding the city code."""
+    isp_domain = server.isp.name.lower().replace("_", "-") + ".example"
+    role = {"Google": "ggc", "Netflix": "oca", "Meta": "fna", "Akamai": "aka"}[server.hypergiant]
+    if with_hint:
+        return f"{role}-{city_iata}-{index}.{isp_domain}"
+    return f"{role}-node{index}.{isp_domain}"
+
+
+def build_ptr_dataset(
+    state: DeploymentState,
+    world: World,
+    config: PtrConfig | None = None,
+    seed: int | np.random.Generator = 0,
+) -> PtrDataset:
+    """Synthesize PTR records for every offnet server in ``state``."""
+    config = config or PtrConfig()
+    rng = make_rng(seed)
+    cities = sorted(world.cities, key=lambda c: c.iata)
+    records: dict[int, str] = {}
+    stale: set[int] = set()
+    for index, server in enumerate(state.servers):
+        if rng.random() >= config.coverage:
+            continue
+        with_hint = rng.random() < config.geohint_fraction
+        city_iata = server.facility.city.iata
+        if with_hint and rng.random() < config.stale_fraction:
+            # A stale record names another city the ISP operates in (the
+            # server moved within the ISP); if the ISP is single-city, fall
+            # back to a random city (a rarer, grosser misnaming).
+            candidates = [c for c in server.isp.cities if c.iata != city_iata]
+            if not candidates:
+                candidates = [c for c in cities if c.iata != city_iata]
+            other = candidates[int(rng.integers(0, len(candidates)))]
+            city_iata = other.iata
+            stale.add(server.ip)
+        records[server.ip] = _hostname_for(server, city_iata, with_hint, index)
+    return PtrDataset(records=records, stale_ips=frozenset(stale))

@@ -1,0 +1,116 @@
+"""Cluster geo-consistency validation (§3.2, "Validation").
+
+The paper checks each latency cluster that has two or more IP addresses
+with identified hostname locations: a correct cluster should name a single
+city (or at least a single metropolitan area).  Observed discrepancies may
+be clustering errors, HOIHO misreads, or stale hostnames — all three exist
+in this substrate, so the validation exercises the same uncertainty.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro._util import require
+from repro.rdns.geohints import GeohintParser
+from repro.rdns.ptr import PtrDataset
+from repro.topology.geo import City
+
+#: Cities closer than this are "the same metropolitan area" (the paper's
+#: example: suburbs of London and Paris).
+METRO_RADIUS_M = 60_000.0
+
+
+class ConsistencyClass(enum.Enum):
+    """How geographically consistent one cluster's hostnames are."""
+
+    SINGLE_CITY = "single_city"
+    SINGLE_METRO = "single_metro"
+    SINGLE_COUNTRY = "single_country"
+    MULTI_COUNTRY = "multi_country"
+
+
+@dataclass(frozen=True)
+class ClusterGeoConsistency:
+    """Validation verdict for one cluster."""
+
+    cluster_ips: tuple[int, ...]
+    located_ips: tuple[int, ...]
+    cities: tuple[City, ...]
+    verdict: ConsistencyClass
+
+
+@dataclass
+class ValidationSummary:
+    """Aggregate §3.2-style validation counts."""
+
+    results: list[ClusterGeoConsistency] = field(default_factory=list)
+
+    @property
+    def checkable_clusters(self) -> int:
+        """Clusters with >= 2 located hostnames."""
+        return len(self.results)
+
+    def count(self, verdict: ConsistencyClass) -> int:
+        """Number of clusters with ``verdict``."""
+        return sum(1 for r in self.results if r.verdict is verdict)
+
+    @property
+    def consistent_fraction(self) -> float:
+        """Fraction of checkable clusters naming one city or one metro."""
+        if not self.results:
+            return 1.0
+        good = self.count(ConsistencyClass.SINGLE_CITY) + self.count(ConsistencyClass.SINGLE_METRO)
+        return good / len(self.results)
+
+
+def _classify(cities: list[City]) -> ConsistencyClass:
+    require(len(cities) >= 2, "need at least two located hostnames")
+    names = {c.name for c in cities}
+    if len(names) == 1:
+        return ConsistencyClass.SINGLE_CITY
+    max_distance = max(a.distance_m(b) for i, a in enumerate(cities) for b in cities[i + 1 :])
+    if max_distance <= METRO_RADIUS_M:
+        return ConsistencyClass.SINGLE_METRO
+    countries = {c.country_code for c in cities}
+    if len(countries) == 1:
+        return ConsistencyClass.SINGLE_COUNTRY
+    return ConsistencyClass.MULTI_COUNTRY
+
+
+def validate_clusters(
+    clusters: list[list[int]],
+    ptr: PtrDataset,
+    parser: GeohintParser,
+) -> ValidationSummary:
+    """Validate latency ``clusters`` (lists of IPs) against hostname geohints.
+
+    Only clusters with two or more IPs whose hostnames yield a location are
+    classified ("this validation is incomplete", as the paper notes — many
+    IPs lack PTR records or location hints).
+    """
+    summary = ValidationSummary()
+    for cluster in clusters:
+        located: list[int] = []
+        cities: list[City] = []
+        for ip in cluster:
+            hostname = ptr.hostname_of(ip)
+            if hostname is None:
+                continue
+            city = parser.city_of(hostname)
+            if city is None:
+                continue
+            located.append(ip)
+            cities.append(city)
+        if len(located) < 2:
+            continue
+        summary.results.append(
+            ClusterGeoConsistency(
+                cluster_ips=tuple(cluster),
+                located_ips=tuple(located),
+                cities=tuple(cities),
+                verdict=_classify(cities),
+            )
+        )
+    return summary

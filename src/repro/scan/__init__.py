@@ -1,0 +1,31 @@
+"""TLS-scan-based offnet discovery (substrate + methodology).
+
+Reimplements the §2.2 pipeline: an X.509-lite certificate model with each
+hypergiant's (epoch-dependent) naming conventions
+(:mod:`repro.scan.certificates`), a Censys-style synthetic port-443 scan
+(:mod:`repro.scan.scanner`), the 2021 and updated 2023 fingerprint rules
+(:mod:`repro.scan.fingerprints`), and the offnet-inference step that joins
+certificate fingerprints with IP-to-AS ownership
+(:mod:`repro.scan.detection`).
+"""
+
+from repro.scan.certificates import Certificate, certificate_for_server, infrastructure_certificate
+from repro.scan.detection import DetectedOffnet, OffnetInventory, detect_offnets, score_detection
+from repro.scan.fingerprints import FingerprintRule, fingerprint_rules
+from repro.scan.scanner import ScanConfig, ScanRecord, ScanResult, run_scan
+
+__all__ = [
+    "Certificate",
+    "DetectedOffnet",
+    "FingerprintRule",
+    "OffnetInventory",
+    "ScanConfig",
+    "ScanRecord",
+    "ScanResult",
+    "certificate_for_server",
+    "detect_offnets",
+    "fingerprint_rules",
+    "infrastructure_certificate",
+    "run_scan",
+    "score_detection",
+]

@@ -1,0 +1,174 @@
+"""The 2013 client-mapping technique, replayed against modern steering.
+
+Calder et al. (IMC'13) mapped Google's serving infrastructure by resolving
+a well-known hostname on behalf of every client /24 (via EDNS-Client-Subnet
+and open resolvers) and recording which servers were returned.  §3.2 of our
+target paper explains why this no longer works: Google/Netflix/Meta steer
+via embedded URLs (DNS only reveals onnet front ends), and Akamai honours
+ECS only from allow-listed resolvers.
+
+:func:`run_client_mapping` executes the technique against a
+:class:`~repro.steering.dns.DnsAuthority` and scores the recovered
+user→offnet mapping against the ground-truth steering policy — quantifying
+the paper's claim that "with existing methodologies, it is impossible to
+know which users are served from which offnets".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import make_rng, require, require_fraction
+from repro.steering.dns import DnsAuthority, DnsQuery
+from repro.steering.policy import ServingSource
+from repro.topology.asn import AS
+from repro.topology.generator import Internet
+
+
+@dataclass(frozen=True)
+class MappingConfig:
+    """Measurement-campaign knobs."""
+
+    #: Fraction of ISPs that run an open resolver the measurer can use
+    #: (the 2013 study found open resolvers in many, not all, networks).
+    open_resolver_fraction: float = 0.3
+    #: Address (inside a central measurement network) of the ECS-capable
+    #: resolver the measurer controls.  0 means "use a made-up address the
+    #: authority will not recognise" (i.e. not allow-listed).
+    central_resolver_ip: int = 0
+
+    def __post_init__(self) -> None:
+        require_fraction(self.open_resolver_fraction, "open_resolver_fraction")
+
+
+@dataclass
+class ClientMappingResult:
+    """Outcome of one mapping campaign against one hypergiant."""
+
+    hypergiant: str
+    #: ISP ASN -> offnet IPs the technique attributed to that ISP's users.
+    recovered: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    #: ISP ASN -> ground-truth serving offnet IPs (offnet-served ISPs only).
+    truth: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of offnet-served ISPs whose serving offnet was revealed.
+
+        An ISP counts as covered when the technique attributed at least one
+        of the ISP's true serving offnet IPs to it.
+        """
+        if not self.truth:
+            return 0.0
+        covered = 0
+        for asn, true_ips in self.truth.items():
+            found = set(self.recovered.get(asn, ()))
+            if found & set(true_ips):
+                covered += 1
+        return covered / len(self.truth)
+
+    @property
+    def false_attribution_rate(self) -> float:
+        """Fraction of ISPs with recovered IPs that are all wrong."""
+        attributed = [asn for asn, ips in self.recovered.items() if ips]
+        if not attributed:
+            return 0.0
+        wrong = 0
+        for asn in attributed:
+            found = set(self.recovered[asn])
+            if not (found & set(self.truth.get(asn, ()))):
+                wrong += 1
+        return wrong / len(attributed)
+
+
+def _offnet_ip_universe(authority: DnsAuthority) -> set[int]:
+    """All offnet IPs of the authority's hypergiant (to filter onnet noise)."""
+    state = authority.policy.state
+    return {
+        server.ip
+        for deployment in state.deployments
+        if deployment.hypergiant == authority.hypergiant
+        for server in deployment.servers
+    }
+
+
+def run_client_mapping(
+    internet: Internet,
+    authority: DnsAuthority,
+    config: MappingConfig | None = None,
+    seed: int | np.random.Generator = 0,
+) -> ClientMappingResult:
+    """Replay the IMC'13 technique against ``authority``.
+
+    For every access ISP, issue (a) an ECS query from the measurer's
+    central resolver carrying a client address inside the ISP, and (b) if
+    the ISP happens to run an open resolver, a plain query through it.
+    Record every returned address that belongs to the hypergiant's offnet
+    footprint, attributed to the queried ISP.
+    """
+    config = config or MappingConfig()
+    rng = make_rng(seed)
+    offnet_universe = _offnet_ip_universe(authority)
+    result = ClientMappingResult(hypergiant=authority.hypergiant)
+
+    for isp in internet.access_isps:
+        # Ground truth (only offnet-served ISPs are mapping targets).
+        decision = authority.policy.decisions.get((authority.hypergiant, isp.asn))
+        if decision is not None and decision.source is not ServingSource.ONNET:
+            result.truth[isp.asn] = tuple(decision.serving_ips)
+
+        prefix = internet.plan.prefixes_of(isp)[0]
+        client_ip = prefix.base + 777
+        answers: set[int] = set()
+
+        # (a) ECS from the central measurement resolver.
+        response = authority.resolve(
+            DnsQuery(
+                authority.well_known_hostname,
+                resolver_ip=config.central_resolver_ip,
+                ecs_client_ip=client_ip,
+            )
+        )
+        answers.update(response.answers)
+
+        # (b) an open resolver inside the ISP, when one exists.
+        if rng.random() < config.open_resolver_fraction:
+            open_resolver_ip = prefix.base + 53
+            response = authority.resolve(
+                DnsQuery(authority.well_known_hostname, resolver_ip=open_resolver_ip)
+            )
+            answers.update(response.answers)
+
+        result.recovered[isp.asn] = tuple(sorted(answers & offnet_universe))
+    return result
+
+
+def build_authority(
+    internet: Internet,
+    policy,
+    hypergiant: str,
+    mode,
+    allowlisted_resolvers: tuple[int, ...] = (),
+) -> DnsAuthority:
+    """Convenience constructor wiring front-end addresses from the plan."""
+    require(hypergiant in internet.hypergiant_ases, f"unknown hypergiant {hypergiant}")
+    hypergiant_as = internet.hypergiant_as(hypergiant)
+    onnet_prefix = internet.plan.prefixes_of(hypergiant_as)[0]
+    frontends = tuple(onnet_prefix.base + 1 + i for i in range(4))
+    well_known = {
+        "Google": "www.google.com",
+        "Netflix": "www.netflix.com",
+        "Meta": "www.facebook.com",
+        "Akamai": "a248.e.akamai.net",
+    }[hypergiant]
+    return DnsAuthority(
+        hypergiant=hypergiant,
+        mode=mode,
+        internet=internet,
+        policy=policy,
+        well_known_hostname=well_known,
+        frontend_ips=frontends,
+        ecs_allowlist=frozenset(allowlisted_resolvers),
+    )

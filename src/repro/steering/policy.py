@@ -1,0 +1,104 @@
+"""Ground-truth steering: which offnet serves which user.
+
+Each hypergiant steers an ISP's users to that ISP's own offnet deployment
+when one exists, otherwise up the provider chain to the nearest ancestor
+hosting one, otherwise onnet.  This is the paper's serving model ("These
+results likely underestimate the use of offnets, which can also serve users
+downstream from a transit provider"), and it is the ground truth the
+client-mapping technique tries — and mostly fails — to recover.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro._util import require
+from repro.deployment.placement import Deployment, DeploymentState
+from repro.topology.asn import AS
+from repro.topology.generator import Internet
+
+
+class ServingSource(enum.Enum):
+    """Where a user's content for one hypergiant comes from."""
+
+    LOCAL_OFFNET = "local_offnet"
+    PROVIDER_OFFNET = "provider_offnet"
+    ONNET = "onnet"
+
+
+@dataclass(frozen=True)
+class SteeringDecision:
+    """The serving assignment for one (ISP, hypergiant) pair."""
+
+    hypergiant: str
+    isp_asn: int
+    source: ServingSource
+    #: The deployment serving the users (None when onnet).
+    deployment: Deployment | None
+
+    @property
+    def serving_ips(self) -> list[int]:
+        """Offnet IPs serving these users (empty when onnet)."""
+        if self.deployment is None:
+            return []
+        return sorted(server.ip for server in self.deployment.servers)
+
+
+@dataclass
+class SteeringPolicy:
+    """Ground-truth steering decisions for a whole deployment state."""
+
+    state: DeploymentState
+    decisions: dict[tuple[str, int], SteeringDecision] = field(default_factory=dict)
+
+    def decision(self, hypergiant: str, isp: AS) -> SteeringDecision:
+        """The decision for (``hypergiant``, ``isp``)."""
+        return self.decisions[(hypergiant, isp.asn)]
+
+    def served_from_offnet(self, hypergiant: str, isp: AS) -> bool:
+        """Whether the ISP's users get ``hypergiant`` content from an offnet."""
+        return self.decision(hypergiant, isp).source is not ServingSource.ONNET
+
+
+def _provider_chain(internet: Internet, isp: AS, max_depth: int = 4) -> list[AS]:
+    """Providers of ``isp`` in BFS order (nearest first), bounded depth."""
+    chain: list[AS] = []
+    frontier = [isp]
+    seen = {isp}
+    for _ in range(max_depth):
+        next_frontier: list[AS] = []
+        for current in frontier:
+            for provider in internet.graph.providers_of(current):
+                if provider not in seen:
+                    seen.add(provider)
+                    chain.append(provider)
+                    next_frontier.append(provider)
+        frontier = next_frontier
+    return chain
+
+
+def build_steering_policy(
+    internet: Internet,
+    state: DeploymentState,
+    hypergiants: tuple[str, ...] = ("Google", "Netflix", "Meta", "Akamai"),
+) -> SteeringPolicy:
+    """Compute the ground-truth steering for every access ISP."""
+    policy = SteeringPolicy(state=state)
+    for hypergiant in hypergiants:
+        require(hypergiant in internet.hypergiant_ases, f"unknown hypergiant {hypergiant}")
+        for isp in internet.access_isps:
+            local = state.deployment_of(hypergiant, isp)
+            if local is not None:
+                decision = SteeringDecision(hypergiant, isp.asn, ServingSource.LOCAL_OFFNET, local)
+            else:
+                decision = SteeringDecision(hypergiant, isp.asn, ServingSource.ONNET, None)
+                for provider in _provider_chain(internet, isp):
+                    upstream = state.deployment_of(hypergiant, provider)
+                    if upstream is not None:
+                        decision = SteeringDecision(
+                            hypergiant, isp.asn, ServingSource.PROVIDER_OFFNET, upstream
+                        )
+                        break
+            policy.decisions[(hypergiant, isp.asn)] = decision
+    return policy

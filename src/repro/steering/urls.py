@@ -1,0 +1,72 @@
+"""Embedded-URL steering: the modern front-end → manifest flow.
+
+Google, Netflix, and Meta "generally direct users to a particular offnet
+for cached content by embedding customized URLs into web pages returned to
+users ... while hosting their web pages on onnet and cloud locations"
+(§3.2).  :class:`EmbeddedUrlFrontend` models that application-layer step:
+a client fetches the page from an onnet front end and receives a manifest
+whose content hostnames are the site-specific names of the offnet that the
+hypergiant's (private, server-side) steering chose for the client.
+
+The crucial property for measurement: the *steering decision happens inside
+the HTTPS exchange*, so a DNS-only observer never sees it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import require
+from repro.steering.dns import DnsAuthority, DnsQuery
+from repro.topology.asn import AS
+
+
+@dataclass(frozen=True)
+class PlaybackManifest:
+    """What the front end returns to one client."""
+
+    hypergiant: str
+    #: The onnet host that served the page itself.
+    page_host: str
+    #: Site-specific content hostnames chosen for this client.
+    content_hostnames: tuple[str, ...]
+
+    @property
+    def uses_offnet(self) -> bool:
+        """Whether the manifest points at offnet sites at all."""
+        return bool(self.content_hostnames)
+
+
+@dataclass
+class EmbeddedUrlFrontend:
+    """The onnet web/application front end of one hypergiant."""
+
+    authority: DnsAuthority
+
+    def fetch_manifest(self, client_network: AS) -> PlaybackManifest:
+        """Serve the page to a client in ``client_network``.
+
+        The front end knows the client's network from the connection itself
+        (not from DNS), so its steering is exact — and invisible to anyone
+        who can only observe DNS.
+        """
+        require(client_network is not None, "client network required")
+        hostnames = self.authority.site_hostnames_for(client_network)
+        return PlaybackManifest(
+            hypergiant=self.authority.hypergiant,
+            page_host=self.authority.well_known_hostname,
+            content_hostnames=tuple(hostnames),
+        )
+
+    def content_ips(self, client_network: AS) -> list[int]:
+        """Full application-layer flow: page -> manifest -> DNS -> servers.
+
+        This is what a *browser inside the ISP* would end up connecting to;
+        researchers without vantage points in the ISP cannot run it.
+        """
+        manifest = self.fetch_manifest(client_network)
+        ips: set[int] = set()
+        for hostname in manifest.content_hostnames:
+            response = self.authority.resolve(DnsQuery(hostname, resolver_ip=0))
+            ips.update(response.answers)
+        return sorted(ips)

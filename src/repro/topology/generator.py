@@ -1,0 +1,393 @@
+"""Seeded whole-Internet generation.
+
+:func:`generate_internet` builds a ground-truth-annotated stand-in for the
+Internet the paper measures: a world of countries/cities, hypergiant ASes,
+a tier-1 clique, regional transit providers, access ISPs with Zipf user
+populations, IXPs, colocation facilities, an IPv4 address plan, and the
+business-relationship graph.  All downstream stages (deployment, scanning,
+latency measurement, traceroutes) consume the resulting :class:`Internet`.
+
+Everything is deterministic given ``InternetConfig.seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import make_rng, require, spawn_rng, zipf_weights
+from repro.topology.asn import AS, ASRegistry, ASRole
+from repro.topology.facilities import Facility, jittered_coordinates
+from repro.topology.geo import City, World, default_world
+from repro.topology.ixp import IXP
+from repro.topology.prefixes import AddressPlan, Prefix
+from repro.topology.relationships import ASGraph, PeerEdge
+
+
+@dataclass(frozen=True)
+class HypergiantSpec:
+    """Static identity of a hypergiant network."""
+
+    name: str
+    asn: int
+    home_country: str
+
+
+#: The four hypergiants the paper studies, with their real ASNs.
+DEFAULT_HYPERGIANTS: tuple[HypergiantSpec, ...] = (
+    HypergiantSpec("Google", 15169, "US"),
+    HypergiantSpec("Netflix", 2906, "US"),
+    HypergiantSpec("Meta", 32934, "US"),
+    HypergiantSpec("Akamai", 20940, "US"),
+)
+
+
+@dataclass(frozen=True)
+class InternetConfig:
+    """Knobs for :func:`generate_internet`.
+
+    The defaults produce a "default"-scale Internet (~700 access ISPs) that
+    runs the full pipeline in seconds; :mod:`repro.experiments.scenarios`
+    defines small/default/large presets.
+    """
+
+    seed: int = 0
+    n_access_isps: int = 700
+    n_tier1: int = 8
+    transit_per_continent: int = 4
+    n_ixps: int = 40
+    #: Zipf exponent for ISP user share within a country.
+    isp_zipf_exponent: float = 1.1
+    #: Probability scale for hypergiant PNI peering with large access ISPs.
+    pni_peering_scale: float = 1.0
+    #: Max number of cities an access ISP is present in.
+    max_isp_cities: int = 3
+    hypergiants: tuple[HypergiantSpec, ...] = DEFAULT_HYPERGIANTS
+
+    def __post_init__(self) -> None:
+        require(self.n_access_isps >= 4, "need at least a handful of access ISPs")
+        require(self.n_tier1 >= 2, "need at least two tier-1s")
+        require(self.n_ixps >= 1, "need at least one IXP")
+        require(self.max_isp_cities >= 1, "ISPs need at least one city")
+
+
+@dataclass
+class Internet:
+    """A generated Internet with full ground truth."""
+
+    config: InternetConfig
+    world: World
+    registry: ASRegistry
+    graph: ASGraph
+    plan: AddressPlan
+    ixps: list[IXP]
+    hypergiant_ases: dict[str, AS]
+    #: Facilities owned by each ISP, in creation order.
+    facilities_by_isp: dict[AS, list[Facility]]
+
+    @property
+    def access_isps(self) -> list[AS]:
+        """All access networks, in ASN order."""
+        return self.registry.with_role(ASRole.ACCESS)
+
+    @property
+    def transit_isps(self) -> list[AS]:
+        """All transit networks (incl. tier-1s), in ASN order."""
+        return self.registry.with_role(ASRole.TRANSIT) + self.registry.with_role(ASRole.TIER1)
+
+    @property
+    def isps(self) -> list[AS]:
+        """All networks the paper would call ISPs, in ASN order."""
+        return self.registry.isps
+
+    @property
+    def all_facilities(self) -> list[Facility]:
+        """Every facility, in facility-id order."""
+        result = [f for facilities in self.facilities_by_isp.values() for f in facilities]
+        return sorted(result, key=lambda f: f.facility_id)
+
+    def facilities_of(self, isp: AS) -> list[Facility]:
+        """Facilities owned by ``isp`` (may be empty)."""
+        return list(self.facilities_by_isp.get(isp, ()))
+
+    def hypergiant_as(self, name: str) -> AS:
+        """The AS of hypergiant ``name``."""
+        return self.hypergiant_ases[name]
+
+    def ixps_in_city(self, city: City) -> list[IXP]:
+        """IXPs whose fabric is in ``city``."""
+        return [ixp for ixp in self.ixps if ixp.city is city]
+
+
+class _InternetBuilder:
+    """Stateful builder; :func:`generate_internet` is the public entry."""
+
+    def __init__(self, config: InternetConfig) -> None:
+        self.config = config
+        self.world = default_world()
+        self.registry = ASRegistry()
+        self.graph = ASGraph()
+        self.plan = AddressPlan()
+        self.ixps: list[IXP] = []
+        self.hypergiant_ases: dict[str, AS] = {}
+        self.facilities_by_isp: dict[AS, list[Facility]] = {}
+        self._next_asn = 60000
+        self._next_facility_id = 0
+        root = make_rng(config.seed)
+        self._rng_cities = spawn_rng(root, "cities")
+        self._rng_users = spawn_rng(root, "users")
+        self._rng_edges = spawn_rng(root, "edges")
+        self._rng_ixps = spawn_rng(root, "ixps")
+        self._rng_facilities = spawn_rng(root, "facilities")
+
+    # -- helpers -------------------------------------------------------------
+
+    def _fresh_asn(self) -> int:
+        asn = self._next_asn
+        self._next_asn += 1
+        return asn
+
+    def _sample_cities(self, country_code: str, k: int) -> list[City]:
+        cities = self.world.cities_in(country_code)
+        k = min(k, len(cities))
+        weights = np.array([c.weight for c in cities])
+        indices = self._rng_cities.choice(len(cities), size=k, replace=False, p=weights / weights.sum())
+        return [cities[i] for i in sorted(indices)]
+
+    # -- build stages ---------------------------------------------------------
+
+    def build_hypergiants(self) -> None:
+        for spec in self.config.hypergiants:
+            hypergiant = AS(
+                asn=spec.asn,
+                name=spec.name,
+                role=ASRole.HYPERGIANT,
+                country_code=spec.home_country,
+                cities=self.world.cities_in(spec.home_country)[:3],
+            )
+            self.registry.add(hypergiant)
+            self.hypergiant_ases[spec.name] = hypergiant
+            self.plan.allocate(hypergiant, 14)
+
+    def build_tier1s(self) -> list[AS]:
+        tier1_countries = ["US", "US", "DE", "FR", "GB", "JP", "SE", "IT", "IN", "SG"]
+        tier1s: list[AS] = []
+        for i in range(self.config.n_tier1):
+            country = tier1_countries[i % len(tier1_countries)]
+            tier1 = AS(
+                asn=self._fresh_asn(),
+                name=f"Tier1-{i:02d}",
+                role=ASRole.TIER1,
+                country_code=country,
+                cities=self._sample_cities(country, 2),
+            )
+            self.registry.add(tier1)
+            self.plan.allocate(tier1, 16)
+            tier1s.append(tier1)
+        # Full clique of PNI peerings among tier-1s.
+        for i, a in enumerate(tier1s):
+            for b in tier1s[i + 1 :]:
+                self.graph.add_peering(a, b, PeerEdge.pni())
+        # Hypergiants peer (PNI) with every tier-1: universal reachability.
+        for hypergiant in self.hypergiant_ases.values():
+            for tier1 in tier1s:
+                self.graph.add_peering(hypergiant, tier1, PeerEdge.pni())
+        return tier1s
+
+    def build_regional_transits(self, tier1s: list[AS]) -> dict[str, list[AS]]:
+        by_continent: dict[str, list[str]] = {}
+        for country in self.world.countries:
+            by_continent.setdefault(country.continent, []).append(country.code)
+        transits: dict[str, list[AS]] = {}
+        for continent in sorted(by_continent):
+            codes = by_continent[continent]
+            transits[continent] = []
+            for i in range(self.config.transit_per_continent):
+                country = codes[int(self._rng_edges.integers(0, len(codes)))]
+                transit = AS(
+                    asn=self._fresh_asn(),
+                    name=f"Transit-{continent}-{i:02d}",
+                    role=ASRole.TRANSIT,
+                    country_code=country,
+                    cities=self._sample_cities(country, 2),
+                )
+                self.registry.add(transit)
+                self.plan.allocate(transit, 17)
+                # Each regional transit buys from 2-3 tier-1s.
+                n_upstreams = int(self._rng_edges.integers(2, 4))
+                upstream_indices = self._rng_edges.choice(len(tier1s), size=min(n_upstreams, len(tier1s)), replace=False)
+                for index in sorted(upstream_indices):
+                    self.graph.add_customer_provider(transit, tier1s[index])
+                transits[continent].append(transit)
+            # Partial peer mesh among a continent's transits.
+            for i, a in enumerate(transits[continent]):
+                for b in transits[continent][i + 1 :]:
+                    if self._rng_edges.random() < 0.5:
+                        self.graph.add_peering(a, b, PeerEdge.pni())
+        return transits
+
+    def build_access_isps(self, transits: dict[str, list[AS]]) -> list[AS]:
+        # Distribute the ISP count over countries proportionally to users
+        # (minimum 2 each) so populous countries get more ISPs.
+        countries = self.world.countries
+        user_totals = np.array([c.internet_users for c in countries], dtype=float)
+        raw = user_totals / user_totals.sum() * self.config.n_access_isps
+        counts = np.maximum(2, np.floor(raw).astype(int))
+        access_isps: list[AS] = []
+        for country, count in zip(countries, counts):
+            shares = zipf_weights(int(count), self.config.isp_zipf_exponent)
+            # Shuffle which rank gets which share? No: rank 0 is the incumbent.
+            for rank in range(int(count)):
+                n_cities = 1 + int(self._rng_cities.integers(0, self.config.max_isp_cities))
+                isp = AS(
+                    asn=self._fresh_asn(),
+                    name=f"{country.code}-ISP-{rank:03d}",
+                    role=ASRole.ACCESS,
+                    country_code=country.code,
+                    cities=self._sample_cities(country.code, n_cities),
+                    users=int(round(shares[rank] * country.internet_users)),
+                )
+                self.registry.add(isp)
+                # Address space scales (coarsely) with user base.
+                if isp.users > 2_000_000:
+                    length = 17
+                elif isp.users > 200_000:
+                    length = 19
+                else:
+                    length = 21
+                self.plan.allocate(isp, length)
+                # Buy transit from 1-2 same-continent regional transits.
+                continent = country.continent
+                candidates = transits[continent]
+                n_upstreams = 1 + int(self._rng_edges.random() < 0.4)
+                upstream_indices = self._rng_edges.choice(
+                    len(candidates), size=min(n_upstreams, len(candidates)), replace=False
+                )
+                for index in sorted(upstream_indices):
+                    self.graph.add_customer_provider(isp, candidates[index])
+                access_isps.append(isp)
+        return access_isps
+
+    def build_ixps(self) -> None:
+        # Place IXPs in the globally heaviest cities, one per city.
+        cities = sorted(self.world.cities, key=lambda c: (-c.weight, c.iata))
+        n_ixps = min(self.config.n_ixps, len(cities))
+        self.ixps = []
+        for i in range(n_ixps):
+            city = cities[i]
+            # The operator AS exists only to own the fabric prefix in the
+            # address plan; it is deliberately NOT registered (it is not a
+            # routing participant and must not show up in ISP lists).
+            ixp_owner = AS(
+                asn=self._fresh_asn(),
+                name=f"IXP-{city.iata.upper()}",
+                role=ASRole.TRANSIT,
+                country_code=city.country_code,
+                cities=[city],
+            )
+            fabric_prefix = self.plan.allocate(ixp_owner, 24)
+            ixp = IXP(ixp_id=i, name=f"IXP-{city.iata.upper()}", city=city, fabric_prefix=fabric_prefix)
+            self.ixps.append(ixp)
+
+    def wire_ixp_membership_and_hypergiant_peering(self) -> None:
+        """Connect ISPs and hypergiants to IXPs; wire hypergiant peerings.
+
+        Targets the §4.2.1 mix: roughly 40 % of offnet-hosting ISPs peer with
+        a given hypergiant; of the peers, ~40 % are PNI-only, ~40 % IXP-only,
+        ~20 % both.
+        """
+        ixps_by_country: dict[str, list[IXP]] = {}
+        for ixp in self.ixps:
+            ixps_by_country.setdefault(ixp.city.country_code, []).append(ixp)
+        ixps_by_continent: dict[str, list[IXP]] = {}
+        for ixp in self.ixps:
+            continent = self.world.country(ixp.city.country_code).continent
+            ixps_by_continent.setdefault(continent, []).append(ixp)
+
+        hypergiants = sorted(self.hypergiant_ases.values(), key=lambda a: a.asn)
+        # Hypergiants join every IXP (they are omnipresent at large exchanges).
+        for ixp in self.ixps:
+            for hypergiant in hypergiants:
+                ixp.add_member(hypergiant)
+
+        for isp in self.registry.with_role(ASRole.ACCESS):
+            continent = self.world.country(isp.country_code).continent
+            local_ixps = ixps_by_country.get(isp.country_code) or ixps_by_continent.get(continent, [])
+            joined: list[IXP] = []
+            if local_ixps:
+                # Larger ISPs are more likely to be at an exchange.
+                join_probability = min(0.95, 0.25 + 0.12 * np.log10(max(10, isp.users)))
+                if self._rng_ixps.random() < join_probability:
+                    ixp = local_ixps[int(self._rng_ixps.integers(0, len(local_ixps)))]
+                    ixp.add_member(isp)
+                    joined.append(ixp)
+            # Hypergiant peering decisions, independent per hypergiant.
+            # A pair may interconnect over a PNI, an IXP fabric, or both.
+            for hypergiant in hypergiants:
+                size_factor = min(1.0, isp.users / 8_000_000)
+                p_pni = self.config.pni_peering_scale * (0.04 + 0.30 * size_factor)
+                p_ixp = 0.26 if joined else 0.0
+                pni = self._rng_edges.random() < p_pni
+                via_ixp = bool(joined) and self._rng_edges.random() < p_ixp
+                if self.graph.has_any_relationship(isp, hypergiant):
+                    continue
+                if pni and via_ixp:
+                    self.graph.add_peering(isp, hypergiant, PeerEdge.both(joined[0].ixp_id))
+                elif pni:
+                    self.graph.add_peering(isp, hypergiant, PeerEdge.pni())
+                elif via_ixp:
+                    self.graph.add_peering(isp, hypergiant, PeerEdge.ixp(joined[0].ixp_id))
+        # Transit providers also peer with hypergiants (mostly PNI).
+        for transit in self.registry.with_role(ASRole.TRANSIT):
+            for hypergiant in hypergiants:
+                if self._rng_edges.random() < 0.8 and not self.graph.has_any_relationship(transit, hypergiant):
+                    self.graph.add_peering(transit, hypergiant, PeerEdge.pni())
+
+    def build_facilities(self) -> None:
+        for isp in self.registry.isps:
+            # Facility count grows with footprint: one per city, plus an
+            # extra in the primary city for the largest networks.
+            n_facilities = len(isp.cities)
+            if isp.users > 5_000_000 and self._rng_facilities.random() < 0.5:
+                n_facilities += 1
+            facilities: list[Facility] = []
+            for i in range(n_facilities):
+                city = isp.cities[i % len(isp.cities)]
+                lat, lon = jittered_coordinates(city, self._rng_facilities)
+                facility = Facility(
+                    facility_id=self._next_facility_id,
+                    name=f"{isp.name}-fac{i}",
+                    city=city,
+                    operator=isp,
+                    lat=lat,
+                    lon=lon,
+                    uplink_delay_ms=float(self._rng_facilities.uniform(0.1, 2.0)),
+                )
+                self._next_facility_id += 1
+                facilities.append(facility)
+            self.facilities_by_isp[isp] = facilities
+
+    def build(self) -> Internet:
+        self.build_hypergiants()
+        tier1s = self.build_tier1s()
+        transits = self.build_regional_transits(tier1s)
+        self.build_access_isps(transits)
+        self.build_ixps()
+        self.wire_ixp_membership_and_hypergiant_peering()
+        self.build_facilities()
+        return Internet(
+            config=self.config,
+            world=self.world,
+            registry=self.registry,
+            graph=self.graph,
+            plan=self.plan,
+            ixps=self.ixps,
+            hypergiant_ases=self.hypergiant_ases,
+            facilities_by_isp=self.facilities_by_isp,
+        )
+
+
+def generate_internet(config: InternetConfig | None = None) -> Internet:
+    """Generate a seeded Internet per ``config`` (defaults: default scale)."""
+    return _InternetBuilder(config or InternetConfig()).build()

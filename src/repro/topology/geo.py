@@ -1,0 +1,292 @@
+"""Geographic substrate: countries, cities, and distance math.
+
+The paper weights its findings by APNIC per-country Internet-user estimates
+and validates clustering against city-level hostname geohints.  This module
+provides a curated world model with plausible (public-figure-scale) Internet
+user counts and real city coordinates/IATA codes, so that downstream stages
+(latency simulation, rDNS geohints, Figure 1 country aggregation) operate on
+realistic geography.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import great_circle_m, require
+
+
+@dataclass(frozen=True)
+class Country:
+    """A country with an ISO 3166-1 alpha-2 code and Internet-user estimate."""
+
+    code: str
+    name: str
+    continent: str
+    internet_users: int
+
+    def __post_init__(self) -> None:
+        require(len(self.code) == 2 and self.code.isupper(), f"bad country code {self.code!r}")
+        require(self.internet_users >= 0, "internet_users must be >= 0")
+
+
+@dataclass(frozen=True)
+class City:
+    """A city with coordinates and an IATA code (used in rDNS geohints)."""
+
+    name: str
+    country_code: str
+    lat: float
+    lon: float
+    iata: str
+    #: Relative weight of the city within its country (population-ish).
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        require(-90.0 <= self.lat <= 90.0, f"bad latitude {self.lat}")
+        require(-180.0 <= self.lon <= 180.0, f"bad longitude {self.lon}")
+        require(len(self.iata) == 3 and self.iata.islower(), f"IATA must be 3 lowercase letters, got {self.iata!r}")
+        require(self.weight > 0, "city weight must be > 0")
+
+    def distance_m(self, other: "City") -> float:
+        """Great-circle distance to ``other`` in metres."""
+        return great_circle_m(self.lat, self.lon, other.lat, other.lon)
+
+
+@dataclass
+class World:
+    """A set of countries and their cities, indexed for lookup."""
+
+    countries: list[Country]
+    cities: list[City]
+    _country_by_code: dict[str, Country] = field(init=False, repr=False)
+    _cities_by_country: dict[str, list[City]] = field(init=False, repr=False)
+    _city_by_iata: dict[str, City] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._country_by_code = {c.code: c for c in self.countries}
+        require(len(self._country_by_code) == len(self.countries), "duplicate country codes")
+        self._cities_by_country = {}
+        self._city_by_iata = {}
+        for city in self.cities:
+            require(city.country_code in self._country_by_code, f"city {city.name} in unknown country {city.country_code}")
+            require(city.iata not in self._city_by_iata, f"duplicate IATA {city.iata}")
+            self._cities_by_country.setdefault(city.country_code, []).append(city)
+            self._city_by_iata[city.iata] = city
+        for country in self.countries:
+            require(country.code in self._cities_by_country, f"country {country.code} has no cities")
+
+    def country(self, code: str) -> Country:
+        """Return the country with ISO code ``code``."""
+        return self._country_by_code[code]
+
+    def cities_in(self, code: str) -> list[City]:
+        """Return the cities of country ``code`` (at least one)."""
+        return list(self._cities_by_country[code])
+
+    def city_by_iata(self, iata: str) -> City:
+        """Return the city with IATA code ``iata``."""
+        return self._city_by_iata[iata]
+
+    @property
+    def total_internet_users(self) -> int:
+        """Sum of Internet users across all countries."""
+        return sum(c.internet_users for c in self.countries)
+
+
+# Curated world data.  Internet-user counts are in thousands of users and are
+# plausible 2023-scale public figures; exact values do not matter, the
+# heavy-tailed cross-country distribution does.
+_COUNTRY_DATA: list[tuple[str, str, str, int]] = [
+    # code, name, continent, internet users (thousands)
+    ("US", "United States", "NA", 307_000),
+    ("CA", "Canada", "NA", 36_000),
+    ("MX", "Mexico", "NA", 96_000),
+    ("GT", "Guatemala", "NA", 10_500),
+    ("BR", "Brazil", "SA", 181_000),
+    ("AR", "Argentina", "SA", 39_000),
+    ("CL", "Chile", "SA", 17_000),
+    ("CO", "Colombia", "SA", 37_000),
+    ("PE", "Peru", "SA", 24_000),
+    ("BO", "Bolivia", "SA", 8_000),
+    ("UY", "Uruguay", "SA", 3_100),
+    ("EC", "Ecuador", "SA", 13_500),
+    ("GB", "United Kingdom", "EU", 66_000),
+    ("FR", "France", "EU", 60_000),
+    ("DE", "Germany", "EU", 78_000),
+    ("IT", "Italy", "EU", 50_000),
+    ("ES", "Spain", "EU", 44_000),
+    ("PT", "Portugal", "EU", 8_700),
+    ("NL", "Netherlands", "EU", 16_500),
+    ("BE", "Belgium", "EU", 10_800),
+    ("CH", "Switzerland", "EU", 8_400),
+    ("AT", "Austria", "EU", 8_300),
+    ("PL", "Poland", "EU", 33_000),
+    ("CZ", "Czechia", "EU", 9_500),
+    ("RO", "Romania", "EU", 17_000),
+    ("GR", "Greece", "EU", 8_900),
+    ("SE", "Sweden", "EU", 9_900),
+    ("NO", "Norway", "EU", 5_300),
+    ("FI", "Finland", "EU", 5_200),
+    ("DK", "Denmark", "EU", 5_700),
+    ("IE", "Ireland", "EU", 4_800),
+    ("UA", "Ukraine", "EU", 30_000),
+    ("TR", "Turkey", "EU", 71_000),
+    ("RU", "Russia", "EU", 127_000),
+    ("NG", "Nigeria", "AF", 103_000),
+    ("EG", "Egypt", "AF", 80_000),
+    ("ZA", "South Africa", "AF", 43_000),
+    ("KE", "Kenya", "AF", 17_000),
+    ("GH", "Ghana", "AF", 17_000),
+    ("MA", "Morocco", "AF", 33_000),
+    ("TZ", "Tanzania", "AF", 16_000),
+    ("ET", "Ethiopia", "AF", 21_000),
+    ("DZ", "Algeria", "AF", 31_000),
+    ("SN", "Senegal", "AF", 10_000),
+    ("IN", "India", "AS", 692_000),
+    ("CN", "China", "AS", 1_050_000),
+    ("JP", "Japan", "AS", 103_000),
+    ("KR", "South Korea", "AS", 50_000),
+    ("ID", "Indonesia", "AS", 213_000),
+    ("PH", "Philippines", "AS", 85_000),
+    ("VN", "Vietnam", "AS", 78_000),
+    ("TH", "Thailand", "AS", 61_000),
+    ("MY", "Malaysia", "AS", 33_000),
+    ("SG", "Singapore", "AS", 5_500),
+    ("PK", "Pakistan", "AS", 87_000),
+    ("BD", "Bangladesh", "AS", 67_000),
+    ("SA", "Saudi Arabia", "AS", 36_000),
+    ("AE", "United Arab Emirates", "AS", 9_800),
+    ("IL", "Israel", "AS", 8_600),
+    ("MN", "Mongolia", "AS", 2_800),
+    ("KZ", "Kazakhstan", "AS", 17_000),
+    ("AU", "Australia", "OC", 25_000),
+    ("NZ", "New Zealand", "OC", 4_900),
+    ("FJ", "Fiji", "OC", 800),
+    ("GL", "Greenland", "NA", 50),
+]
+
+_CITY_DATA: list[tuple[str, str, float, float, str, float]] = [
+    # name, country, lat, lon, iata, weight
+    ("New York", "US", 40.71, -74.01, "nyc", 3.0),
+    ("Los Angeles", "US", 34.05, -118.24, "lax", 2.5),
+    ("Chicago", "US", 41.88, -87.63, "chi", 2.0),
+    ("Dallas", "US", 32.78, -96.80, "dfw", 1.8),
+    ("Miami", "US", 25.76, -80.19, "mia", 1.5),
+    ("Seattle", "US", 47.61, -122.33, "sea", 1.2),
+    ("Denver", "US", 39.74, -104.99, "den", 1.0),
+    ("Atlanta", "US", 33.75, -84.39, "atl", 1.6),
+    ("Toronto", "CA", 43.65, -79.38, "yyz", 2.0),
+    ("Vancouver", "CA", 49.28, -123.12, "yvr", 1.0),
+    ("Montreal", "CA", 45.50, -73.57, "yul", 1.3),
+    ("Mexico City", "MX", 19.43, -99.13, "mex", 3.0),
+    ("Guadalajara", "MX", 20.66, -103.35, "gdl", 1.2),
+    ("Monterrey", "MX", 25.69, -100.32, "mty", 1.1),
+    ("Guatemala City", "GT", 14.63, -90.51, "gua", 1.0),
+    ("Sao Paulo", "BR", -23.55, -46.63, "gru", 3.0),
+    ("Rio de Janeiro", "BR", -22.91, -43.17, "gig", 1.8),
+    ("Fortaleza", "BR", -3.73, -38.52, "for", 1.0),
+    ("Porto Alegre", "BR", -30.03, -51.22, "poa", 0.9),
+    ("Buenos Aires", "AR", -34.60, -58.38, "eze", 2.5),
+    ("Cordoba", "AR", -31.42, -64.18, "cor", 0.8),
+    ("Santiago", "CL", -33.45, -70.67, "scl", 2.0),
+    ("Bogota", "CO", 4.71, -74.07, "bog", 2.2),
+    ("Medellin", "CO", 6.24, -75.58, "mde", 1.0),
+    ("Lima", "PE", -12.05, -77.04, "lim", 2.0),
+    ("La Paz", "BO", -16.49, -68.12, "lpb", 1.0),
+    ("Santa Cruz", "BO", -17.78, -63.18, "vvi", 0.9),
+    ("Montevideo", "UY", -34.90, -56.16, "mvd", 1.0),
+    ("Quito", "EC", -0.18, -78.47, "uio", 1.0),
+    ("London", "GB", 51.51, -0.13, "lhr", 3.0),
+    ("Manchester", "GB", 53.48, -2.24, "man", 1.2),
+    ("Birmingham", "GB", 52.49, -1.89, "bhx", 1.0),
+    ("Paris", "FR", 48.86, 2.35, "cdg", 3.0),
+    ("Marseille", "FR", 43.30, 5.37, "mrs", 1.0),
+    ("Lyon", "FR", 45.76, 4.84, "lys", 0.9),
+    ("Frankfurt", "DE", 50.11, 8.68, "fra", 2.5),
+    ("Berlin", "DE", 52.52, 13.41, "ber", 1.5),
+    ("Munich", "DE", 48.14, 11.58, "muc", 1.2),
+    ("Hamburg", "DE", 53.55, 9.99, "ham", 1.0),
+    ("Milan", "IT", 45.46, 9.19, "mxp", 2.0),
+    ("Rome", "IT", 41.90, 12.50, "fco", 1.8),
+    ("Madrid", "ES", 40.42, -3.70, "mad", 2.2),
+    ("Barcelona", "ES", 41.39, 2.17, "bcn", 1.8),
+    ("Lisbon", "PT", 38.72, -9.14, "lis", 1.0),
+    ("Amsterdam", "NL", 52.37, 4.90, "ams", 2.0),
+    ("Brussels", "BE", 50.85, 4.35, "bru", 1.0),
+    ("Zurich", "CH", 47.38, 8.54, "zrh", 1.0),
+    ("Vienna", "AT", 48.21, 16.37, "vie", 1.0),
+    ("Warsaw", "PL", 52.23, 21.01, "waw", 2.0),
+    ("Krakow", "PL", 50.06, 19.94, "krk", 0.8),
+    ("Prague", "CZ", 50.08, 14.44, "prg", 1.0),
+    ("Bucharest", "RO", 44.43, 26.10, "otp", 1.5),
+    ("Athens", "GR", 37.98, 23.73, "ath", 1.0),
+    ("Stockholm", "SE", 59.33, 18.06, "arn", 1.0),
+    ("Oslo", "NO", 59.91, 10.75, "osl", 1.0),
+    ("Helsinki", "FI", 60.17, 24.94, "hel", 1.0),
+    ("Copenhagen", "DK", 55.68, 12.57, "cph", 1.0),
+    ("Dublin", "IE", 53.35, -6.26, "dub", 1.0),
+    ("Kyiv", "UA", 50.45, 30.52, "kbp", 2.0),
+    ("Istanbul", "TR", 41.01, 28.98, "ist", 2.5),
+    ("Ankara", "TR", 39.93, 32.86, "esb", 1.0),
+    ("Moscow", "RU", 55.76, 37.62, "svo", 3.0),
+    ("Saint Petersburg", "RU", 59.93, 30.34, "led", 1.5),
+    ("Novosibirsk", "RU", 55.03, 82.92, "ovb", 0.8),
+    ("Lagos", "NG", 6.52, 3.38, "los", 2.5),
+    ("Abuja", "NG", 9.06, 7.50, "abv", 1.0),
+    ("Cairo", "EG", 30.04, 31.24, "cai", 2.5),
+    ("Johannesburg", "ZA", -26.20, 28.05, "jnb", 2.0),
+    ("Cape Town", "ZA", -33.92, 18.42, "cpt", 1.2),
+    ("Nairobi", "KE", -1.29, 36.82, "nbo", 1.5),
+    ("Accra", "GH", 5.60, -0.19, "acc", 1.0),
+    ("Casablanca", "MA", 33.57, -7.59, "cmn", 1.5),
+    ("Dar es Salaam", "TZ", -6.79, 39.21, "dar", 1.0),
+    ("Addis Ababa", "ET", 9.02, 38.75, "add", 1.0),
+    ("Algiers", "DZ", 36.75, 3.06, "alg", 1.0),
+    ("Dakar", "SN", 14.72, -17.47, "dkr", 1.0),
+    ("Mumbai", "IN", 19.08, 72.88, "bom", 3.0),
+    ("Delhi", "IN", 28.70, 77.10, "del", 3.0),
+    ("Chennai", "IN", 13.08, 80.27, "maa", 1.8),
+    ("Bangalore", "IN", 12.97, 77.59, "blr", 2.0),
+    ("Kolkata", "IN", 22.57, 88.36, "ccu", 1.5),
+    ("Beijing", "CN", 39.90, 116.40, "pek", 3.0),
+    ("Shanghai", "CN", 31.23, 121.47, "pvg", 3.0),
+    ("Guangzhou", "CN", 23.13, 113.26, "can", 2.5),
+    ("Chengdu", "CN", 30.57, 104.07, "ctu", 1.5),
+    ("Tokyo", "JP", 35.68, 139.69, "hnd", 3.0),
+    ("Osaka", "JP", 34.69, 135.50, "kix", 1.8),
+    ("Seoul", "KR", 37.57, 126.98, "icn", 3.0),
+    ("Busan", "KR", 35.18, 129.08, "pus", 1.0),
+    ("Jakarta", "ID", -6.21, 106.85, "cgk", 3.0),
+    ("Surabaya", "ID", -7.26, 112.75, "sub", 1.2),
+    ("Medan", "ID", 3.59, 98.67, "kno", 1.0),
+    ("Manila", "PH", 14.60, 120.98, "mnl", 2.5),
+    ("Cebu", "PH", 10.32, 123.89, "ceb", 1.0),
+    ("Hanoi", "VN", 21.03, 105.85, "han", 2.0),
+    ("Ho Chi Minh City", "VN", 10.82, 106.63, "sgn", 2.2),
+    ("Bangkok", "TH", 13.76, 100.50, "bkk", 2.5),
+    ("Kuala Lumpur", "MY", 3.14, 101.69, "kul", 2.0),
+    ("Singapore", "SG", 1.35, 103.82, "sin", 1.0),
+    ("Karachi", "PK", 24.86, 67.01, "khi", 2.0),
+    ("Lahore", "PK", 31.55, 74.34, "lhe", 1.5),
+    ("Dhaka", "BD", 23.81, 90.41, "dac", 2.5),
+    ("Riyadh", "SA", 24.71, 46.68, "ruh", 2.0),
+    ("Jeddah", "SA", 21.49, 39.19, "jed", 1.2),
+    ("Dubai", "AE", 25.20, 55.27, "dxb", 1.5),
+    ("Tel Aviv", "IL", 32.07, 34.78, "tlv", 1.0),
+    ("Ulaanbaatar", "MN", 47.89, 106.91, "uln", 1.0),
+    ("Almaty", "KZ", 43.24, 76.89, "ala", 1.2),
+    ("Sydney", "AU", -33.87, 151.21, "syd", 2.0),
+    ("Melbourne", "AU", -37.81, 144.96, "mel", 1.8),
+    ("Perth", "AU", -31.95, 115.86, "per", 0.8),
+    ("Auckland", "NZ", -36.85, 174.76, "akl", 1.5),
+    ("Wellington", "NZ", -41.29, 174.78, "wlg", 0.8),
+    ("Suva", "FJ", -18.14, 178.44, "suv", 1.0),
+    ("Nuuk", "GL", 64.18, -51.72, "goh", 1.0),
+]
+
+
+def default_world() -> World:
+    """Build the curated :class:`World` used by the default scenarios."""
+    countries = [Country(code, name, continent, users * 1000) for code, name, continent, users in _COUNTRY_DATA]
+    cities = [City(name, cc, lat, lon, iata, weight) for name, cc, lat, lon, iata, weight in _CITY_DATA]
+    return World(countries=countries, cities=cities)

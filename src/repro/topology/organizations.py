@@ -1,0 +1,163 @@
+"""Organizations: sibling ASes and AS2Org-style aggregation.
+
+Real ISPs often announce from several sibling ASNs (regional networks,
+acquisitions).  Counting "ISPs hosting offnets" per ASN therefore
+*overcounts* organisations; the footprint studies aggregate through a
+CAIDA AS2Org-style dataset.  This module models both halves:
+
+* :func:`build_organizations` — ground truth: group some same-country
+  access ASes into multi-AS organisations (telecom groups);
+* :class:`OrgDataset` — the published mapping, with imperfect coverage
+  (unmapped ASNs fall back to singleton organisations);
+* :func:`organization_footprint` — aggregate a detected offnet inventory
+  to organisation level.
+
+The ablation bench quantifies the per-ASN overcount the aggregation fixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import make_rng, require, require_fraction
+from repro.scan.detection import OffnetInventory
+from repro.topology.generator import Internet
+
+
+@dataclass(frozen=True)
+class Organization:
+    """One organisation and the ASNs it operates."""
+
+    org_id: str
+    name: str
+    asns: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        require(bool(self.asns), "organisation needs at least one ASN")
+
+
+@dataclass
+class OrgDataset:
+    """An AS2Org-style mapping, possibly incomplete.
+
+    ``ground_truth`` carries the full sibling structure for scoring;
+    ``org_of`` answers from the *published* (coverage-limited) view, the
+    way a consumer of the dataset would see it.
+    """
+
+    organizations: list[Organization]
+    #: ASN -> org_id in the published dataset (subset of the truth).
+    published: dict[int, str]
+    _truth_by_asn: dict[int, str] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._truth_by_asn = {}
+        seen: set[str] = set()
+        for organization in self.organizations:
+            require(organization.org_id not in seen, f"duplicate org {organization.org_id}")
+            seen.add(organization.org_id)
+            for asn in organization.asns:
+                require(asn not in self._truth_by_asn, f"ASN {asn} in two organisations")
+                self._truth_by_asn[asn] = organization.org_id
+
+    def org_of(self, asn: int) -> str:
+        """Published organisation of ``asn`` (singleton fallback)."""
+        return self.published.get(asn, f"as-{asn}")
+
+    def true_org_of(self, asn: int) -> str:
+        """Ground-truth organisation of ``asn`` (singleton fallback)."""
+        return self._truth_by_asn.get(asn, f"as-{asn}")
+
+    @property
+    def multi_as_organizations(self) -> list[Organization]:
+        """Organisations operating more than one ASN."""
+        return [o for o in self.organizations if len(o.asns) > 1]
+
+    def coverage(self) -> float:
+        """Fraction of organisation-member ASNs present in the published map."""
+        member_asns = [asn for o in self.organizations for asn in o.asns]
+        if not member_asns:
+            return 1.0
+        return sum(1 for asn in member_asns if asn in self.published) / len(member_asns)
+
+
+def build_organizations(
+    internet: Internet,
+    multi_as_fraction: float = 0.15,
+    max_siblings: int = 3,
+    published_coverage: float = 0.97,
+    seed: int | np.random.Generator = 0,
+) -> OrgDataset:
+    """Group access ASes into organisations (ground truth + published map).
+
+    ``multi_as_fraction`` of access ASes end up in a multi-AS group with up
+    to ``max_siblings`` same-country siblings; the published dataset misses
+    each membership with probability ``1 - published_coverage``.
+    """
+    require_fraction(multi_as_fraction, "multi_as_fraction")
+    require_fraction(published_coverage, "published_coverage")
+    require(max_siblings >= 2, "max_siblings must be >= 2")
+    rng = make_rng(seed)
+
+    by_country: dict[str, list[int]] = {}
+    for isp in internet.access_isps:
+        by_country.setdefault(isp.country_code, []).append(isp.asn)
+
+    organizations: list[Organization] = []
+    published: dict[int, str] = {}
+    org_index = 0
+    for country in sorted(by_country):
+        pool = list(by_country[country])
+        target_grouped = int(round(multi_as_fraction * len(pool)))
+        grouped = 0
+        while grouped < target_grouped and len(pool) >= 2:
+            size = int(rng.integers(2, max_siblings + 1))
+            size = min(size, len(pool))
+            indices = sorted(rng.choice(len(pool), size=size, replace=False), reverse=True)
+            members = tuple(sorted(pool.pop(i) for i in indices))
+            org_id = f"org-{country.lower()}-{org_index:03d}"
+            org_index += 1
+            organizations.append(Organization(org_id, f"{country} Telecom Group {org_index}", members))
+            grouped += size
+        # Remaining ASes are singleton organisations (left implicit: the
+        # dataset's fallback handles them).
+
+    for organization in organizations:
+        for asn in organization.asns:
+            if rng.random() < published_coverage:
+                published[asn] = organization.org_id
+    return OrgDataset(organizations=organizations, published=published)
+
+
+@dataclass
+class OrgFootprint:
+    """Organisation-level hosting counts for one inventory."""
+
+    #: hypergiant -> number of distinct hosting organisations.
+    org_counts: dict[str, int] = field(default_factory=dict)
+    #: hypergiant -> number of distinct hosting ASNs (the naive count).
+    asn_counts: dict[str, int] = field(default_factory=dict)
+
+    def overcount_factor(self, hypergiant: str) -> float:
+        """How much the per-ASN count inflates the organisation count."""
+        orgs = self.org_counts.get(hypergiant, 0)
+        return self.asn_counts.get(hypergiant, 0) / orgs if orgs else 1.0
+
+
+def organization_footprint(
+    inventory: OffnetInventory, dataset: OrgDataset, use_truth: bool = False
+) -> OrgFootprint:
+    """Aggregate a detected inventory to organisation level.
+
+    With ``use_truth`` the ground-truth sibling structure is used instead
+    of the published dataset (for scoring the published map's error).
+    """
+    resolve = dataset.true_org_of if use_truth else dataset.org_of
+    footprint = OrgFootprint()
+    for hypergiant in ("Google", "Netflix", "Meta", "Akamai"):
+        asns = inventory.isp_asns(hypergiant)
+        footprint.asn_counts[hypergiant] = len(asns)
+        footprint.org_counts[hypergiant] = len({resolve(asn) for asn in asns})
+    return footprint

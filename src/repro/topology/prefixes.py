@@ -1,0 +1,113 @@
+"""IPv4 address plan.
+
+Addresses are plain ints (fast set/dict keys for 261K-address-scale scans);
+:func:`ip_to_str` / :func:`ip_from_str` convert at the edges.  Each AS is
+allocated disjoint prefixes by :class:`AddressPlan`, giving the scan stage an
+authoritative IP→AS mapping (the real study uses BGP-derived IP-to-AS data).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro._util import require
+from repro.topology.asn import AS
+
+IPV4_SPACE = 2**32
+
+
+def ip_to_str(address: int) -> str:
+    """Render an int address as dotted-quad."""
+    require(0 <= address < IPV4_SPACE, f"address out of range: {address}")
+    return ".".join(str((address >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def ip_from_str(text: str) -> int:
+    """Parse a dotted-quad address to an int."""
+    parts = text.split(".")
+    require(len(parts) == 4, f"malformed IPv4 address {text!r}")
+    address = 0
+    for part in parts:
+        octet = int(part)
+        require(0 <= octet <= 255, f"bad octet in {text!r}")
+        address = (address << 8) | octet
+    return address
+
+
+@dataclass(frozen=True)
+class Prefix:
+    """An IPv4 prefix ``base/length`` with aligned base."""
+
+    base: int
+    length: int
+
+    def __post_init__(self) -> None:
+        require(0 <= self.length <= 32, f"bad prefix length {self.length}")
+        require(0 <= self.base < IPV4_SPACE, "prefix base out of range")
+        require(self.base % self.size == 0, f"prefix base not aligned to /{self.length}")
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered."""
+        return 1 << (32 - self.length)
+
+    def __contains__(self, address: int) -> bool:
+        return self.base <= address < self.base + self.size
+
+    def __str__(self) -> str:
+        return f"{ip_to_str(self.base)}/{self.length}"
+
+    def slash24s(self) -> list["Prefix"]:
+        """The /24 sub-prefixes covering this prefix (itself if /24 or longer)."""
+        if self.length >= 24:
+            return [self]
+        return [Prefix(self.base + i * 256, 24) for i in range(self.size // 256)]
+
+
+@dataclass
+class AddressPlan:
+    """Allocates disjoint prefixes and answers IP→AS lookups.
+
+    Allocation is sequential from ``1.0.0.0`` upward, so the plan is
+    deterministic given the allocation order (which the generator fixes).
+    """
+
+    _next_base: int = 1 << 24  # start at 1.0.0.0, keep 0/8 unused
+    _allocations: list[tuple[int, int, AS]] = field(default_factory=list, repr=False)
+    _bases: list[int] = field(default_factory=list, repr=False)
+    _by_as: dict[AS, list[Prefix]] = field(default_factory=dict, repr=False)
+
+    def allocate(self, owner: AS, length: int) -> Prefix:
+        """Allocate the next aligned ``/length`` to ``owner``."""
+        size = 1 << (32 - length)
+        base = (self._next_base + size - 1) // size * size
+        require(base + size <= IPV4_SPACE, "IPv4 space exhausted")
+        prefix = Prefix(base, length)
+        self._next_base = base + size
+        self._allocations.append((base, base + size, owner))
+        self._bases.append(base)
+        self._by_as.setdefault(owner, []).append(prefix)
+        return prefix
+
+    def prefixes_of(self, owner: AS) -> list[Prefix]:
+        """All prefixes allocated to ``owner``, in allocation order."""
+        return list(self._by_as.get(owner, ()))
+
+    def owner_of(self, address: int) -> AS | None:
+        """The AS owning ``address``, or None if unallocated."""
+        index = bisect_right(self._bases, address) - 1
+        if index < 0:
+            return None
+        base, end, owner = self._allocations[index]
+        if base <= address < end:
+            return owner
+        return None
+
+    def announced_slash24s(self) -> list[Prefix]:
+        """Every announced /24 (the traceroute campaign targets one IP per /24)."""
+        result: list[Prefix] = []
+        for base, end, _owner in self._allocations:
+            for sub_base in range(base, end, 256):
+                result.append(Prefix(sub_base, min(24, 32)))
+        return result

@@ -1,0 +1,33 @@
+"""Traceroute simulation and peering inference (substrate + §4.2.1).
+
+The paper issues 21M traceroutes from VMs in all 112 Google Cloud regions to
+one IP per announced /24, and infers that Google peers with an ISP when a
+Google IP is directly followed by an IP mapped to the ISP (with Euro-IX /
+PeeringDB data mapping IXP fabric addresses to member ISPs).  This package
+replays that methodology over the generated topology: a hop-by-hop
+forwarding engine (:mod:`repro.traceroute.engine`), the IXP address-mapping
+dataset (:mod:`repro.traceroute.ixp_mapping`), and the inference plus
+campaign driver (:mod:`repro.traceroute.peering`).
+"""
+
+from repro.traceroute.engine import Hop, TracerouteConfig, TracerouteEngine, TraceroutePath
+from repro.traceroute.ixp_mapping import IxpAddressMap, build_ixp_address_map
+from repro.traceroute.peering import (
+    CampaignConfig,
+    PeeringEvidence,
+    PeeringInference,
+    run_peering_campaign,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "Hop",
+    "IxpAddressMap",
+    "PeeringEvidence",
+    "PeeringInference",
+    "TracerouteConfig",
+    "TracerouteEngine",
+    "TraceroutePath",
+    "build_ixp_address_map",
+    "run_peering_campaign",
+]

@@ -1,0 +1,232 @@
+"""Peering inference from traceroutes (§4.2.1).
+
+The rule: "We inferred an ISP as a peer if any traceroute has a Google IP
+address directly followed by one mapped to the ISP."  ISPs where only
+unresponsive hops separate Google and the ISP are the "possible peering"
+class; everything else is "no evidence" (traffic must come via a provider).
+The inference also records the interconnection medium per ISP: whether a
+peering was observed over an IXP fabric address in at least one traceroute,
+and whether it was *only* ever seen over IXPs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import make_rng, require, spawn_rng
+from repro.topology.asn import AS
+from repro.topology.generator import Internet
+from repro.traceroute.engine import TracerouteConfig, TracerouteEngine, TraceroutePath
+from repro.traceroute.ixp_mapping import IxpAddressMap, build_ixp_address_map
+
+
+class PeeringEvidence(enum.Enum):
+    """What the traceroutes say about (hypergiant, ISP) interconnection."""
+
+    PEER = "peer"
+    POSSIBLE_PEER = "possible"
+    NO_EVIDENCE = "no_evidence"
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Campaign shape (the paper: 112 regions x one IP per announced /24)."""
+
+    #: Source regions; the paper used all 112 Google Cloud regions.  Region
+    #: diversity only matters here for multi-media peerings, so the default
+    #: is smaller.
+    n_regions: int = 8
+    #: Destination IPs probed per target ISP.
+    targets_per_isp: int = 2
+    traceroute: TracerouteConfig = field(default_factory=TracerouteConfig)
+
+    def __post_init__(self) -> None:
+        require(self.n_regions >= 1, "need at least one region")
+        require(self.targets_per_isp >= 1, "need at least one target per ISP")
+
+
+@dataclass
+class PeeringInference:
+    """Aggregated inference over a whole campaign."""
+
+    hypergiant: str
+    evidence: dict[int, PeeringEvidence] = field(default_factory=dict)
+    #: ASNs whose peering was seen over an IXP fabric at least once.
+    seen_via_ixp: set[int] = field(default_factory=set)
+    #: ASNs whose peering was seen over a non-IXP (PNI) boundary at least once.
+    seen_via_pni: set[int] = field(default_factory=set)
+
+    def classify(self, asn: int) -> PeeringEvidence:
+        """Evidence class for ``asn`` (NO_EVIDENCE when never probed)."""
+        return self.evidence.get(asn, PeeringEvidence.NO_EVIDENCE)
+
+    def counts_for(self, asns: list[int]) -> dict[PeeringEvidence, int]:
+        """Evidence-class histogram over ``asns`` (§4.2.1's headline split)."""
+        counts = {evidence: 0 for evidence in PeeringEvidence}
+        for asn in asns:
+            counts[self.classify(asn)] += 1
+        return counts
+
+    @property
+    def peer_asns(self) -> list[int]:
+        """ASNs classified as peers, sorted."""
+        return sorted(asn for asn, ev in self.evidence.items() if ev is PeeringEvidence.PEER)
+
+    def ixp_at_least_once_fraction(self) -> float:
+        """Of inferred peers, the fraction seen over an IXP at least once."""
+        peers = self.peer_asns
+        if not peers:
+            return 0.0
+        return sum(1 for asn in peers if asn in self.seen_via_ixp) / len(peers)
+
+    def ixp_only_fraction(self) -> float:
+        """Of inferred peers, the fraction *only* ever seen over IXPs."""
+        peers = self.peer_asns
+        if not peers:
+            return 0.0
+        only = sum(1 for asn in peers if asn in self.seen_via_ixp and asn not in self.seen_via_pni)
+        return only / len(peers)
+
+
+def _boundary_observation(
+    path: TraceroutePath,
+    hypergiant_asn: int,
+    target_asn: int,
+    internet: Internet,
+    ixp_map: IxpAddressMap,
+) -> tuple[PeeringEvidence, bool] | None:
+    """What one traceroute says: (evidence, via_ixp) or None (nothing).
+
+    Walks the hop list to the last responsive hop mapped to the hypergiant,
+    then inspects what follows, exactly as the methodology does (using the
+    IXP dataset first, then IP-to-AS ownership).
+    """
+
+    def map_address(address: int) -> tuple[int | None, bool]:
+        """(mapped ASN or None, is_ixp_fabric_address)."""
+        if ixp_map.is_fabric_address(address):
+            return ixp_map.member_of(address), True
+        owner = internet.plan.owner_of(address)
+        return (owner.asn if owner is not None else None), False
+
+    last_hypergiant_index: int | None = None
+    for index, hop in enumerate(path.hops):
+        if hop.address is None:
+            continue
+        mapped_asn, _ = map_address(hop.address)
+        if mapped_asn == hypergiant_asn:
+            last_hypergiant_index = index
+    if last_hypergiant_index is None:
+        return None
+
+    skipped_unresponsive = False
+    for hop in path.hops[last_hypergiant_index + 1 :]:
+        if hop.address is None:
+            skipped_unresponsive = True
+            continue
+        mapped_asn, is_ixp = map_address(hop.address)
+        if mapped_asn == target_asn:
+            if skipped_unresponsive:
+                return (PeeringEvidence.POSSIBLE_PEER, is_ixp)
+            return (PeeringEvidence.PEER, is_ixp)
+        if mapped_asn is None:
+            # An unmappable responsive hop (e.g. uncovered IXP port): it
+            # breaks "directly followed", leaving at best a possibility.
+            skipped_unresponsive = True
+            continue
+        return (PeeringEvidence.NO_EVIDENCE, False)
+    return (PeeringEvidence.NO_EVIDENCE, False)
+
+
+def run_peering_campaign(
+    internet: Internet,
+    hypergiant: str,
+    target_isps: list[AS],
+    config: CampaignConfig | None = None,
+    ixp_map: IxpAddressMap | None = None,
+    seed: int | np.random.Generator = 0,
+) -> PeeringInference:
+    """Traceroute from ``hypergiant`` VMs to ``target_isps`` and infer peering.
+
+    (The paper can only run this from Google Cloud; the simulator can run it
+    from any hypergiant, which the tests exploit.)
+    """
+    config = config or CampaignConfig()
+    root = make_rng(seed)
+    engine = TracerouteEngine(internet, config.traceroute, seed=spawn_rng(root, "engine"))
+    if ixp_map is None:
+        ixp_map = build_ixp_address_map(internet, seed=spawn_rng(root, "ixpmap"))
+    source = internet.hypergiant_as(hypergiant)
+    inference = PeeringInference(hypergiant=hypergiant)
+
+    for isp in sorted(target_isps, key=lambda a: a.asn):
+        prefix = internet.plan.prefixes_of(isp)[0]
+        best: PeeringEvidence | None = None
+        for region_index in range(config.n_regions):
+            region = f"region-{region_index:03d}"
+            for target_index in range(config.targets_per_isp):
+                # One IP per /24, like the paper (offset 7 avoids the
+                # infrastructure block's first addresses).
+                destination_ip = prefix.base + 256 * target_index + 7
+                path = engine.trace(source, destination_ip, region)
+                observation = _boundary_observation(path, source.asn, isp.asn, internet, ixp_map)
+                if observation is None:
+                    continue
+                evidence, via_ixp = observation
+                if evidence is PeeringEvidence.PEER:
+                    best = PeeringEvidence.PEER
+                    if via_ixp:
+                        inference.seen_via_ixp.add(isp.asn)
+                    else:
+                        inference.seen_via_pni.add(isp.asn)
+                elif evidence is PeeringEvidence.POSSIBLE_PEER and best is not PeeringEvidence.PEER:
+                    best = PeeringEvidence.POSSIBLE_PEER
+                elif best is None:
+                    best = PeeringEvidence.NO_EVIDENCE
+        inference.evidence[isp.asn] = best or PeeringEvidence.NO_EVIDENCE
+    return inference
+
+
+@dataclass(frozen=True)
+class PeeringScore:
+    """Accuracy of the inference against the ground-truth graph."""
+
+    true_peer_detected: int
+    true_peer_possible: int
+    true_peer_missed: int
+    false_peer: int
+
+    @property
+    def recall(self) -> float:
+        """Detected true peers / all true peers probed."""
+        total = self.true_peer_detected + self.true_peer_possible + self.true_peer_missed
+        return self.true_peer_detected / total if total else 1.0
+
+    @property
+    def precision(self) -> float:
+        """Detected true peers / all detected peers."""
+        detected = self.true_peer_detected + self.false_peer
+        return self.true_peer_detected / detected if detected else 1.0
+
+
+def score_peering_inference(
+    internet: Internet, hypergiant: str, inference: PeeringInference
+) -> PeeringScore:
+    """Score ``inference`` against the ground-truth relationship graph."""
+    source = internet.hypergiant_as(hypergiant)
+    detected = possible = missed = false_peer = 0
+    by_asn = {a.asn: a for a in internet.registry}
+    for asn, evidence in inference.evidence.items():
+        is_peer = internet.graph.are_peers(source, by_asn[asn])
+        if is_peer and evidence is PeeringEvidence.PEER:
+            detected += 1
+        elif is_peer and evidence is PeeringEvidence.POSSIBLE_PEER:
+            possible += 1
+        elif is_peer:
+            missed += 1
+        elif evidence is PeeringEvidence.PEER:
+            false_peer += 1
+    return PeeringScore(detected, possible, missed, false_peer)

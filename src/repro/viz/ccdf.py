@@ -1,0 +1,109 @@
+"""ASCII CCDF / line plots.
+
+One x axis, one y axis, up to four series with fixed distinct glyphs
+(identity is carried by the glyph and the legend, never by shading), a
+recessive dotted grid, and tick labels on both axes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro._util import require
+
+#: Fixed series glyphs, assigned in order (never cycled past four series).
+SERIES_GLYPHS = ("*", "o", "+", "x")
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.1f}"
+    return f"{value:.2f}"
+
+
+def render_ccdf(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "P(X >= x)",
+    x_range: tuple[float, float] | None = None,
+) -> str:
+    """Render step-like curves (e.g. CCDFs) as a text plot.
+
+    ``series`` maps a legend label to ``(x_values, y_values)``; y is assumed
+    to be in [0, 1].  At most four series (the fixed-glyph rule).
+    """
+    require(0 < len(series) <= len(SERIES_GLYPHS), "1-4 series supported")
+    require(width >= 20 and height >= 6, "plot too small")
+
+    cleaned: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for label, (xs, ys) in series.items():
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        require(xs.shape == ys.shape, f"series {label!r} x/y mismatch")
+        require(xs.size > 0, f"series {label!r} is empty")
+        cleaned[label] = (xs, ys)
+
+    if x_range is None:
+        x_min = min(float(xs.min()) for xs, _ in cleaned.values())
+        x_max = max(float(xs.max()) for xs, _ in cleaned.values())
+    else:
+        x_min, x_max = x_range
+    if math.isclose(x_min, x_max):
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    # Recessive dotted gridlines at quartile y levels.
+    for fraction in (0.25, 0.5, 0.75):
+        row = int(round((1.0 - fraction) * (height - 1)))
+        for column in range(0, width, 4):
+            grid[row][column] = "."
+
+    def x_to_col(x: float) -> int:
+        return int(round((x - x_min) / (x_max - x_min) * (width - 1)))
+
+    def y_to_row(y: float) -> int:
+        return int(round((1.0 - min(1.0, max(0.0, y))) * (height - 1)))
+
+    for glyph, (label, (xs, ys)) in zip(SERIES_GLYPHS, cleaned.items()):
+        # Sample the step function at every column for a continuous trace.
+        order = np.argsort(xs)
+        xs_sorted, ys_sorted = xs[order], ys[order]
+        for column in range(width):
+            x = x_min + column / (width - 1) * (x_max - x_min)
+            index = np.searchsorted(xs_sorted, x, side="right") - 1
+            if index < 0:
+                y = ys_sorted[0]
+            else:
+                y = ys_sorted[index]
+            grid[y_to_row(float(y))][column] = glyph
+
+    lines: list[str] = []
+    for row_index, row in enumerate(grid):
+        y_value = 1.0 - row_index / (height - 1)
+        tick = f"{y_value:4.2f} |" if row_index % max(1, (height - 1) // 4) == 0 else "     |"
+        lines.append(tick + "".join(row))
+    lines.append("     +" + "-" * width)
+    # Three x ticks: min, mid, max.
+    tick_row = [" "] * (width + 6)
+    for fraction in (0.0, 0.5, 1.0):
+        column = 6 + int(fraction * (width - 1))
+        text = _format_tick(x_min + fraction * (x_max - x_min))
+        for offset, char in enumerate(text):
+            if column + offset < len(tick_row):
+                tick_row[column + offset] = char
+    lines.append("".join(tick_row))
+    lines.append(f"      x: {x_label}    y: {y_label}")
+    legend = "      legend: " + "   ".join(
+        f"{glyph} {label}" for glyph, label in zip(SERIES_GLYPHS, cleaned)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""One-line sparklines for small time series (diurnal curves, trajectories)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro._util import require
+
+#: Eight vertical levels, light to heavy.
+SPARK_CHARS = " _.-=+*#"
+
+
+def render_sparkline(values: Sequence[float], label: str = "") -> str:
+    """Render ``values`` as a one-line character sparkline.
+
+    Values are min-max normalised; a flat series renders at the midline.
+    """
+    series = np.asarray(list(values), dtype=float)
+    require(series.size > 0, "sparkline needs values")
+    low, high = float(series.min()), float(series.max())
+    if high - low < 1e-12:
+        normalised = np.full(series.size, 0.5)
+    else:
+        normalised = (series - low) / (high - low)
+    indices = np.clip((normalised * (len(SPARK_CHARS) - 1)).round().astype(int), 0, len(SPARK_CHARS) - 1)
+    line = "".join(SPARK_CHARS[i] for i in indices)
+    suffix = f"  [{low:.2f}..{high:.2f}]"
+    prefix = f"{label}: " if label else ""
+    return prefix + line + suffix

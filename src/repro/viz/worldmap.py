@@ -1,0 +1,69 @@
+"""ASCII world choropleths (Figure 1's medium, in text).
+
+Without country polygons, the map anchors on the world model's cities:
+each character cell of a lat/lon grid takes the value of the nearest city
+within a cutoff radius, shaded with a monochrome density ramp (a proper
+sequential encoding: light → dark = low → high).  Because cities trace the
+continents, the rendered shape is a recognisable world map; ocean cells
+stay blank.
+"""
+
+from __future__ import annotations
+
+from repro._util import great_circle_m, require, require_fraction
+from repro.topology.geo import World
+
+#: Sequential ramp, light -> dark (fractions 0..1 map onto these).
+SHADE_RAMP = " .:-=+*#%@"
+#: A cell further than this from every city is ocean/empty.
+DEFAULT_REACH_KM = 900.0
+
+
+def shade_for(fraction: float) -> str:
+    """The ramp character for a value in [0, 1]."""
+    require_fraction(fraction, "fraction")
+    index = min(len(SHADE_RAMP) - 1, int(fraction * (len(SHADE_RAMP) - 1) + 0.5))
+    return SHADE_RAMP[index]
+
+
+def render_world_map(
+    world: World,
+    value_by_country: dict[str, float],
+    width: int = 72,
+    height: int = 24,
+    reach_km: float = DEFAULT_REACH_KM,
+    title: str = "",
+) -> str:
+    """Render a per-country value map.
+
+    ``value_by_country`` maps ISO codes to fractions in [0, 1]; countries
+    absent from the dict render at 0 (lightest shade).
+    """
+    require(width >= 20 and height >= 10, "map too small")
+    lat_top, lat_bottom = 72.0, -56.0
+    lon_left, lon_right = -168.0, 180.0
+
+    cities = world.cities
+    rows: list[str] = []
+    for row_index in range(height):
+        lat = lat_top + (lat_bottom - lat_top) * row_index / (height - 1)
+        row_chars: list[str] = []
+        for column in range(width):
+            lon = lon_left + (lon_right - lon_left) * column / (width - 1)
+            nearest = None
+            nearest_m = reach_km * 1000.0
+            for city in cities:
+                distance = great_circle_m(lat, lon, city.lat, city.lon)
+                if distance < nearest_m:
+                    nearest_m = distance
+                    nearest = city
+            if nearest is None:
+                row_chars.append(" ")
+            else:
+                value = value_by_country.get(nearest.country_code, 0.0)
+                row_chars.append(shade_for(min(1.0, max(0.0, value))))
+        rows.append("".join(row_chars))
+
+    legend = "legend: " + "".join(SHADE_RAMP) + "  (0% -> 100% of users)"
+    header = [title] if title else []
+    return "\n".join(header + rows + [legend])

@@ -1,0 +1,44 @@
+"""Shared fixtures: one small Internet/study per session.
+
+The full pipeline on the small scenario takes a few seconds; building it
+once per session keeps the suite fast while letting many tests assert
+against the same rich artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import Study
+from repro.deployment.growth import DeploymentHistory, build_deployment_history
+from repro.deployment.placement import DeploymentState
+from repro.experiments.scenarios import cached_study
+from repro.topology.generator import Internet, InternetConfig, generate_internet
+
+
+@pytest.fixture(scope="session")
+def small_internet() -> Internet:
+    """A compact generated Internet shared across tests."""
+    return generate_internet(InternetConfig(seed=1, n_access_isps=60, n_ixps=25))
+
+
+@pytest.fixture(scope="session")
+def history(small_internet: Internet) -> DeploymentHistory:
+    """Deployment history (2021 + 2023) on the small Internet."""
+    return build_deployment_history(small_internet, seed=1)
+
+
+@pytest.fixture(scope="session")
+def state23(history: DeploymentHistory) -> DeploymentState:
+    """The 2023 deployment snapshot."""
+    return history.state("2023")
+
+
+@pytest.fixture(scope="session")
+def small_study() -> Study:
+    """The full small-scenario study (scan -> detect -> ping -> cluster).
+
+    Shares the :func:`cached_study` memo with the CLI tests, so the
+    pipeline runs once per session no matter who asks first.
+    """
+    return cached_study("small")

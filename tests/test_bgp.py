@@ -1,0 +1,117 @@
+"""Tests for BGP announcements, route collection, and IP-to-AS mapping."""
+
+import pytest
+
+from repro.bgp.announcements import announced_prefixes
+from repro.bgp.collector import CollectorConfig, build_route_collector
+from repro.bgp.ip2as import Ip2AsDataset, build_ip2as
+from repro.scan.detection import detect_offnets, score_detection
+from repro.scan.scanner import run_scan
+from repro.topology.prefixes import Prefix
+
+
+@pytest.fixture(scope="module")
+def collector(small_internet):
+    return build_route_collector(small_internet, seed=3)
+
+
+@pytest.fixture(scope="module")
+def ip2as(collector):
+    return build_ip2as(collector)
+
+
+class TestAnnouncements:
+    def test_every_registered_as_announces(self, small_internet):
+        announcements = announced_prefixes(small_internet, moas_rate=0.0)
+        origins = {a.origin_asn for a in announcements}
+        assert origins == {x.asn for x in small_internet.registry}
+
+    def test_ixp_fabrics_not_announced(self, small_internet):
+        announcements = announced_prefixes(small_internet, moas_rate=0.0)
+        fabric_bases = {ixp.fabric_prefix.base for ixp in small_internet.ixps}
+        assert not any(a.prefix.base in fabric_bases for a in announcements)
+
+    def test_moas_injects_spurious_origins(self, small_internet):
+        announcements = announced_prefixes(small_internet, moas_rate=0.5, seed=4)
+        assert any(a.spurious for a in announcements)
+
+    def test_no_moas_when_rate_zero(self, small_internet):
+        announcements = announced_prefixes(small_internet, moas_rate=0.0)
+        assert not any(a.spurious for a in announcements)
+
+    def test_deterministic(self, small_internet):
+        a = announced_prefixes(small_internet, seed=9)
+        b = announced_prefixes(small_internet, seed=9)
+        assert a == b
+
+
+class TestCollector:
+    def test_tier1s_are_peers(self, small_internet, collector):
+        from repro.topology.asn import ASRole
+
+        tier1_asns = {a.asn for a in small_internet.registry.with_role(ASRole.TIER1)}
+        assert tier1_asns <= {p.asn for p in collector.peers}
+
+    def test_paths_start_at_peer_end_at_origin(self, collector):
+        for entry in collector.entries[:200]:
+            assert entry.as_path[0] == entry.peer_asn
+            assert entry.origin_asn == entry.as_path[-1]
+
+    def test_most_prefixes_visible(self, small_internet, collector):
+        announced = {
+            (a.prefix.base, a.prefix.length)
+            for a in announced_prefixes(small_internet, moas_rate=0.0)
+        }
+        visible = {(p.base, p.length) for p in collector.visible_prefixes()}
+        assert len(visible & announced) / len(announced) > 0.95
+
+    def test_origin_votes(self, collector):
+        prefix = collector.visible_prefixes()[0]
+        votes = collector.origins_of(prefix)
+        assert votes and all(count >= 1 for count in votes.values())
+
+
+class TestIp2As:
+    def test_lookup_matches_plan_mostly(self, small_internet, ip2as):
+        hits = total = 0
+        for isp in small_internet.isps[:40]:
+            prefix = small_internet.plan.prefixes_of(isp)[0]
+            total += 1
+            if ip2as.lookup(prefix.base + 100) == isp.asn:
+                hits += 1
+        assert hits / total > 0.9
+
+    def test_unannounced_space_unmapped(self, ip2as):
+        assert ip2as.lookup(0) is None
+
+    def test_ixp_fabric_unmapped(self, small_internet, ip2as):
+        ixp = small_internet.ixps[0]
+        member = ixp.members[0]
+        assert ip2as.lookup(ixp.address_of(member)) is None
+
+    def test_moas_conflicts_dropped(self, small_internet):
+        # With heavy MOAS and a strict threshold, conflicts appear.
+        collector = build_route_collector(
+            small_internet, CollectorConfig(moas_rate=0.6), seed=5
+        )
+        dataset = build_ip2as(collector, vote_threshold=0.95)
+        assert dataset.conflicted
+
+    def test_overlapping_mappings_rejected(self):
+        with pytest.raises(ValueError):
+            Ip2AsDataset(mappings=[(Prefix(0, 24), 1), (Prefix(128, 25), 2)])
+
+
+class TestDetectionWithBgpIp2As:
+    def test_detection_still_precise(self, small_internet, state23, ip2as):
+        scan = run_scan(small_internet, state23, seed=2)
+        inventory = detect_offnets(small_internet, scan, ip2as=ip2as)
+        score = score_detection(inventory, state23)
+        assert score.precision > 0.999
+        assert score.recall > 0.9
+
+    def test_bgp_attribution_weaker_than_oracle(self, small_internet, state23, ip2as):
+        scan = run_scan(small_internet, state23, seed=2)
+        oracle = score_detection(detect_offnets(small_internet, scan), state23)
+        derived = score_detection(detect_offnets(small_internet, scan, ip2as=ip2as), state23)
+        assert derived.recall <= oracle.recall

@@ -1,0 +1,149 @@
+"""Tests for catalogs, cache policies, and the emergent-hit-ratio sims."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.catalog import DEFAULT_CATALOGS, CatalogSpec, build_catalog
+from repro.cache.policies import FifoCache, LfuCache, LruCache, make_cache
+from repro.cache.simulate import capacity_for_target_ratio, simulate_cache
+
+
+class TestCatalog:
+    def test_popularity_normalised(self):
+        catalog = build_catalog(DEFAULT_CATALOGS["Netflix"], seed=1)
+        assert catalog.popularity.sum() == pytest.approx(1.0)
+        assert (catalog.sizes_gb > 0).all()
+
+    def test_netflix_catalog_smaller_than_google(self):
+        netflix = build_catalog(DEFAULT_CATALOGS["Netflix"], seed=1)
+        google = build_catalog(DEFAULT_CATALOGS["Google"], seed=1)
+        assert netflix.spec.n_objects < google.spec.n_objects
+
+    def test_byte_popularity_normalised(self):
+        catalog = build_catalog(DEFAULT_CATALOGS["Meta"], seed=1)
+        assert catalog.byte_popularity().sum() == pytest.approx(1.0)
+
+    def test_working_set_monotone(self):
+        catalog = build_catalog(DEFAULT_CATALOGS["Meta"], seed=1)
+        assert catalog.working_set_gb(0.5) <= catalog.working_set_gb(0.9)
+        assert catalog.working_set_gb(0.99) <= catalog.total_gb
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            CatalogSpec("X", 0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            CatalogSpec("X", 10, -1.0, 1.0)
+
+    def test_deterministic(self):
+        a = build_catalog(DEFAULT_CATALOGS["Netflix"], seed=4)
+        b = build_catalog(DEFAULT_CATALOGS["Netflix"], seed=4)
+        np.testing.assert_array_equal(a.sizes_gb, b.sizes_gb)
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy", ["lru", "lfu", "fifo"])
+    def test_capacity_respected(self, policy):
+        cache = make_cache(policy, capacity_gb=10.0)
+        for object_id in range(100):
+            cache.access(object_id, 3.0)
+            assert cache.used_gb <= 10.0
+
+    def test_lru_evicts_least_recent(self):
+        cache = LruCache(capacity_gb=2.0)
+        cache.access(1, 1.0)
+        cache.access(2, 1.0)
+        cache.access(1, 1.0)  # refresh 1
+        cache.access(3, 1.0)  # evicts 2
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_fifo_ignores_recency(self):
+        cache = FifoCache(capacity_gb=2.0)
+        cache.access(1, 1.0)
+        cache.access(2, 1.0)
+        cache.access(1, 1.0)  # hit, but no refresh
+        cache.access(3, 1.0)  # evicts 1 (oldest insertion)
+        assert 1 not in cache and 2 in cache and 3 in cache
+
+    def test_lfu_keeps_hot_objects(self):
+        cache = LfuCache(capacity_gb=2.0)
+        cache.access(1, 1.0)
+        for _ in range(5):
+            cache.access(1, 1.0)
+        cache.access(2, 1.0)
+        cache.access(3, 1.0)  # must evict 2 (count 1), never 1 (count 6)
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_oversized_object_bypasses(self):
+        cache = LruCache(capacity_gb=1.0)
+        assert cache.access(1, 5.0) is False
+        assert 1 not in cache and cache.used_gb == 0.0
+
+    def test_byte_hit_ratio_accounting(self):
+        cache = LruCache(capacity_gb=10.0)
+        cache.access(1, 4.0)  # miss, 4 GB
+        cache.access(1, 4.0)  # hit, 4 GB
+        assert cache.byte_hit_ratio == pytest.approx(0.5)
+        assert cache.request_hit_ratio == pytest.approx(0.5)
+
+    def test_reset_counters(self):
+        cache = LruCache(capacity_gb=10.0)
+        cache.access(1, 1.0)
+        cache.reset_counters()
+        assert cache.hits == cache.misses == 0
+        assert 1 in cache  # contents survive the reset
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_cache("arc", 10.0)
+
+    @given(st.integers(0, 2**31 - 1), st.sampled_from(["lru", "lfu", "fifo"]))
+    @settings(max_examples=25, deadline=None)
+    def test_property_used_never_exceeds_capacity(self, seed, policy):
+        rng = np.random.default_rng(seed)
+        cache = make_cache(policy, capacity_gb=8.0)
+        for _ in range(300):
+            cache.access(int(rng.integers(0, 40)), float(rng.uniform(0.1, 3.0)))
+            assert cache.used_gb <= 8.0 + 1e-9
+
+
+class TestSimulation:
+    def test_hit_ratio_monotone_in_capacity(self):
+        spec = DEFAULT_CATALOGS["Meta"]
+        small = simulate_cache(spec, capacity_gb=50.0, seed=2)
+        large = simulate_cache(spec, capacity_gb=1500.0, seed=2)
+        assert large.byte_hit_ratio > small.byte_hit_ratio
+
+    def test_paper_fractions_reachable(self):
+        from repro.deployment.hypergiants import profile_by_name
+
+        for hypergiant, spec in DEFAULT_CATALOGS.items():
+            target = profile_by_name(hypergiant).offnet_serve_fraction
+            _, result = capacity_for_target_ratio(spec, target, tolerance=0.03)
+            assert result.byte_hit_ratio == pytest.approx(target, abs=0.05), hypergiant
+
+    def test_netflix_easiest_to_cache(self):
+        # At the same capacity-to-catalog fraction, Netflix's head-heavy
+        # catalog yields the best byte hit ratio.
+        ratios = {}
+        for hypergiant, spec in DEFAULT_CATALOGS.items():
+            catalog_gb = build_catalog(spec, seed=2).total_gb
+            result = simulate_cache(spec, capacity_gb=0.2 * catalog_gb, seed=2)
+            ratios[hypergiant] = result.byte_hit_ratio
+        assert ratios["Netflix"] == max(ratios.values())
+
+    def test_lfu_at_least_fifo_on_zipf(self):
+        spec = DEFAULT_CATALOGS["Netflix"]
+        lfu = simulate_cache(spec, capacity_gb=2000.0, policy="lfu", seed=3)
+        fifo = simulate_cache(spec, capacity_gb=2000.0, policy="fifo", seed=3)
+        assert lfu.byte_hit_ratio >= fifo.byte_hit_ratio - 0.01
+
+    def test_deterministic(self):
+        spec = DEFAULT_CATALOGS["Meta"]
+        a = simulate_cache(spec, 500.0, seed=7)
+        b = simulate_cache(spec, 500.0, seed=7)
+        assert a.byte_hit_ratio == b.byte_hit_ratio
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_cache(DEFAULT_CATALOGS["Meta"], 500.0, n_requests=5)

@@ -1,0 +1,90 @@
+"""Tests for the CLI and the report generator."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.report import available_sections, build_report
+
+
+class TestReport:
+    def test_all_sections_render(self, small_study):
+        text = build_report(small_study)
+        for section_id in available_sections():
+            assert section_id  # ids exist
+        assert "Table 1" in text
+        assert "Figure 2" in text
+        assert "Section 6" in text
+
+    def test_subset(self, small_study):
+        text = build_report(small_study, sections=("t1",))
+        assert "Table 1" in text
+        assert "Figure 2" not in text
+
+    def test_unknown_section_rejected(self, small_study):
+        with pytest.raises(ValueError):
+            build_report(small_study, sections=("nope",))
+
+    def test_section_order_preserved(self, small_study):
+        text = build_report(small_study, sections=("t2", "t1"))
+        assert text.index("Table 2") < text.index("Table 1")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_study_defaults(self):
+        args = build_parser().parse_args(["study"])
+        assert args.scenario == "small" and args.sections == "all"
+
+    def test_peering_arguments(self):
+        args = build_parser().parse_args(["peering", "--hypergiant", "Meta", "--regions", "2"])
+        assert args.hypergiant == "Meta" and args.regions == 2
+
+    def test_bad_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["study", "--scenario", "gigantic"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out and "scenarios" in out
+
+    def test_study_sections(self, capsys, small_study):
+        # The small study is already cached by the fixture, so this is fast.
+        assert main(["study", "--scenario", "small", "--sections", "t1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_mapping(self, capsys, small_study):
+        assert main(["mapping", "--scenario", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "mapping coverage" in out
+
+    def test_peering(self, capsys, small_study):
+        assert main(["peering", "--scenario", "small", "--regions", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "peer" in out
+
+    def test_cascade_auto(self, capsys, small_study):
+        assert main(["cascade", "--scenario", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "affected users" in out
+
+    def test_cascade_bad_facility(self, capsys, small_study):
+        assert main(["cascade", "--scenario", "small", "--facility", "999999"]) == 1
+
+
+class TestExport:
+    def test_export_writes_archive(self, capsys, tmp_path, small_study):
+        from repro.io.archive import load_archive
+
+        target = tmp_path / "archive"
+        assert main(["export", "--scenario", "small", "--output", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "manifest.json" in out
+        loaded = load_archive(target)
+        assert loaded.manifest.n_detections == len(small_study.latest_inventory)

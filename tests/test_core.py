@@ -1,0 +1,329 @@
+"""Tests for the analysis layer: traffic model, colocation, concentration,
+country aggregation, risk, and the pipeline driver."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.sites import ClusteringConfig, SiteClustering
+from repro.core.colocation import (
+    ColocationBucket,
+    ColocationTable,
+    bucket_of,
+    build_colocation_table,
+    colocated_fraction,
+)
+from repro.core.concentration import coverage_statistics, single_facility_concentration
+from repro.core.country import country_hosting_fractions
+from repro.core.risk import choke_point_count, rank_facility_risks
+from repro.core.traffic_model import TrafficModel
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    return TrafficModel()
+
+
+def make_clustering(ips, labels):
+    return SiteClustering(ips=ips, labels=np.array(labels), config=ClusteringConfig())
+
+
+class TestTrafficModel:
+    def test_paper_servable_shares(self, traffic):
+        # §3.2: Google 17%, Netflix 9%, Meta 13%, Akamai 13%.
+        assert traffic.servable_share("Google") == pytest.approx(0.168, abs=0.003)
+        assert traffic.servable_share("Netflix") == pytest.approx(0.0855, abs=0.003)
+        assert traffic.servable_share("Meta") == pytest.approx(0.129, abs=0.003)
+        assert traffic.servable_share("Akamai") == pytest.approx(0.131, abs=0.003)
+
+    def test_four_hypergiant_facility_share(self, traffic):
+        # The paper's headline: ~52% of a user's traffic from one facility.
+        assert traffic.all_hypergiants_share == pytest.approx(0.52, abs=0.02)
+
+    def test_facility_share_empty(self, traffic):
+        assert traffic.facility_share(set()) == 0.0
+
+    def test_interdomain_fraction(self, traffic):
+        assert traffic.interdomain_fraction("Netflix") == pytest.approx(0.05)
+
+    def test_unknown_hypergiant(self, traffic):
+        with pytest.raises(KeyError):
+            traffic.servable_share("Cloudflare")
+
+
+class TestColocationBuckets:
+    def test_bucket_boundaries(self):
+        assert bucket_of(0.0) is ColocationBucket.NONE
+        assert bucket_of(0.49) is ColocationBucket.UNDER_HALF
+        assert bucket_of(0.5) is ColocationBucket.HALF_OR_MORE
+        assert bucket_of(0.99) is ColocationBucket.HALF_OR_MORE
+        assert bucket_of(1.0) is ColocationBucket.FULL
+
+    def test_colocated_fraction_mixed_cluster(self):
+        clustering = make_clustering([1, 2, 3, 4], [0, 0, 1, -1])
+        hg_of = {1: "Google", 2: "Meta", 3: "Google", 4: "Google"}
+        # IP1 shares cluster 0 with Meta; IP3's cluster is Google-only;
+        # IP4 is unclustered.
+        assert colocated_fraction(clustering, hg_of, "Google") == pytest.approx(1 / 3)
+        assert colocated_fraction(clustering, hg_of, "Meta") == 1.0
+
+    def test_colocated_fraction_absent_hypergiant(self):
+        clustering = make_clustering([1], [-1])
+        assert colocated_fraction(clustering, {1: "Google"}, "Netflix") is None
+
+    def test_table_rows_sum_to_one(self, small_study):
+        for xi in small_study.config.xis:
+            table = small_study.colocation_table(xi)
+            for hypergiant in ("Google", "Netflix", "Meta", "Akamai"):
+                if table.total(hypergiant):
+                    assert sum(table.row_percentages(hypergiant).values()) == pytest.approx(1.0)
+
+    def test_sole_hg_column(self):
+        clusterings = {}
+        hg_by_isp = {10: ["Google"], 11: ["Google", "Meta"]}
+        clusterings[11] = make_clustering([1, 2], [0, 0])
+        table = build_colocation_table(0.5, clusterings, {1: "Google", 2: "Meta"}, hg_by_isp)
+        assert table.counts["Google"][ColocationBucket.SOLE] == 1
+        assert table.counts["Google"][ColocationBucket.FULL] == 1
+
+    def test_unanalyzable_isp_skipped(self):
+        hg_by_isp = {10: ["Google", "Meta"]}
+        table = build_colocation_table(0.5, {}, {}, hg_by_isp)
+        assert table.total("Google") == 0
+
+    def test_render_contains_buckets(self, small_study):
+        text = small_study.colocation_table(0.1).render()
+        assert "Sole HG" in text and "100%" in text
+
+
+class TestConcentration:
+    def test_best_facility_prefers_more_hypergiants(self, traffic, small_study):
+        population = small_study.population
+        clusterings = {
+            1: make_clustering([1, 2, 3, 4], [0, 0, 1, 1]),
+        }
+        hg_of = {1: "Google", 2: "Netflix", 3: "Akamai", 4: "Akamai"}
+        population.users_by_asn[1] = 1000
+        try:
+            result = single_facility_concentration(0.5, clusterings, hg_of, population, traffic)
+            assert result.best_facility_hypergiants[1] == 2
+            expected = traffic.facility_share({"Google", "Netflix"})
+            assert result.best_facility_share[1] == pytest.approx(expected)
+        finally:
+            population.users_by_asn.pop(1, None)
+
+    def test_unclustered_ip_is_own_facility(self, traffic, small_study):
+        population = small_study.population
+        clusterings = {2: make_clustering([9], [-1])}
+        population.users_by_asn[2] = 10
+        try:
+            result = single_facility_concentration(0.5, clusterings, {9: "Meta"}, population, traffic)
+            assert result.best_facility_share[2] == pytest.approx(traffic.servable_share("Meta"))
+        finally:
+            population.users_by_asn.pop(2, None)
+
+    def test_ccdf_weighted_by_users(self, small_study):
+        concentration = small_study.concentration(0.9)
+        values, tail = concentration.ccdf_points()
+        assert tail[0] == pytest.approx(1.0)
+        assert (np.diff(tail) <= 1e-12).all()
+
+    def test_threshold_fractions_monotone(self, small_study):
+        concentration = small_study.concentration(0.9)
+        assert concentration.user_fraction_with_share_at_least(
+            0.1
+        ) >= concentration.user_fraction_with_share_at_least(0.4)
+
+    def test_coverage_statistics(self, small_study):
+        stats = coverage_statistics(
+            small_study.latest_inventory,
+            small_study.campaign.analyzable_isp_asns,
+            small_study.population,
+        )
+        assert 0 < stats["analyzable"] <= stats["hosting"] <= 1.0
+
+
+class TestCountry:
+    def test_threshold_monotone(self, small_study):
+        k2 = country_hosting_fractions(small_study.latest_inventory, small_study.population, 2)
+        k4 = country_hosting_fractions(small_study.latest_inventory, small_study.population, 4)
+        for code in k2.fraction_by_country:
+            assert k4.fraction(code) <= k2.fraction(code) + 1e-12
+
+    def test_restricted_market_has_no_coverage(self, small_study):
+        result = country_hosting_fractions(small_study.latest_inventory, small_study.population, 1)
+        assert result.fraction("CN") == 0.0
+
+    def test_fractions_in_unit_interval(self, small_study):
+        result = small_study.country_result(2)
+        for fraction in result.fraction_by_country.values():
+            assert 0.0 <= fraction <= 1.0
+
+    def test_world_user_fraction_weighted(self, small_study):
+        result = small_study.country_result(2)
+        assert 0.0 <= result.world_user_fraction(small_study.population) <= 1.0
+
+    def test_requires_positive_k(self, small_study):
+        with pytest.raises(ValueError):
+            country_hosting_fractions(small_study.latest_inventory, small_study.population, 0)
+
+
+class TestRisk:
+    def test_ranked_by_exposure(self, small_study):
+        risks = rank_facility_risks(
+            small_study.clusterings[0.9],
+            small_study.hypergiant_of_ip,
+            small_study.population,
+            small_study.traffic,
+        )
+        exposures = [r.exposure for r in risks]
+        assert exposures == sorted(exposures, reverse=True)
+
+    def test_min_hypergiants_respected(self, small_study):
+        risks = rank_facility_risks(
+            small_study.clusterings[0.9],
+            small_study.hypergiant_of_ip,
+            small_study.population,
+            small_study.traffic,
+            min_hypergiants=3,
+        )
+        assert all(len(r.hypergiants) >= 3 for r in risks)
+
+    def test_choke_point_count(self, small_study):
+        risks = rank_facility_risks(
+            small_study.clusterings[0.9],
+            small_study.hypergiant_of_ip,
+            small_study.population,
+            small_study.traffic,
+        )
+        countries_with_risks = {
+            small_study.population.country_by_asn.get(r.isp_asn) for r in risks
+        }
+        code = next(iter(countries_with_risks - {None}))
+        count = choke_point_count(risks, small_study.population, code)
+        assert count is not None and count >= 1
+
+    def test_choke_point_none_for_empty_country(self, small_study):
+        risks = rank_facility_risks(
+            small_study.clusterings[0.9],
+            small_study.hypergiant_of_ip,
+            small_study.population,
+            small_study.traffic,
+        )
+        assert choke_point_count(risks, small_study.population, "CN") is None
+
+
+class TestPipeline:
+    def test_two_epoch_inventories(self, small_study):
+        assert set(small_study.inventories) == {"2021", "2023"}
+
+    def test_clusterings_cover_analyzable_isps(self, small_study):
+        for xi in small_study.config.xis:
+            assert set(small_study.clusterings[xi]) == set(small_study.campaign.analyzable_isp_asns)
+
+    def test_hypergiant_of_ip_consistent_with_truth(self, small_study):
+        state = small_study.history.state("2023")
+        for ip, hypergiant in list(small_study.hypergiant_of_ip.items())[:300]:
+            assert state.server_at(ip).hypergiant == hypergiant
+
+    def test_clustering_recovers_facilities(self, small_study):
+        from repro.clustering.sites import rand_index
+
+        state = small_study.history.state("2023")
+        scores = []
+        for asn, clustering in list(small_study.clusterings[0.9].items())[:25]:
+            facility_ids = {}
+            truth = np.array(
+                [
+                    facility_ids.setdefault(state.server_at(ip).facility.facility_id, len(facility_ids))
+                    for ip in clustering.ips
+                ]
+            )
+            scores.append(rand_index(clustering.labels, truth))
+        assert np.mean(scores) > 0.85
+
+    def test_single_site_fraction_bounds(self, small_study):
+        for hypergiant in ("Google", "Netflix", "Meta", "Akamai"):
+            for xi in small_study.config.xis:
+                assert 0.0 <= small_study.single_site_fraction(hypergiant, xi) <= 1.0
+
+    def test_study_deterministic(self):
+        from repro.core.pipeline import StudyConfig, run_study
+        from repro.topology.generator import InternetConfig
+
+        config = StudyConfig(
+            internet=InternetConfig(seed=2, n_access_isps=30), n_vantage_points=20, seed=2
+        )
+        a = run_study(config)
+        b = run_study(config)
+        assert [d.ip for d in a.latest_inventory.detections] == [
+            d.ip for d in b.latest_inventory.detections
+        ]
+        np.testing.assert_array_equal(a.matrix.rtt_ms, b.matrix.rtt_ms)
+
+    def test_config_validation(self):
+        from repro.core.pipeline import StudyConfig
+
+        with pytest.raises(ValueError):
+            StudyConfig(xis=())
+        with pytest.raises(ValueError):
+            StudyConfig(n_vantage_points=1)
+
+
+class TestCorrelation:
+    def test_joint_probability_shared_equals_single(self):
+        from repro.core.correlation import joint_outage_probability
+
+        # Both services in the same single facility: joint = p.
+        assert joint_outage_probability({1}, {1}, 0.01) == pytest.approx(0.01)
+
+    def test_joint_probability_disjoint_is_product(self):
+        from repro.core.correlation import joint_outage_probability
+
+        assert joint_outage_probability({1}, {2}, 0.01) == pytest.approx(0.0001)
+
+    def test_partial_overlap_vs_matched_disjoint_baseline(self):
+        from repro.core.correlation import joint_outage_probability
+
+        # Compare at equal facility counts: sharing one of two facilities
+        # (joint = p^3) inflates the joint outage over fully disjoint
+        # two-facility services (p^4), but both are far below the
+        # single-facility shared-fate ceiling (p).
+        p = 0.01
+        ceiling = joint_outage_probability({1}, {1}, p)
+        partial = joint_outage_probability({1, 2}, {2, 3}, p)
+        disjoint = joint_outage_probability({1, 2}, {3, 4}, p)
+        assert disjoint < partial < ceiling
+        assert partial == pytest.approx(p**3)
+        assert disjoint == pytest.approx(p**4)
+
+    def test_report_shows_colocation_inflation(self, small_study):
+        from repro.core.correlation import build_correlation_report
+
+        report = build_correlation_report(
+            small_study.history.state("2023"), small_study.population
+        )
+        assert report.exposures
+        # The widespread colocation must show: the mean inflation factor is
+        # far above the independent baseline for every pair.
+        assert report.mean_correlation_factor() > 10.0
+        assert "service pair" in report.render()
+
+    def test_worst_pairs_sorted(self, small_study):
+        from repro.core.correlation import build_correlation_report
+
+        report = build_correlation_report(
+            small_study.history.state("2023"), small_study.population
+        )
+        worst = report.worst_pairs(5)
+        keys = [e.users * e.joint_outage_probability for e in worst]
+        assert keys == sorted(keys, reverse=True)
+
+    def test_fully_colocated_pair_hits_ceiling(self, small_study):
+        from repro.core.correlation import build_correlation_report
+
+        state = small_study.history.state("2023")
+        report = build_correlation_report(state, small_study.population)
+        ceiling = report.facility_outage_probability
+        assert any(
+            e.joint_outage_probability == pytest.approx(ceiling) for e in report.exposures
+        )

@@ -1,0 +1,70 @@
+"""Smoke tests: every example's main() runs to completion.
+
+The examples share the session's cached small study, so running them all
+inside the suite is cheap; their stdout is the product, so each test just
+asserts clean completion and a recognisable headline.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _quiet_output(capsys):
+    yield
+    capsys.readouterr()  # drain example output from the test log
+
+
+def test_quickstart_runs(small_study, capsys):
+    from examples.quickstart import main
+
+    main()
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "Figure 2" in out
+
+
+def test_colocation_audit_runs(small_study, capsys):
+    from examples.colocation_audit import main
+
+    main("US")
+    out = capsys.readouterr().out
+    assert "choke points" in out
+
+
+def test_spillover_cascade_runs(small_study, capsys):
+    from examples.spillover_cascade import main
+
+    main()
+    out = capsys.readouterr().out
+    assert "COVID comparison" in out
+
+
+def test_peering_survey_runs(small_study, capsys):
+    from examples.peering_survey import main
+
+    main("Google")
+    out = capsys.readouterr().out
+    assert "sample traceroute" in out
+
+
+def test_mitigation_what_if_runs(small_study, capsys):
+    from examples.mitigation_what_if import main
+
+    main()
+    out = capsys.readouterr().out
+    assert "upgrade lead time" in out.lower()
+
+
+def test_dataset_reanalysis_runs(small_study, capsys):
+    from examples.dataset_reanalysis import main
+
+    main()
+    out = capsys.readouterr().out
+    assert "recomputed from the released files" in out
+
+
+def test_cache_dimensioning_runs(small_study, capsys):
+    from examples.cache_dimensioning import main
+
+    main()
+    out = capsys.readouterr().out
+    assert "byte hit ratio" in out

@@ -1,0 +1,101 @@
+"""Tests for the facility-uplink flash-crowd model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.capacity.flashcrowd import (
+    FacilityUplink,
+    FlashCrowdEvent,
+    colocated_vs_dispersed,
+    simulate_flash_crowd,
+)
+
+
+@pytest.fixture()
+def event():
+    return FlashCrowdEvent("Netflix", peak_multiplier=4.0, ramp_minutes=5, plateau_minutes=10, decay_minutes=10)
+
+
+@pytest.fixture()
+def facility():
+    return FacilityUplink(
+        capacity_gbps=130.0,
+        steady_demand_gbps={"Google": 40.0, "Netflix": 30.0, "Meta": 30.0},
+    )
+
+
+class TestEventProfile:
+    def test_ramp_reaches_peak(self, event):
+        assert event.multiplier_at(event.ramp_minutes - 1) == pytest.approx(4.0)
+
+    def test_plateau_holds(self, event):
+        assert event.multiplier_at(event.ramp_minutes + 3) == 4.0
+
+    def test_decays_back_to_one(self, event):
+        assert event.multiplier_at(event.duration_minutes - 1) == pytest.approx(1.0, abs=0.31)
+        assert event.multiplier_at(event.duration_minutes + 5) == 1.0
+
+    def test_outside_event_is_one(self, event):
+        assert event.multiplier_at(-1) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlashCrowdEvent("X", peak_multiplier=0.0)
+
+
+class TestSimulation:
+    def test_no_loss_below_capacity(self, facility):
+        quiet = FlashCrowdEvent("Netflix", peak_multiplier=1.0)
+        outcome = simulate_flash_crowd(facility, quiet)
+        for name in facility.steady_demand_gbps:
+            np.testing.assert_allclose(outcome.served[name], outcome.offered[name])
+
+    def test_surge_throttles_bystanders(self, facility, event):
+        outcome = simulate_flash_crowd(facility, event)
+        assert outcome.peak_utilization > 1.0
+        for bystander in ("Google", "Meta"):
+            assert outcome.bystander_loss_fraction(bystander) > 0.0
+            assert outcome.degraded_minutes(bystander) > 0
+
+    def test_served_never_exceeds_offered_or_capacity(self, facility, event):
+        outcome = simulate_flash_crowd(facility, event)
+        total_served = sum(outcome.served.values())
+        assert (total_served <= facility.capacity_gbps + 1e-9).all()
+        for name in facility.steady_demand_gbps:
+            assert (outcome.served[name] <= outcome.offered[name] + 1e-9).all()
+
+    def test_target_must_be_hosted(self, facility):
+        with pytest.raises(ValueError):
+            simulate_flash_crowd(facility, FlashCrowdEvent("Akamai", 2.0))
+
+    def test_bystander_query_rejects_target(self, facility, event):
+        outcome = simulate_flash_crowd(facility, event)
+        with pytest.raises(ValueError):
+            outcome.bystander_loss_fraction("Netflix")
+
+    @given(st.floats(1.0, 10.0), st.floats(1.05, 3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_property_bigger_surges_hurt_bystanders_more(self, small_peak, extra):
+        steady = {"A": 50.0, "B": 50.0}
+        uplink = FacilityUplink(capacity_gbps=120.0, steady_demand_gbps=steady)
+        low = simulate_flash_crowd(uplink, FlashCrowdEvent("A", small_peak))
+        high = simulate_flash_crowd(uplink, FlashCrowdEvent("A", small_peak * extra))
+        assert high.bystander_loss_fraction("B") >= low.bystander_loss_fraction("B") - 1e-9
+
+
+class TestColocatedVsDispersed:
+    def test_dispersal_protects_bystanders(self, event):
+        steady = {"Google": 40.0, "Netflix": 30.0, "Meta": 30.0}
+        colocated, dispersed = colocated_vs_dispersed(steady, event)
+        for bystander in ("Google", "Meta"):
+            assert colocated.bystander_loss_fraction(bystander) > 0.0
+            # Dispersed: the bystander's own uplink never saturates.
+            own = dispersed[bystander]
+            np.testing.assert_allclose(own.served[bystander], own.offered[bystander])
+
+    def test_target_still_throttled_when_dispersed(self, event):
+        steady = {"Google": 40.0, "Netflix": 30.0, "Meta": 30.0}
+        _, dispersed = colocated_vs_dispersed(steady, event, headroom=1.3)
+        target = dispersed["Netflix"]
+        assert target.degraded_minutes("Netflix") > 0

@@ -1,0 +1,77 @@
+"""Tests for constraint-based geolocation."""
+
+import numpy as np
+import pytest
+
+from repro._util import great_circle_m, propagation_rtt_ms
+from repro.geoloc import estimate_position, geolocate_clusters
+from repro.mlab.vantage import build_vantage_points
+
+
+@pytest.fixture(scope="module")
+def vps(small_internet):
+    return build_vantage_points(small_internet.world, 40, seed=3)
+
+
+def synthetic_rtts(vps, lat, lon, inflation=1.6, extra_ms=0.5):
+    rtts = []
+    for vp in vps:
+        distance = great_circle_m(lat, lon, vp.lat, vp.lon)
+        rtts.append(propagation_rtt_ms(distance, inflation) + extra_ms)
+    return np.array(rtts)
+
+
+class TestEstimatePosition:
+    def test_localises_a_known_target(self, vps, small_internet):
+        city = small_internet.world.city_by_iata("fra")
+        rtts = synthetic_rtts(vps, city.lat, city.lon)
+        estimate = estimate_position(rtts, vps)
+        assert estimate is not None
+        assert estimate.error_m(city.lat, city.lon) < 700_000
+
+    def test_needs_three_constraints(self, vps):
+        rtts = np.full(len(vps), np.nan)
+        rtts[0] = rtts[1] = 10.0
+        assert estimate_position(rtts, vps) is None
+
+    def test_handles_partial_nan(self, vps, small_internet):
+        city = small_internet.world.city_by_iata("hnd")
+        rtts = synthetic_rtts(vps, city.lat, city.lon)
+        rtts[::3] = np.nan
+        estimate = estimate_position(rtts, vps)
+        assert estimate is not None
+        assert estimate.n_constraints == int((~np.isnan(rtts)).sum())
+
+    def test_rejects_misaligned_input(self, vps):
+        with pytest.raises(ValueError):
+            estimate_position(np.array([1.0]), vps)
+
+    def test_zero_violation_for_generous_bounds(self, vps, small_internet):
+        city = small_internet.world.city_by_iata("nyc")
+        rtts = synthetic_rtts(vps, city.lat, city.lon, inflation=2.2)
+        estimate = estimate_position(rtts, vps)
+        assert estimate is not None
+        # With slack bounds the anchor already satisfies every disk.
+        assert estimate.violation_m >= 0.0
+
+
+class TestGeolocateClusters:
+    def test_study_clusters_land_near_truth(self, small_study):
+        state = small_study.history.state("2023")
+        clusters, truths = [], []
+        for clustering in list(small_study.clusterings[0.9].values())[:15]:
+            for cluster in clustering.clusters:
+                facility = state.server_at(cluster[0]).facility
+                clusters.append(cluster)
+                truths.append((facility.lat, facility.lon))
+        estimates = geolocate_clusters(clusters, small_study.matrix, small_study.vantage_points)
+        errors_km = [
+            estimates[i].error_m(*truths[i]) / 1000.0
+            for i in estimates
+            if estimates[i] is not None
+        ]
+        assert errors_km
+        assert float(np.median(errors_km)) < 500.0
+
+    def test_empty_cluster_list(self, small_study):
+        assert geolocate_clusters([], small_study.matrix, small_study.vantage_points) == {}

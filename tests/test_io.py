@@ -1,0 +1,85 @@
+"""Tests for study archives: save, load, and third-party reanalysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.colocation import build_colocation_table
+from repro.io.archive import load_archive, save_archive
+
+
+@pytest.fixture(scope="module")
+def archive_dir(small_study, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("archive")
+    save_archive(small_study, directory)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def loaded(archive_dir):
+    return load_archive(archive_dir)
+
+
+class TestRoundTrip:
+    def test_manifest(self, loaded, small_study):
+        assert loaded.manifest.epochs == ("2021", "2023")
+        assert loaded.manifest.xis == small_study.config.xis
+        assert loaded.manifest.n_detections == len(small_study.latest_inventory)
+
+    def test_inventories_match(self, loaded, small_study):
+        for epoch, inventory in small_study.inventories.items():
+            rows = loaded.inventories[epoch]
+            assert len(rows) == len(inventory.detections)
+            assert rows[0] == (
+                inventory.detections[0].ip,
+                inventory.detections[0].hypergiant,
+                inventory.detections[0].isp_asn,
+            )
+
+    def test_latency_matrix_exact(self, loaded, small_study):
+        np.testing.assert_array_equal(loaded.rtt_ms, small_study.matrix.rtt_ms)
+        assert loaded.target_ips == small_study.matrix.ips
+
+    def test_clusterings_match(self, loaded, small_study):
+        for xi, per_isp in small_study.clusterings.items():
+            for asn, clustering in per_isp.items():
+                restored = loaded.clusterings[xi][asn]
+                assert restored.ips == clustering.ips
+                np.testing.assert_array_equal(restored.labels, clustering.labels)
+
+    def test_isps_and_population(self, loaded, small_study):
+        for isp in small_study.internet.isps[:20]:
+            name, country, users = loaded.isps[isp.asn]
+            assert name == isp.name
+            assert country == isp.country_code
+            assert users == small_study.population.users_of(isp.asn)
+
+    def test_ptr_round_trip(self, loaded, small_study):
+        assert loaded.ptr == small_study.ptr.records
+
+    def test_load_rejects_non_archive(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_archive(tmp_path)
+
+
+class TestThirdPartyReanalysis:
+    def test_table2_recomputable_from_archive_alone(self, loaded, small_study):
+        """A third party holding only the archive reproduces Table 2."""
+        for xi in loaded.manifest.xis:
+            rebuilt = build_colocation_table(
+                xi,
+                loaded.clusterings[xi],
+                loaded.hypergiant_of_ip("2023"),
+                loaded.hypergiants_by_isp("2023"),
+            )
+            original = small_study.colocation_table(xi)
+            for hypergiant in ("Google", "Netflix", "Meta", "Akamai"):
+                assert rebuilt.row_percentages(hypergiant) == original.row_percentages(hypergiant)
+
+    def test_footprint_counts_from_inventory(self, loaded, small_study):
+        by_isp = loaded.hypergiants_by_isp("2023")
+        google_count = sum(1 for hgs in by_isp.values() if "Google" in hgs)
+        assert google_count == small_study.latest_inventory.isp_count("Google")
+
+    def test_results_json_contains_table1(self, loaded):
+        assert "table1" in loaded.results
+        assert loaded.results["table1"]["Google"]["2023"] > 0

@@ -1,0 +1,39 @@
+"""Large-scenario smoke test: the pipeline at 2x default scale.
+
+Guards against quadratic blowups (the pipeline must stay interactive at
+1400 access ISPs) and asserts the headline shapes survive the scale-up.
+"""
+
+import pytest
+
+from repro.experiments.scenarios import LARGE_SCENARIO, cached_study
+from repro.experiments.table1 import run_table1
+
+
+@pytest.fixture(scope="module")
+def large_study():
+    return cached_study(LARGE_SCENARIO.name)
+
+
+class TestLargeScale:
+    def test_pipeline_completes(self, large_study):
+        assert len(large_study.history.state("2023").servers) > 10_000
+        assert len(large_study.campaign.analyzable_isp_asns) > 300
+
+    def test_growth_shape_survives_scale(self, large_study):
+        result = run_table1(large_study)
+        assert result.growth_ranking() == ["Netflix", "Google", "Meta", "Akamai"]
+
+    def test_detection_quality_at_scale(self, large_study):
+        from repro.scan.detection import score_detection
+
+        score = score_detection(
+            large_study.latest_inventory, large_study.history.state("2023")
+        )
+        assert score.precision > 0.999 and score.recall > 0.95
+
+    def test_clusterings_cover_all_analyzable(self, large_study):
+        for xi in large_study.config.xis:
+            assert set(large_study.clusterings[xi]) == set(
+                large_study.campaign.analyzable_isp_asns
+            )

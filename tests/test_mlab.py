@@ -1,0 +1,184 @@
+"""Tests for vantage points, the latency model, pings, and campaign filters."""
+
+import numpy as np
+import pytest
+
+from repro._util import make_rng
+from repro.mlab.latency import (
+    MAX_INFLATION,
+    MIN_INFLATION,
+    base_rtt_ms,
+    base_rtt_matrix,
+    path_inflation,
+    vp_pair_floor_rtt_ms,
+)
+from repro.mlab.matrix import (
+    LatencyCampaignConfig,
+    apply_quality_filters,
+    measure_offnets,
+)
+from repro.mlab.pings import PingConfig, ping_rtts
+from repro.mlab.vantage import build_vantage_points
+
+
+@pytest.fixture(scope="module")
+def vps(small_internet):
+    return build_vantage_points(small_internet.world, 40, seed=3)
+
+
+@pytest.fixture(scope="module")
+def campaign(small_internet, state23, vps):
+    ips = [s.ip for s in state23.servers]
+    matrix = measure_offnets(small_internet, state23, ips, vps, seed=4)
+    ip_to_isp = {s.ip: s.isp.asn for s in state23.servers}
+    config = LatencyCampaignConfig(min_vps_per_isp=25)
+    return matrix, apply_quality_filters(matrix, ip_to_isp, config)
+
+
+class TestVantagePoints:
+    def test_count(self, vps):
+        assert len(vps) == 40
+
+    def test_unique_site_codes(self, vps):
+        codes = [vp.site_code for vp in vps]
+        assert len(codes) == len(set(codes))
+
+    def test_site_code_style(self, vps):
+        for vp in vps:
+            assert vp.site_code[:3] == vp.city.iata
+
+    def test_deterministic(self, small_internet):
+        a = build_vantage_points(small_internet.world, 10, seed=5)
+        b = build_vantage_points(small_internet.world, 10, seed=5)
+        assert [vp.site_code for vp in a] == [vp.site_code for vp in b]
+
+    def test_global_spread(self, vps):
+        continents = {vp.city.country_code for vp in vps}
+        assert len(continents) > 5
+
+
+class TestLatencyModel:
+    def test_inflation_bounds_and_symmetry(self):
+        value = path_inflation("lhr", "cdg", seed=7)
+        assert MIN_INFLATION <= value <= MAX_INFLATION
+        assert value == path_inflation("cdg", "lhr", seed=7)
+
+    def test_inflation_varies_by_pair(self):
+        values = {path_inflation("lhr", other, 7) for other in ("cdg", "fra", "nyc", "hnd")}
+        assert len(values) > 1
+
+    def test_same_facility_same_base_rtt(self, small_internet, vps, state23):
+        servers = state23.servers
+        facility = servers[0].facility
+        rtt_a = base_rtt_ms(vps[0], facility, seed=7)
+        rtt_b = base_rtt_ms(vps[0], facility, seed=7)
+        assert rtt_a == rtt_b
+
+    def test_base_rtt_includes_uplink_delay(self, small_internet, vps):
+        facility = small_internet.all_facilities[0]
+        rtt = base_rtt_ms(vps[0], facility, seed=7)
+        assert rtt >= facility.uplink_delay_ms
+
+    def test_matrix_shape(self, small_internet, vps):
+        facilities = small_internet.all_facilities[:5]
+        matrix = base_rtt_matrix(vps, facilities, seed=7)
+        assert matrix.shape == (len(vps), 5)
+        assert (matrix > 0).all()
+
+    def test_vp_floor_rtt_zero_for_same_point(self, vps):
+        assert vp_pair_floor_rtt_ms(vps[0], vps[0]) == pytest.approx(0.0)
+
+    def test_intercontinental_rtt_realistic(self, small_internet, vps):
+        # Any VP to any facility must be within plausible Internet RTTs.
+        facilities = small_internet.all_facilities[:50]
+        matrix = base_rtt_matrix(vps, facilities, seed=7)
+        assert matrix.max() < 600.0  # ms
+
+
+class TestPings:
+    def test_second_smallest_at_least_base(self):
+        base = np.full(100, 10.0)
+        measured = ping_rtts(base, PingConfig(), make_rng(1))
+        valid = measured[~np.isnan(measured)]
+        assert (valid >= 10.0).all()
+
+    def test_nan_base_stays_nan(self):
+        base = np.array([np.nan, 5.0])
+        measured = ping_rtts(base, PingConfig(), make_rng(1))
+        assert np.isnan(measured[0]) and not np.isnan(measured[1])
+
+    def test_high_loss_yields_nan(self):
+        base = np.full(200, 10.0)
+        config = PingConfig(loss_probability=0.95)
+        measured = ping_rtts(base, config, make_rng(1))
+        assert np.isnan(measured).mean() > 0.8
+
+    def test_second_smallest_close_to_base(self):
+        base = np.full(500, 20.0)
+        measured = ping_rtts(base, PingConfig(), make_rng(2))
+        valid = measured[~np.isnan(measured)]
+        # The second order statistic of 8 sheds most queueing noise.
+        assert valid.mean() - 20.0 < 0.5
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PingConfig(pings_per_target=1)
+        with pytest.raises(ValueError):
+            PingConfig(min_responses=9)
+
+
+class TestCampaign:
+    def test_matrix_shape(self, campaign, state23, vps):
+        matrix, _ = campaign
+        assert matrix.rtt_ms.shape == (len(vps), len(state23.servers))
+
+    def test_unresponsive_ips_all_nan(self, campaign):
+        matrix, filtered = campaign
+        for ip in filtered.unresponsive_ips:
+            assert np.isnan(matrix.column(ip)).all()
+
+    def test_unresponsive_rate_near_config(self, campaign, state23):
+        _, filtered = campaign
+        rate = len(filtered.unresponsive_ips) / len(state23.servers)
+        assert 0.02 < rate < 0.07
+
+    def test_split_location_ips_mostly_caught(self, campaign):
+        matrix, filtered = campaign
+        if matrix.split_location_ips:
+            # Splits between nearby facilities are physically explainable by
+            # one midpoint location, so the filter cannot catch everything;
+            # the paper likewise only discards the blatant cases.
+            caught = set(filtered.implausible_ips) & matrix.split_location_ips
+            assert len(caught) / len(matrix.split_location_ips) > 0.35
+
+    def test_plausibility_no_false_positives_on_clean_ips(self, campaign, state23):
+        matrix, filtered = campaign
+        clean = set(ip for ip in matrix.ips) - matrix.split_location_ips
+        false_positives = set(filtered.implausible_ips) & clean
+        assert len(false_positives) <= 0.01 * len(clean)
+
+    def test_kept_ips_grouped_by_isp(self, campaign, state23):
+        _, filtered = campaign
+        for asn, ips in filtered.ips_by_isp.items():
+            for ip in ips:
+                assert state23.server_at(ip).isp.asn == asn
+
+    def test_lossy_isps_discarded(self, campaign):
+        _, filtered = campaign
+        assert filtered.discarded_isp_asns  # lossy_isp_fraction > 0
+
+    def test_submatrix_columns_align(self, campaign):
+        matrix, filtered = campaign
+        asn = filtered.analyzable_isp_asns[0]
+        ips = filtered.ips_by_isp[asn]
+        sub = matrix.submatrix(ips)
+        assert sub.shape[1] == len(ips)
+        np.testing.assert_array_equal(sub[:, 0], matrix.column(ips[0]))
+
+    def test_measure_rejects_unknown_ip(self, small_internet, state23, vps):
+        with pytest.raises(ValueError):
+            measure_offnets(small_internet, state23, [123], vps)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LatencyCampaignConfig(lossy_isp_fraction=2.0)

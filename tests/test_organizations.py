@@ -1,0 +1,96 @@
+"""Tests for the AS2Org-style organisation layer."""
+
+import pytest
+
+from repro.topology.organizations import (
+    OrgDataset,
+    Organization,
+    build_organizations,
+    organization_footprint,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset(small_internet):
+    # A generous sibling fraction so the small world yields enough members
+    # for the statistical checks.
+    return build_organizations(small_internet, multi_as_fraction=0.4, seed=5)
+
+
+class TestDatasetConstruction:
+    def test_multi_as_groups_exist(self, dataset):
+        assert dataset.multi_as_organizations
+
+    def test_groups_are_same_country(self, small_internet, dataset):
+        by_asn = {isp.asn: isp.country_code for isp in small_internet.access_isps}
+        for organization in dataset.organizations:
+            countries = {by_asn[asn] for asn in organization.asns}
+            assert len(countries) == 1
+
+    def test_asn_in_one_org_only(self, dataset):
+        seen = set()
+        for organization in dataset.organizations:
+            for asn in organization.asns:
+                assert asn not in seen
+                seen.add(asn)
+
+    def test_published_coverage_near_target(self, dataset):
+        # Binomial with the small world's member count: allow slack.
+        assert 0.85 <= dataset.coverage() <= 1.0
+
+    def test_unmapped_asn_is_singleton(self, dataset):
+        assert dataset.org_of(999_999) == "as-999999"
+        assert dataset.true_org_of(999_999) == "as-999999"
+
+    def test_published_subset_of_truth(self, dataset):
+        for asn, org_id in dataset.published.items():
+            assert dataset.true_org_of(asn) == org_id
+
+    def test_duplicate_org_rejected(self):
+        org = Organization("o1", "x", (1, 2))
+        with pytest.raises(ValueError):
+            OrgDataset(organizations=[org, org], published={})
+
+    def test_shared_asn_rejected(self):
+        with pytest.raises(ValueError):
+            OrgDataset(
+                organizations=[Organization("o1", "x", (1,)), Organization("o2", "y", (1,))],
+                published={},
+            )
+
+    def test_deterministic(self, small_internet):
+        a = build_organizations(small_internet, seed=5)
+        b = build_organizations(small_internet, seed=5)
+        assert [o.asns for o in a.organizations] == [o.asns for o in b.organizations]
+
+
+class TestFootprintAggregation:
+    def test_org_counts_at_most_asn_counts(self, small_study, dataset):
+        footprint = organization_footprint(small_study.latest_inventory, dataset)
+        for hypergiant in ("Google", "Netflix", "Meta", "Akamai"):
+            assert footprint.org_counts[hypergiant] <= footprint.asn_counts[hypergiant]
+
+    def test_naive_count_overcounts_when_siblings_host(self, small_study, small_internet):
+        # Force heavy sibling structure so overcounting is visible.
+        heavy = build_organizations(small_internet, multi_as_fraction=0.6, seed=6)
+        footprint = organization_footprint(small_study.latest_inventory, heavy, use_truth=True)
+        assert any(
+            footprint.overcount_factor(hypergiant) > 1.0
+            for hypergiant in ("Google", "Netflix", "Meta", "Akamai")
+        )
+
+    def test_published_close_to_truth(self, small_study, dataset):
+        published = organization_footprint(small_study.latest_inventory, dataset)
+        truth = organization_footprint(small_study.latest_inventory, dataset, use_truth=True)
+        for hypergiant in ("Google", "Netflix", "Meta", "Akamai"):
+            if truth.org_counts[hypergiant]:
+                error = abs(
+                    published.org_counts[hypergiant] - truth.org_counts[hypergiant]
+                ) / truth.org_counts[hypergiant]
+                assert error < 0.1
+
+    def test_overcount_factor_unity_without_siblings(self, small_study, small_internet):
+        empty = OrgDataset(organizations=[], published={})
+        footprint = organization_footprint(small_study.latest_inventory, empty)
+        for hypergiant in ("Google", "Netflix", "Meta", "Akamai"):
+            assert footprint.overcount_factor(hypergiant) == 1.0

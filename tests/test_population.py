@@ -1,0 +1,58 @@
+"""Tests for the APNIC-style population dataset."""
+
+import pytest
+
+from repro.population.users import build_population_dataset
+
+
+@pytest.fixture(scope="module")
+def population(small_internet):
+    return build_population_dataset(small_internet)
+
+
+class TestPopulationDataset:
+    def test_exact_without_noise(self, small_internet, population):
+        for isp in small_internet.access_isps[:20]:
+            assert population.users_of(isp.asn) == isp.users
+
+    def test_unknown_asn_zero(self, population):
+        assert population.users_of(999_999) == 0
+
+    def test_total_matches_world(self, small_internet, population):
+        assert population.total_users == small_internet.world.total_internet_users
+
+    def test_country_fraction_all_isps_is_one(self, small_internet, population):
+        asns = {i.asn for i in small_internet.access_isps if i.country_code == "US"}
+        assert population.country_fraction("US", asns) == pytest.approx(1.0, abs=0.03)
+
+    def test_country_fraction_empty_set(self, population):
+        assert population.country_fraction("US", set()) == 0.0
+
+    def test_country_fraction_unknown_country(self, population):
+        assert population.country_fraction("ZZ", {1}) == 0.0
+
+    def test_world_fraction_monotone(self, small_internet, population):
+        asns = [i.asn for i in small_internet.access_isps]
+        small = population.world_fraction(set(asns[:5]))
+        large = population.world_fraction(set(asns[:50]))
+        assert large >= small
+
+    def test_noise_perturbs_but_preserves_scale(self, small_internet):
+        noisy = build_population_dataset(small_internet, estimation_noise_sigma=0.3, seed=2)
+        exact = build_population_dataset(small_internet)
+        ratios = [
+            noisy.users_of(i.asn) / exact.users_of(i.asn)
+            for i in small_internet.access_isps
+            if exact.users_of(i.asn) > 0
+        ]
+        assert any(r != 1.0 for r in ratios)
+        assert 0.5 < sum(ratios) / len(ratios) < 2.0
+
+    def test_noise_deterministic(self, small_internet):
+        a = build_population_dataset(small_internet, estimation_noise_sigma=0.3, seed=2)
+        b = build_population_dataset(small_internet, estimation_noise_sigma=0.3, seed=2)
+        assert a.users_by_asn == b.users_by_asn
+
+    def test_rejects_negative_sigma(self, small_internet):
+        with pytest.raises(ValueError):
+            build_population_dataset(small_internet, estimation_noise_sigma=-0.1)

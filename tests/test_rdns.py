@@ -1,0 +1,137 @@
+"""Tests for PTR synthesis, geohint parsing, and cluster validation."""
+
+import pytest
+
+from repro.rdns.geohints import AMBIGUOUS_TOKENS, GeohintParser, build_default_parser
+from repro.rdns.ptr import PtrConfig, build_ptr_dataset
+from repro.rdns.validation import ConsistencyClass, validate_clusters
+
+
+@pytest.fixture(scope="module")
+def ptr(small_internet, state23):
+    return build_ptr_dataset(state23, small_internet.world, seed=6)
+
+
+@pytest.fixture(scope="module")
+def parser(small_internet):
+    return build_default_parser(small_internet.world)
+
+
+class TestPtr:
+    def test_coverage_near_config(self, ptr, state23):
+        rate = len(ptr) / len(state23.servers)
+        assert 0.5 < rate < 0.7
+
+    def test_hostnames_reference_isp_domain(self, ptr, state23):
+        for server in state23.servers[:200]:
+            hostname = ptr.hostname_of(server.ip)
+            if hostname is not None:
+                assert hostname.endswith(".example")
+                assert server.isp.name.lower().replace("_", "-") in hostname
+
+    def test_role_token_per_hypergiant(self, ptr, state23):
+        roles = {"Google": "ggc", "Netflix": "oca", "Meta": "fna", "Akamai": "aka"}
+        for server in state23.servers[:300]:
+            hostname = ptr.hostname_of(server.ip)
+            if hostname is not None:
+                assert hostname.startswith(roles[server.hypergiant])
+
+    def test_stale_fraction_small(self, ptr):
+        assert len(ptr.stale_ips) < 0.1 * len(ptr)
+
+    def test_stale_records_mostly_name_isp_cities(self, small_internet, state23):
+        dataset = build_ptr_dataset(
+            state23, small_internet.world, PtrConfig(stale_fraction=0.5), seed=6
+        )
+        parser = build_default_parser(small_internet.world)
+        same_footprint = 0
+        located = 0
+        for ip in sorted(dataset.stale_ips):
+            server = state23.server_at(ip)
+            if len(server.isp.cities) < 2:
+                continue  # single-city ISPs fall back to a random city
+            city = parser.city_of(dataset.hostname_of(ip))
+            if city is None:
+                continue
+            located += 1
+            if city in server.isp.cities:
+                same_footprint += 1
+        assert located > 0
+        assert same_footprint / located > 0.9
+
+    def test_deterministic(self, small_internet, state23):
+        a = build_ptr_dataset(state23, small_internet.world, seed=6)
+        b = build_ptr_dataset(state23, small_internet.world, seed=6)
+        assert a.records == b.records
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PtrConfig(coverage=1.2)
+
+
+class TestGeohints:
+    def test_iata_token(self, parser, small_internet):
+        assert parser.city_of("oca-lhr-3.isp.example").name == "London"
+
+    def test_city_name_token(self, parser):
+        assert parser.city_of("core1.frankfurt.isp.example").name == "Frankfurt"
+
+    def test_no_hint(self, parser):
+        assert parser.city_of("ggc-node7.isp.example") is None
+
+    def test_ambiguous_token_suppressed(self, parser):
+        # "man" is Manchester's IATA code but also a common word; the
+        # default parser refuses it (HOIHO's Hostert-style trap).
+        assert parser.city_of("man-agement.isp.example") is None
+
+    def test_naive_parser_falls_into_trap(self, small_internet):
+        naive = GeohintParser(world=small_internet.world, suppress_ambiguous=False)
+        assert naive.city_of("man-agement.isp.example") is not None
+
+    def test_tokens_split_on_dots_and_hyphens(self, parser):
+        assert parser.tokens_of("a-b.c-d.e") == ["a", "b", "c", "d", "e"]
+
+    def test_ambiguous_list_includes_known_traps(self):
+        assert "host" in AMBIGUOUS_TOKENS
+        assert "for" in AMBIGUOUS_TOKENS  # Fortaleza's IATA code
+
+    def test_empty_hostname_rejected(self, parser):
+        with pytest.raises(ValueError):
+            parser.city_of("")
+
+
+class TestValidation:
+    def test_consistent_cluster(self, parser, ptr, state23):
+        # Build a cluster from one real facility: must be single-city.
+        facility = state23.servers[0].facility
+        ips = [s.ip for s in state23.servers if s.facility is facility]
+        summary = validate_clusters([ips], ptr, parser)
+        if summary.checkable_clusters:
+            assert summary.results[0].verdict in (
+                ConsistencyClass.SINGLE_CITY,
+                ConsistencyClass.SINGLE_METRO,
+                # A stale hostname can surface as a same-country mismatch.
+                ConsistencyClass.SINGLE_COUNTRY,
+            )
+
+    def test_cross_country_cluster_flagged(self, parser, ptr, state23):
+        by_country = {}
+        for server in state23.servers:
+            if ptr.hostname_of(server.ip) and parser.city_of(ptr.hostname_of(server.ip)):
+                by_country.setdefault(server.isp.country_code, []).append(server.ip)
+        countries = [c for c, ips in by_country.items() if len(ips) >= 2]
+        assert len(countries) >= 2
+        mixed = by_country[countries[0]][:2] + by_country[countries[1]][:2]
+        summary = validate_clusters([mixed], ptr, parser)
+        assert summary.count(ConsistencyClass.MULTI_COUNTRY) == 1
+
+    def test_unlocatable_clusters_skipped(self, parser, ptr):
+        summary = validate_clusters([[1, 2, 3]], ptr, parser)
+        assert summary.checkable_clusters == 0
+        assert summary.consistent_fraction == 1.0
+
+    def test_study_validation_mostly_consistent(self, small_study):
+        for xi in small_study.config.xis:
+            summary = small_study.validation(xi)
+            assert summary.checkable_clusters > 0
+            assert summary.consistent_fraction > 0.6

@@ -1,0 +1,61 @@
+"""Seed-robustness: the reproduced shapes must not depend on one lucky seed.
+
+Runs compact studies on seeds the calibration never saw and asserts the
+paper-shape invariants hold on each.
+"""
+
+import pytest
+
+from repro.core.pipeline import StudyConfig, run_study
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.section41_capacity import run_covid_experiment
+from repro.experiments.table1 import run_table1
+from repro.topology.generator import InternetConfig
+
+
+@pytest.fixture(scope="module", params=[101, 202, 303])
+def study(request):
+    seed = request.param
+    return run_study(
+        StudyConfig(
+            internet=InternetConfig(seed=seed, n_access_isps=70, n_ixps=22),
+            n_vantage_points=40,
+            seed=seed,
+        )
+    )
+
+
+class TestShapeInvariants:
+    def test_growth_ordering(self, study):
+        result = run_table1(study)
+        assert result.growth_ranking() == ["Netflix", "Google", "Meta", "Akamai"]
+
+    def test_footprint_ordering(self, study):
+        result = run_table1(study)
+        counts = {hg: result.counts[hg]["2023"] for hg in result.counts}
+        assert counts["Google"] > counts["Netflix"]
+        assert counts["Google"] > counts["Meta"]
+
+    def test_cohosting_majority(self, study):
+        inventory = study.latest_inventory
+        counts = [len(inventory.hypergiants_in_isp(asn)) for asn in inventory.hosting_isp_asns()]
+        assert sum(1 for c in counts if c >= 2) / len(counts) > 0.5
+
+    def test_coverage_gap(self, study):
+        result = run_figure2(study)
+        assert 0.45 < result.coverage["hosting"] < 0.95
+        assert result.coverage["analyzable"] < result.coverage["hosting"]
+
+    def test_quarter_share_facilities(self, study):
+        assert run_figure2(study).share25_range()[1] > 0.5
+
+    def test_covid_signature(self, study):
+        covid = run_covid_experiment(study, sample=20)
+        assert covid.offnet_change < 0.45
+        assert covid.interdomain_ratio > 1.8
+
+    def test_detection_quality(self, study):
+        from repro.scan.detection import score_detection
+
+        score = score_detection(study.latest_inventory, study.history.state("2023"))
+        assert score.precision > 0.999 and score.recall > 0.95

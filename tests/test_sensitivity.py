@@ -1,0 +1,40 @@
+"""Tests for the seed-sensitivity harness."""
+
+import pytest
+
+from repro.sensitivity import DEFAULT_METRICS, MetricSpec, run_sensitivity
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_sensitivity(seeds=(7, 77), n_access_isps=50, n_vantage_points=30)
+
+
+class TestSensitivity:
+    def test_collects_every_metric(self, report):
+        assert set(report.values) == {spec.name for spec in DEFAULT_METRICS}
+        for series in report.values.values():
+            assert len(series) == 2
+
+    def test_statistics(self, report):
+        name = DEFAULT_METRICS[0].name
+        assert report.mean(name) == pytest.approx(sum(report.values[name]) / 2)
+        assert report.std(name) >= 0
+
+    def test_bands_checked(self, report):
+        for name in report.values:
+            assert 0 <= report.out_of_band(name) <= 2
+
+    def test_render(self, report):
+        text = report.render()
+        assert "violations" in text
+        assert "Google growth" in text
+
+    def test_metric_spec_band(self):
+        spec = MetricSpec("m", lambda s: 0.0, 0.0, 1.0, "x")
+        assert spec.within_band(0.5)
+        assert not spec.within_band(1.5)
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            run_sensitivity(seeds=())

@@ -1,0 +1,100 @@
+"""Tests for the service-aware demand extension."""
+
+import pytest
+
+from repro.capacity.demand import DemandModel, DiurnalProfile
+from repro.capacity.links import build_capacity_plan
+from repro.capacity.services import (
+    DEFAULT_SERVICE_MIXES,
+    ServiceAwareDemandModel,
+    ServiceClass,
+)
+from repro.capacity.spillover import SpilloverModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ServiceAwareDemandModel()
+
+
+@pytest.fixture(scope="module")
+def flat():
+    return DemandModel()
+
+
+class TestMixes:
+    def test_shares_sum_to_one(self):
+        for mix in DEFAULT_SERVICE_MIXES.values():
+            assert sum(s.share for s in mix) == pytest.approx(1.0)
+
+    def test_weighted_cacheability_matches_profiles(self, model):
+        # The mix-weighted cacheability reproduces §2.1's offnet fractions.
+        for hypergiant, mix in DEFAULT_SERVICE_MIXES.items():
+            weighted = sum(s.share * s.cacheability for s in mix)
+            expected = model.traffic.offnet_traffic_fraction(hypergiant)
+            assert weighted == pytest.approx(expected, abs=0.01)
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceAwareDemandModel(
+                mixes={"Google": (ServiceClass("video", 0.5, DiurnalProfile(), 0.9),)}
+            )
+
+
+class TestShapes:
+    def test_peak_totals_match_flat_model(self, model, flat, small_internet):
+        isp = small_internet.access_isps[0]
+        for hypergiant in ("Google", "Netflix", "Meta", "Akamai"):
+            assert model.hypergiant_peak_gbps(isp, hypergiant) == pytest.approx(
+                flat.hypergiant_peak_gbps(isp, hypergiant)
+            )
+
+    def test_netflix_peaks_in_evening(self, model, small_internet):
+        isp = small_internet.access_isps[0]
+        by_hour = [model.hypergiant_demand_gbps(isp, "Netflix", h) for h in range(24)]
+        assert by_hour.index(max(by_hour)) in (19, 20, 21)
+
+    def test_akamai_updates_shift_load_overnight(self, model, flat, small_internet):
+        isp = small_internet.access_isps[0]
+        # Akamai's overnight update pushes raise its 02:00 share relative
+        # to the flat residential curve.
+        service_night = model.hypergiant_demand_gbps(isp, "Akamai", 2)
+        flat_night = flat.hypergiant_demand_gbps(isp, "Akamai", 2)
+        assert service_night > flat_night
+
+    def test_eligible_below_demand_every_hour(self, model, small_internet):
+        isp = small_internet.access_isps[0]
+        for hypergiant in ("Google", "Netflix", "Meta", "Akamai"):
+            for hour in range(24):
+                assert model.offnet_eligible_gbps(isp, hypergiant, hour) <= (
+                    model.hypergiant_demand_gbps(isp, hypergiant, hour) + 1e-9
+                )
+
+    def test_service_demand_lookup(self, model, small_internet):
+        isp = small_internet.access_isps[0]
+        video = model.service_demand_gbps(isp, "Google", "video", 20)
+        web = model.service_demand_gbps(isp, "Google", "web", 20)
+        assert video + web == pytest.approx(model.hypergiant_demand_gbps(isp, "Google", 20))
+        with pytest.raises(KeyError):
+            model.service_demand_gbps(isp, "Google", "updates", 20)
+
+
+class TestIntegrationWithSpillover:
+    def test_spillover_runs_with_service_model(self, small_internet, state23, model):
+        plans = build_capacity_plan(small_internet, state23, model, seed=11)
+        spillover = SpilloverModel(small_internet, model, plans)
+        asn = sorted(plans)[0]
+        report = spillover.report(asn, 20)
+        for flow in report.flows.values():
+            assert flow.served_gbps <= flow.demand_gbps * (1 + 1e-9)
+
+    def test_akamai_overnight_load_relatively_high(self, small_internet, state23, model):
+        """Update pushes keep Akamai's overnight load far closer to its
+        peak than Netflix's pure-video curve."""
+        isp = next(i for i in state23.hosting_isps() if "Akamai" in state23.hypergiants_in(i))
+
+        def night_to_peak(hypergiant):
+            series = [model.hypergiant_demand_gbps(isp, hypergiant, h) for h in range(24)]
+            return series[2] / max(series)
+
+        assert night_to_peak("Akamai") > night_to_peak("Netflix") + 0.15

@@ -1,0 +1,133 @@
+"""Tests for whole-Internet generation (and asn/ixp/facility pieces)."""
+
+import pytest
+
+from repro.topology.asn import AS, ASRegistry, ASRole
+from repro.topology.facilities import jittered_coordinates
+from repro.topology.generator import Internet, InternetConfig, generate_internet
+from repro.topology.geo import default_world
+from repro._util import great_circle_m, make_rng
+
+
+@pytest.fixture(scope="module")
+def net() -> Internet:
+    return generate_internet(InternetConfig(seed=3, n_access_isps=50, n_ixps=20))
+
+
+class TestRegistry:
+    def test_duplicate_asn_rejected(self):
+        registry = ASRegistry()
+        world = default_world()
+        a = AS(asn=1, name="a", role=ASRole.ACCESS, country_code="US", cities=world.cities_in("US")[:1])
+        registry.add(a)
+        with pytest.raises(ValueError):
+            registry.add(AS(asn=1, name="b", role=ASRole.ACCESS, country_code="US", cities=a.cities))
+
+    def test_role_queries(self, net):
+        assert all(a.role is ASRole.ACCESS for a in net.registry.with_role(ASRole.ACCESS))
+        assert all(a.is_isp for a in net.registry.isps)
+
+    def test_iteration_sorted_by_asn(self, net):
+        asns = [a.asn for a in net.registry]
+        assert asns == sorted(asns)
+
+
+class TestGeneratedInternet:
+    def test_deterministic(self):
+        config = InternetConfig(seed=9, n_access_isps=20)
+        a = generate_internet(config)
+        b = generate_internet(config)
+        assert [x.asn for x in a.registry] == [x.asn for x in b.registry]
+        assert [x.users for x in a.access_isps] == [x.users for x in b.access_isps]
+
+    def test_different_seeds_differ(self):
+        # User counts are rank-deterministic; what varies with the seed is
+        # the drawn structure (city presence, peering).
+        a = generate_internet(InternetConfig(seed=1, n_access_isps=20))
+        b = generate_internet(InternetConfig(seed=2, n_access_isps=20))
+        cities_a = [tuple(c.iata for c in isp.cities) for isp in a.access_isps]
+        cities_b = [tuple(c.iata for c in isp.cities) for isp in b.access_isps]
+        assert cities_a != cities_b
+
+    def test_hypergiants_present_with_real_asns(self, net):
+        assert net.hypergiant_as("Google").asn == 15169
+        assert net.hypergiant_as("Netflix").asn == 2906
+        assert net.hypergiant_as("Meta").asn == 32934
+        assert net.hypergiant_as("Akamai").asn == 20940
+
+    def test_every_access_isp_reaches_every_hypergiant(self, net):
+        for hypergiant in net.hypergiant_ases.values():
+            routes = net.graph.routes_to(hypergiant)
+            for isp in net.access_isps:
+                assert isp in routes
+
+    def test_every_country_has_isps(self, net):
+        covered = {isp.country_code for isp in net.access_isps}
+        assert covered == {c.code for c in net.world.countries}
+
+    def test_users_distributed_zipf_like(self, net):
+        us_isps = sorted(
+            (isp for isp in net.access_isps if isp.country_code == "US"),
+            key=lambda a: -a.users,
+        )
+        assert us_isps[0].users > 2 * us_isps[-1].users
+
+    def test_country_users_roughly_conserved(self, net):
+        for country in net.world.countries:
+            total = sum(i.users for i in net.access_isps if i.country_code == country.code)
+            assert total == pytest.approx(country.internet_users, rel=0.02)
+
+    def test_every_isp_has_address_space(self, net):
+        for isp in net.isps:
+            assert net.plan.prefixes_of(isp)
+
+    def test_every_isp_has_facility_per_city(self, net):
+        for isp in net.isps:
+            facilities = net.facilities_of(isp)
+            assert len(facilities) >= len(isp.cities)
+            assert {f.city for f in facilities} == set(isp.cities)
+
+    def test_facility_ids_unique(self, net):
+        ids = [f.facility_id for f in net.all_facilities]
+        assert len(ids) == len(set(ids))
+
+    def test_ixps_have_hypergiant_members(self, net):
+        for ixp in net.ixps:
+            for hypergiant in net.hypergiant_ases.values():
+                assert ixp.is_member(hypergiant)
+
+    def test_ixp_fabric_addresses_resolve_to_members(self, net):
+        ixp = net.ixps[0]
+        member = ixp.members[0]
+        address = ixp.address_of(member)
+        assert address in ixp.fabric_prefix
+        assert ixp.owner_of_address(address) is member
+
+    def test_ixp_peering_edges_reference_real_ixps(self, net):
+        ids = {ixp.ixp_id for ixp in net.ixps}
+        for isp in net.access_isps:
+            for hypergiant in net.hypergiant_ases.values():
+                if net.graph.are_peers(isp, hypergiant):
+                    edge = net.graph.peer_edge(isp, hypergiant)
+                    if edge.has_ixp:
+                        assert edge.ixp_id in ids
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            InternetConfig(n_access_isps=1)
+        with pytest.raises(ValueError):
+            InternetConfig(n_tier1=1)
+
+
+class TestJitteredCoordinates:
+    def test_within_radius(self, net):
+        city = net.world.city_by_iata("lhr")
+        rng = make_rng(4)
+        for _ in range(50):
+            lat, lon = jittered_coordinates(city, rng, max_offset_km=15.0)
+            assert great_circle_m(city.lat, city.lon, lat, lon) <= 16_000
+
+    def test_zero_offset(self, net):
+        city = net.world.city_by_iata("lhr")
+        lat, lon = jittered_coordinates(city, make_rng(1), max_offset_km=0.0)
+        assert (lat, lon) == pytest.approx((city.lat, city.lon))

@@ -1,0 +1,86 @@
+"""Tests for the geographic substrate."""
+
+import pytest
+
+from repro.topology.geo import City, Country, World, default_world
+
+
+@pytest.fixture(scope="module")
+def world() -> World:
+    return default_world()
+
+
+class TestCountry:
+    def test_rejects_bad_code(self):
+        with pytest.raises(ValueError):
+            Country("usa", "United States", "NA", 1)
+
+    def test_rejects_negative_users(self):
+        with pytest.raises(ValueError):
+            Country("US", "United States", "NA", -1)
+
+
+class TestCity:
+    def test_rejects_bad_latitude(self):
+        with pytest.raises(ValueError):
+            City("X", "US", 91.0, 0.0, "xxx")
+
+    def test_rejects_bad_iata(self):
+        with pytest.raises(ValueError):
+            City("X", "US", 0.0, 0.0, "XXX")
+
+    def test_rejects_zero_weight(self):
+        with pytest.raises(ValueError):
+            City("X", "US", 0.0, 0.0, "xxx", weight=0.0)
+
+    def test_distance_to_self_is_zero(self, world):
+        city = world.cities[0]
+        assert city.distance_m(city) == pytest.approx(0.0)
+
+
+class TestDefaultWorld:
+    def test_every_country_has_a_city(self, world):
+        for country in world.countries:
+            assert world.cities_in(country.code)
+
+    def test_unique_iata_codes(self, world):
+        codes = [c.iata for c in world.cities]
+        assert len(codes) == len(set(codes))
+
+    def test_total_users_is_billions(self, world):
+        assert world.total_internet_users > 3_000_000_000
+
+    def test_city_lookup_by_iata(self, world):
+        city = world.city_by_iata("lhr")
+        assert city.name == "London"
+
+    def test_country_lookup(self, world):
+        assert world.country("MN").name == "Mongolia"
+
+    def test_paper_k4_countries_present(self, world):
+        # The Figure-1c callout countries must exist in the world model.
+        for code in ("MX", "BO", "UY", "NZ", "MN", "GL"):
+            assert world.country(code)
+
+    def test_heavy_tail(self, world):
+        users = sorted((c.internet_users for c in world.countries), reverse=True)
+        assert users[0] > 10 * users[len(users) // 2]
+
+    def test_rejects_duplicate_country(self):
+        country = Country("US", "United States", "NA", 1)
+        city = City("X", "US", 0.0, 0.0, "xxx")
+        with pytest.raises(ValueError):
+            World(countries=[country, country], cities=[city])
+
+    def test_rejects_city_in_unknown_country(self):
+        country = Country("US", "United States", "NA", 1)
+        city = City("X", "FR", 0.0, 0.0, "xxx")
+        with pytest.raises(ValueError):
+            World(countries=[country], cities=[city])
+
+    def test_rejects_country_without_city(self):
+        us = Country("US", "United States", "NA", 1)
+        fr = Country("FR", "France", "EU", 1)
+        city = City("X", "US", 0.0, 0.0, "xxx")
+        with pytest.raises(ValueError):
+            World(countries=[us, fr], cities=[city])

@@ -1,0 +1,108 @@
+"""Tests for the IPv4 address plan."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology.asn import AS, ASRole
+from repro.topology.geo import default_world
+from repro.topology.prefixes import AddressPlan, Prefix, ip_from_str, ip_to_str
+
+
+def make_as(asn: int) -> AS:
+    world = default_world()
+    return AS(asn=asn, name=f"AS{asn}", role=ASRole.ACCESS, country_code="US", cities=world.cities_in("US")[:1])
+
+
+class TestIpConversion:
+    @pytest.mark.parametrize(
+        "text,value",
+        [("0.0.0.0", 0), ("1.2.3.4", 0x01020304), ("255.255.255.255", 2**32 - 1)],
+    )
+    def test_roundtrip_known(self, text, value):
+        assert ip_from_str(text) == value
+        assert ip_to_str(value) == text
+
+    def test_rejects_bad_octet(self):
+        with pytest.raises(ValueError):
+            ip_from_str("256.0.0.1")
+
+    def test_rejects_short(self):
+        with pytest.raises(ValueError):
+            ip_from_str("1.2.3")
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(ValueError):
+            ip_to_str(2**32)
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_property_roundtrip(self, value):
+        assert ip_from_str(ip_to_str(value)) == value
+
+
+class TestPrefix:
+    def test_size(self):
+        assert Prefix(0, 24).size == 256
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            Prefix(1, 24)
+
+    def test_contains(self):
+        prefix = Prefix(256, 24)
+        assert 256 in prefix and 511 in prefix and 512 not in prefix
+
+    def test_str(self):
+        assert str(Prefix(256, 24)) == "0.0.1.0/24"
+
+    def test_slash24s_of_slash22(self):
+        subs = Prefix(0, 22).slash24s()
+        assert len(subs) == 4
+        assert subs[1].base == 256
+
+    def test_slash24s_of_slash24_is_self(self):
+        prefix = Prefix(0, 24)
+        assert prefix.slash24s() == [prefix]
+
+
+class TestAddressPlan:
+    def test_allocations_disjoint(self):
+        plan = AddressPlan()
+        a, b = make_as(1), make_as(2)
+        pa = plan.allocate(a, 20)
+        pb = plan.allocate(b, 22)
+        assert pa.base + pa.size <= pb.base
+
+    def test_owner_lookup(self):
+        plan = AddressPlan()
+        a, b = make_as(1), make_as(2)
+        pa = plan.allocate(a, 20)
+        pb = plan.allocate(b, 22)
+        assert plan.owner_of(pa.base) is a
+        assert plan.owner_of(pa.base + pa.size - 1) is a
+        assert plan.owner_of(pb.base) is b
+
+    def test_owner_of_unallocated(self):
+        plan = AddressPlan()
+        plan.allocate(make_as(1), 24)
+        assert plan.owner_of(0) is None
+        assert plan.owner_of(2**31) is None
+
+    def test_prefixes_of(self):
+        plan = AddressPlan()
+        a = make_as(1)
+        first = plan.allocate(a, 24)
+        second = plan.allocate(a, 24)
+        assert plan.prefixes_of(a) == [first, second]
+
+    def test_announced_slash24s_cover_allocations(self):
+        plan = AddressPlan()
+        plan.allocate(make_as(1), 22)
+        plan.allocate(make_as(2), 24)
+        subs = plan.announced_slash24s()
+        assert len(subs) == 5
+
+    def test_alignment_of_mixed_lengths(self):
+        plan = AddressPlan()
+        plan.allocate(make_as(1), 24)
+        big = plan.allocate(make_as(2), 16)
+        assert big.base % big.size == 0

@@ -1,0 +1,164 @@
+"""Tests for the traceroute engine, IXP mapping, and peering inference."""
+
+import pytest
+
+from repro.traceroute.engine import TracerouteConfig, TracerouteEngine
+from repro.traceroute.ixp_mapping import build_ixp_address_map
+from repro.traceroute.peering import (
+    CampaignConfig,
+    PeeringEvidence,
+    run_peering_campaign,
+    score_peering_inference,
+)
+
+
+@pytest.fixture(scope="module")
+def engine(small_internet):
+    return TracerouteEngine(small_internet, seed=1)
+
+
+@pytest.fixture(scope="module")
+def ixp_map(small_internet):
+    return build_ixp_address_map(small_internet, seed=2)
+
+
+@pytest.fixture(scope="module")
+def google_inference(small_internet, state23):
+    hosting = state23.isps_hosting("Google")
+    return run_peering_campaign(
+        small_internet,
+        "Google",
+        hosting,
+        CampaignConfig(n_regions=4, targets_per_isp=2),
+        seed=9,
+    )
+
+
+class TestEngine:
+    def test_trace_reaches_destination_as(self, small_internet, engine):
+        isp = small_internet.access_isps[0]
+        destination = small_internet.plan.prefixes_of(isp)[0].base + 7
+        path = engine.trace(small_internet.hypergiant_as("Google"), destination)
+        assert path.routable
+        assert path.hops[-1].true_asn == isp.asn
+
+    def test_hop_true_asns_follow_as_path(self, small_internet, engine):
+        google = small_internet.hypergiant_as("Google")
+        isp = small_internet.access_isps[3]
+        destination = small_internet.plan.prefixes_of(isp)[0].base + 7
+        as_path = small_internet.graph.as_path(google, isp)
+        path = engine.trace(google, destination)
+        seen = []
+        for hop in path.hops:
+            if not seen or seen[-1] != hop.true_asn:
+                seen.append(hop.true_asn)
+        assert seen == [a.asn for a in as_path]
+
+    def test_responsive_addresses_owned_by_true_asn(self, small_internet, engine):
+        google = small_internet.hypergiant_as("Google")
+        ixp_prefixes = [ixp.fabric_prefix for ixp in small_internet.ixps]
+        for isp in small_internet.access_isps[:10]:
+            destination = small_internet.plan.prefixes_of(isp)[0].base + 7
+            path = engine.trace(google, destination)
+            for hop in path.hops:
+                if hop.address is None:
+                    continue
+                if any(hop.address in p for p in ixp_prefixes):
+                    continue  # fabric addresses belong to the IXP's plan
+                owner = small_internet.plan.owner_of(hop.address)
+                assert owner is not None and owner.asn == hop.true_asn
+
+    def test_filtered_as_is_all_stars(self, small_internet):
+        engine = TracerouteEngine(small_internet, TracerouteConfig(icmp_filter_rate=1.0), seed=1)
+        google = small_internet.hypergiant_as("Google")
+        isp = small_internet.access_isps[0]
+        destination = small_internet.plan.prefixes_of(isp)[0].base + 7
+        path = engine.trace(google, destination)
+        # Every router hop beyond the (hypergiant, unfiltered) source is a
+        # star; the final hop is the destination *host*, which may answer
+        # even when the ISP's routers filter ICMP.
+        for hop in path.hops[:-1]:
+            if hop.true_asn != google.asn:
+                assert hop.address is None
+
+    def test_hypergiants_never_filter(self, small_internet, engine):
+        for hypergiant in small_internet.hypergiant_ases.values():
+            assert not engine.filters_icmp(hypergiant)
+
+    def test_unroutable_destination(self, small_internet, engine):
+        path = engine.trace(small_internet.hypergiant_as("Google"), 1)
+        assert not path.routable and path.hops == []
+
+    def test_deterministic_per_region(self, small_internet):
+        google = small_internet.hypergiant_as("Google")
+        isp = small_internet.access_isps[1]
+        destination = small_internet.plan.prefixes_of(isp)[0].base + 7
+        a = TracerouteEngine(small_internet, seed=5).trace(google, destination, "r1")
+        b = TracerouteEngine(small_internet, seed=5).trace(google, destination, "r1")
+        assert [h.address for h in a.hops] == [h.address for h in b.hops]
+
+
+class TestIxpMapping:
+    def test_fabric_addresses_recognised(self, small_internet, ixp_map):
+        ixp = small_internet.ixps[0]
+        member = ixp.members[0]
+        assert ixp_map.is_fabric_address(ixp.address_of(member))
+
+    def test_non_fabric_addresses_rejected(self, small_internet, ixp_map):
+        isp = small_internet.access_isps[0]
+        assert not ixp_map.is_fabric_address(small_internet.plan.prefixes_of(isp)[0].base)
+
+    def test_coverage_below_one_leaves_gaps(self, small_internet):
+        sparse = build_ixp_address_map(small_internet, coverage=0.5, seed=3)
+        total = sum(len(ixp.members) for ixp in small_internet.ixps)
+        assert len(sparse.member_by_address) < total
+
+    def test_full_coverage_maps_everyone(self, small_internet):
+        full = build_ixp_address_map(small_internet, coverage=1.0)
+        for ixp in small_internet.ixps:
+            for member in ixp.members:
+                assert full.member_of(ixp.address_of(member)) == member.asn
+
+
+class TestPeeringInference:
+    def test_high_precision(self, small_internet, google_inference):
+        score = score_peering_inference(small_internet, "Google", google_inference)
+        assert score.precision == 1.0
+
+    def test_decent_recall(self, small_internet, google_inference):
+        score = score_peering_inference(small_internet, "Google", google_inference)
+        assert score.recall > 0.7
+
+    def test_possible_class_exists(self, google_inference):
+        evidence = set(google_inference.evidence.values())
+        assert PeeringEvidence.POSSIBLE_PEER in evidence
+
+    def test_counts_sum(self, state23, google_inference):
+        hosting = [i.asn for i in state23.isps_hosting("Google")]
+        counts = google_inference.counts_for(hosting)
+        assert sum(counts.values()) == len(hosting)
+
+    def test_media_sets_subset_of_peers(self, google_inference):
+        peers = set(google_inference.peer_asns)
+        assert google_inference.seen_via_ixp <= peers | google_inference.seen_via_ixp
+        for asn in google_inference.seen_via_ixp | google_inference.seen_via_pni:
+            assert google_inference.classify(asn) is PeeringEvidence.PEER
+
+    def test_ixp_fraction_bounds(self, google_inference):
+        assert 0.0 <= google_inference.ixp_only_fraction() <= google_inference.ixp_at_least_once_fraction() <= 1.0
+
+    def test_non_peer_isps_not_detected(self, small_internet, state23, google_inference):
+        google = small_internet.hypergiant_as("Google")
+        for isp in state23.isps_hosting("Google"):
+            if google_inference.classify(isp.asn) is PeeringEvidence.PEER:
+                assert small_internet.graph.are_peers(isp, google)
+
+    def test_works_from_other_hypergiants(self, small_internet, state23):
+        # The simulator can do what the paper could not: run the campaign
+        # from Netflix's vantage.
+        hosting = state23.isps_hosting("Netflix")[:10]
+        inference = run_peering_campaign(
+            small_internet, "Netflix", hosting, CampaignConfig(n_regions=2, targets_per_isp=1), seed=3
+        )
+        score = score_peering_inference(small_internet, "Netflix", inference)
+        assert score.precision == 1.0

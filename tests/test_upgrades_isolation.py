@@ -1,0 +1,147 @@
+"""Tests for the upgrade-cycle model and the isolation policies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.capacity.demand import DemandModel
+from repro.capacity.isolation import IsolationPolicy, allocate
+from repro.capacity.links import build_capacity_plan
+from repro.capacity.upgrades import (
+    UpgradeConfig,
+    pni_links_from_plans,
+    simulate_upgrade_cycle,
+)
+
+
+class TestIsolationAllocate:
+    def test_no_congestion_identical_across_policies(self):
+        for policy in IsolationPolicy:
+            granted, collateral, _ = allocate(policy, {"a": 3.0}, 2.0, 10.0)
+            assert granted == {"a": 3.0} and collateral == 0.0
+
+    def test_fair_share_throttles_background(self):
+        _, collateral, _ = allocate(IsolationPolicy.FAIR_SHARE, {"a": 10.0}, 10.0, 10.0)
+        assert collateral == pytest.approx(5.0)
+
+    def test_protect_background_spares_background(self):
+        granted, collateral, _ = allocate(IsolationPolicy.PROTECT_BACKGROUND, {"a": 10.0}, 6.0, 10.0)
+        assert collateral == 0.0
+        assert granted["a"] == pytest.approx(4.0)
+
+    def test_protect_background_when_background_alone_overflows(self):
+        granted, collateral, _ = allocate(IsolationPolicy.PROTECT_BACKGROUND, {"a": 1.0}, 12.0, 10.0)
+        assert granted["a"] == 0.0
+        assert collateral == pytest.approx(2.0)
+
+    def test_reserved_slices_equalise_hypergiants(self):
+        granted, collateral, _ = allocate(
+            IsolationPolicy.RESERVED_SLICES, {"big": 100.0, "small": 1.0}, 4.0, 10.0
+        )
+        assert collateral == 0.0
+        # Leftover 6 splits: small gets its 1, big gets the remaining 5.
+        assert granted["small"] == pytest.approx(1.0)
+        assert granted["big"] == pytest.approx(5.0)
+
+    def test_unknown_policy_rejected(self):
+        # The policy dispatch only runs under congestion.
+        with pytest.raises(ValueError):
+            allocate("bogus", {"a": 5.0}, 0.0, 1.0)  # type: ignore[arg-type]
+
+    @given(
+        st.dictionaries(st.sampled_from(["a", "b", "c"]), st.floats(0, 50), min_size=1),
+        st.floats(0, 50),
+        st.floats(0.1, 60),
+        st.sampled_from(list(IsolationPolicy)),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_conservation_all_policies(self, wanted, background, capacity, policy):
+        granted, collateral, _ = allocate(policy, wanted, background, capacity)
+        served = sum(granted.values()) + (background - collateral)
+        assert served <= capacity * (1 + 1e-6) or sum(wanted.values()) + background <= capacity
+        for name, volume in granted.items():
+            assert -1e-9 <= volume <= wanted[name] + 1e-9
+        assert -1e-9 <= collateral <= background + 1e-9
+
+
+class TestUpgradeCycle:
+    def test_growth_without_upgrades_overloads(self):
+        config = UpgradeConfig(months=48, never_upgrade_fraction=1.0, growth_noise=0.0)
+        report = simulate_upgrade_cycle([(80.0, 100.0)] * 20, config, seed=1)
+        assert report.final_overloaded_fraction() == 1.0
+        assert report.mean_final_utilization() > 2.0
+
+    def test_fast_upgrades_keep_pace(self):
+        config = UpgradeConfig(
+            months=48, never_upgrade_fraction=0.0, lead_time_months=(1, 1), growth_noise=0.0
+        )
+        report = simulate_upgrade_cycle([(70.0, 100.0)] * 20, config, seed=1)
+        assert report.final_overloaded_fraction() < 0.2
+
+    def test_longer_lead_times_mean_more_overload(self):
+        links = [(75.0, 100.0)] * 60
+        def overload(lead):
+            config = UpgradeConfig(
+                months=36, lead_time_months=(lead, lead), never_upgrade_fraction=0.0
+            )
+            return simulate_upgrade_cycle(links, config, seed=2).overloaded_link_month_fraction()
+
+        assert overload(12) > overload(2)
+
+    def test_upgrades_land_after_lead_time(self):
+        config = UpgradeConfig(
+            months=10,
+            lead_time_months=(3, 3),
+            never_upgrade_fraction=0.0,
+            monthly_growth=0.2,
+            growth_noise=0.0,
+            trigger_utilization=0.8,
+        )
+        report = simulate_upgrade_cycle([(79.0, 100.0)], config, seed=3)
+        trajectory = report.trajectories[0]
+        assert trajectory.upgrades_landed >= 1
+        # Capacity unchanged before the first delivery month.
+        assert trajectory.capacity[0] == 100.0
+
+    def test_deterministic(self):
+        config = UpgradeConfig(months=12)
+        a = simulate_upgrade_cycle([(50.0, 100.0)] * 5, config, seed=9)
+        b = simulate_upgrade_cycle([(50.0, 100.0)] * 5, config, seed=9)
+        assert [t.demand for t in a.trajectories] == [t.demand for t in b.trajectories]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            UpgradeConfig(months=0)
+        with pytest.raises(ValueError):
+            UpgradeConfig(lead_time_months=(5, 2))
+
+    def test_links_from_plans(self, small_internet, state23):
+        demand = DemandModel()
+        plans = build_capacity_plan(small_internet, state23, demand, seed=11)
+        links = pni_links_from_plans(plans, demand)
+        assert links
+        for demand_gbps, capacity_gbps in links:
+            assert demand_gbps >= 0 and capacity_gbps > 0
+
+
+class TestSection6Experiment:
+    def test_isolation_reduces_collateral(self, small_study):
+        from repro.experiments.section6_mitigations import run_section6
+
+        result = run_section6(small_study)
+        fair = result.outcome(IsolationPolicy.FAIR_SHARE)
+        protected = result.outcome(IsolationPolicy.PROTECT_BACKGROUND)
+        sliced = result.outcome(IsolationPolicy.RESERVED_SLICES)
+        assert protected.collateral_gbph <= fair.collateral_gbph
+        assert sliced.collateral_gbph <= fair.collateral_gbph
+        # Isolation shifts the pain onto the hypergiant overflow.
+        assert protected.unserved_gbph >= fair.unserved_gbph - 1e-6
+        assert "isolation policy" in result.render()
+
+    def test_upgrade_sweep_monotone_tendency(self, small_study):
+        from repro.experiments.section6_mitigations import run_upgrade_sweep
+
+        sweeps = run_upgrade_sweep(small_study, lead_times=(2, 12))
+        assert (
+            sweeps[12].overloaded_link_month_fraction()
+            >= sweeps[2].overloaded_link_month_fraction()
+        )
