@@ -1,0 +1,67 @@
+"""Observability bench: record the pipeline's stage-time/metrics snapshot.
+
+Runs the small scenario with telemetry enabled and writes the snapshot to
+``BENCH_observability.json`` next to this file, in the ``repro-bench-v1``
+trajectory format (span forest + counters/gauges/histograms).  Each PR that
+touches a pipeline stage regenerates the file, so the sequence of committed
+snapshots is a perf trajectory: diff ``spans[].duration_ms`` and the funnel
+counters across revisions to spot regressions.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_bench_observability.py -s``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.scenarios import scenario_by_name
+from repro.obs import (
+    Telemetry,
+    render_filter_funnel,
+    render_span_tree,
+    telemetry_to_json,
+    write_metrics_json,
+)
+
+from benchmarks.conftest import emit
+
+SNAPSHOT_PATH = Path(__file__).parent / "BENCH_observability.json"
+
+#: Every stage that must appear in the snapshot for it to be useful.
+PIPELINE_STAGES = (
+    "topology",
+    "deployment",
+    "scan",
+    "detect",
+    "ping_campaign",
+    "filters",
+    "clustering",
+)
+
+
+def _flat_names(spans: list[dict]) -> set[str]:
+    names: set[str] = set()
+    for span in spans:
+        names.add(span["name"])
+        names.update(_flat_names(span["children"]))
+    return names
+
+
+def test_bench_observability_snapshot():
+    telemetry = Telemetry.capture()
+    study = scenario_by_name("small").run(telemetry=telemetry)
+    assert study.telemetry is telemetry
+
+    snapshot = telemetry_to_json(telemetry, name="observability-small")
+    names = _flat_names(snapshot["spans"])
+    for stage in PIPELINE_STAGES:
+        assert stage in names, f"stage {stage!r} missing from the trace"
+    assert snapshot["counters"]["filters.ips_considered"] > 0
+    assert snapshot["counters"]["cluster.isps_analyzed"] > 0
+
+    write_metrics_json(telemetry, SNAPSHOT_PATH, name="observability-small")
+    assert json.loads(SNAPSHOT_PATH.read_text())["format"] == "repro-bench-v1"
+
+    emit("stage timings (small scenario)", render_span_tree(telemetry.tracer))
+    emit("filter funnel (small scenario)", render_filter_funnel(telemetry.metrics))

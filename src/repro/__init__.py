@@ -23,6 +23,7 @@ from repro.core.pipeline import Study, StudyConfig, run_study
 from repro.core.traffic_model import TrafficModel
 from repro.deployment.growth import DeploymentHistory, build_deployment_history
 from repro.deployment.placement import DeploymentState, OffnetServer, place_offnets
+from repro.obs import MetricsRegistry, Telemetry, Tracer
 from repro.scan.detection import OffnetInventory, detect_offnets
 from repro.scan.scanner import ScanResult, run_scan
 from repro.topology.generator import Internet, InternetConfig, generate_internet
@@ -34,11 +35,14 @@ __all__ = [
     "DeploymentState",
     "Internet",
     "InternetConfig",
+    "MetricsRegistry",
     "OffnetInventory",
     "OffnetServer",
     "ScanResult",
     "Study",
     "StudyConfig",
+    "Telemetry",
+    "Tracer",
     "TrafficModel",
     "__version__",
     "build_deployment_history",

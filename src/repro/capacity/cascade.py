@@ -16,6 +16,7 @@ from repro.capacity.demand import DemandModel
 from repro.capacity.events import Scenario
 from repro.capacity.links import IspCapacityPlan
 from repro.capacity.spillover import SpilloverModel, SpilloverReport
+from repro.obs import Telemetry, ensure_telemetry
 from repro.population.users import PopulationDataset
 from repro.topology.generator import Internet
 
@@ -107,6 +108,7 @@ def simulate_cascade(
     asns: list[int] | None = None,
     baseline_utilization_cap: float = 1.0,
     scenario_utilization_cap: float = 1.0,
+    telemetry: Telemetry | None = None,
 ) -> CascadeReport:
     """Run ``scenario`` against its baseline over a full day.
 
@@ -114,35 +116,55 @@ def simulate_cascade(
     utilization caps set the offnet operating points: §4.1's COVID analysis
     uses a healthy baseline (~0.9) against a crisis scenario running flat
     out (1.0).
+
+    With ``telemetry``, each hourly round is accounted: ``cascade.rounds``,
+    ``cascade.congested_rounds``, per-round overloaded shared links
+    (``cascade.overloaded_links_per_round``), and per-ISP collateral.
     """
     if asns is None:
         asns = sorted(plans)
     require(all(asn in plans for asn in asns), "unknown ASN in cascade scope")
+    obs = ensure_telemetry(telemetry)
 
     baseline_model = SpilloverModel(internet=internet, demand=demand, plans=plans)
     damaged_plans = scenario.apply_to_plans(plans)
     scenario_model = SpilloverModel(internet=internet, demand=demand, plans=damaged_plans)
 
     report = CascadeReport(scenario_name=scenario.name)
-    for asn in asns:
-        baseline_reports = baseline_model.daily_reports(
-            asn, offnet_utilization_cap=baseline_utilization_cap
-        )
-        multipliers = scenario.demand_multipliers(asn)
-        scenario_reports = scenario_model.daily_reports(
-            asn, multipliers, offnet_utilization_cap=scenario_utilization_cap
-        )
-        base_offnet, base_inter, _, _, _ = _day_totals(baseline_reports)
-        scen_offnet, scen_inter, scen_unserved, congested, collateral = _day_totals(scenario_reports)
-        report.outcomes[asn] = IspOutcome(
-            asn=asn,
-            users=population.users_of(asn),
-            baseline_offnet_gbph=base_offnet,
-            scenario_offnet_gbph=scen_offnet,
-            baseline_interdomain_gbph=base_inter,
-            scenario_interdomain_gbph=scen_inter,
-            scenario_unserved_gbph=scen_unserved,
-            congested_hours=congested,
-            collateral_gbph=collateral,
+    with obs.span("cascade", scenario=scenario.name, isps=len(asns)):
+        for asn in asns:
+            baseline_reports = baseline_model.daily_reports(
+                asn, offnet_utilization_cap=baseline_utilization_cap
+            )
+            multipliers = scenario.demand_multipliers(asn)
+            scenario_reports = scenario_model.daily_reports(
+                asn, multipliers, offnet_utilization_cap=scenario_utilization_cap
+            )
+            base_offnet, base_inter, _, _, _ = _day_totals(baseline_reports)
+            scen_offnet, scen_inter, scen_unserved, congested, collateral = _day_totals(scenario_reports)
+            if obs.metrics.enabled:
+                obs.count("cascade.rounds", len(scenario_reports))
+                obs.count("cascade.congested_rounds", congested)
+                for hourly in scenario_reports:
+                    overloaded = int(hourly.ixp_utilization > 1.0) + int(hourly.transit_utilization > 1.0)
+                    obs.observe("cascade.overloaded_links_per_round", overloaded)
+                obs.observe("cascade.collateral_gbph", collateral)
+            report.outcomes[asn] = IspOutcome(
+                asn=asn,
+                users=population.users_of(asn),
+                baseline_offnet_gbph=base_offnet,
+                scenario_offnet_gbph=scen_offnet,
+                baseline_interdomain_gbph=base_inter,
+                scenario_interdomain_gbph=scen_inter,
+                scenario_unserved_gbph=scen_unserved,
+                congested_hours=congested,
+                collateral_gbph=collateral,
+            )
+        obs.count("cascade.isps_simulated", len(asns))
+        obs.log(
+            "cascade simulated",
+            scenario=scenario.name,
+            isps=len(asns),
+            congested_isps=len(report.congested_isp_asns),
         )
     return report

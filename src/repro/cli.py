@@ -29,19 +29,68 @@ def _add_scenario_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _load_study(name: str):
-    from repro.experiments.scenarios import cached_study
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record stage spans and print the stage-time tree on stderr",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured logs as JSON lines (instead of text) on stderr",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the telemetry snapshot (spans + metrics) as JSON to PATH",
+    )
+
+
+def _telemetry_from_args(args: argparse.Namespace):
+    """A live telemetry bundle when any observability flag is set, else None."""
+    if not (args.trace or args.log_json or args.metrics_out):
+        return None
+    from repro.obs import Telemetry
+
+    return Telemetry.capture(json_logs=args.log_json)
+
+
+def _load_study(name: str, telemetry=None):
+    from repro.experiments.scenarios import cached_study, scenario_by_name
 
     print(f"running the {name!r} study...", file=sys.stderr)
-    return cached_study(name)
+    if telemetry is None:
+        return cached_study(name)
+    # A traced run must exercise the live pipeline, so it bypasses the cache.
+    return scenario_by_name(name).run(telemetry=telemetry)
+
+
+def _emit_telemetry(args: argparse.Namespace, telemetry) -> None:
+    """Print / write the recorded telemetry as the flags request."""
+    if telemetry is None:
+        return
+    from repro.obs import render_filter_funnel, render_span_tree, write_metrics_json
+
+    if args.trace:
+        print("\nstage timings\n-------------", file=sys.stderr)
+        print(render_span_tree(telemetry.tracer), file=sys.stderr)
+        funnel = render_filter_funnel(telemetry.metrics)
+        print(f"\nfilter funnel\n-------------\n{funnel}", file=sys.stderr)
+    if args.metrics_out:
+        path = write_metrics_json(telemetry, args.metrics_out, name=f"study-{args.scenario}")
+        print(f"wrote telemetry to {path}", file=sys.stderr)
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
     from repro.report import build_report
 
-    study = _load_study(args.scenario)
+    telemetry = _telemetry_from_args(args)
+    study = _load_study(args.scenario, telemetry)
     sections = tuple(args.sections.split(",")) if args.sections != "all" else None
     print(build_report(study, sections))
+    _emit_telemetry(args, telemetry)
     return 0
 
 
@@ -52,7 +101,8 @@ def _cmd_cascade(args: argparse.Namespace) -> int:
     from repro.capacity.cascade import simulate_cascade
     from repro.experiments.section43_collateral import most_shared_facility
 
-    study = _load_study(args.scenario)
+    telemetry = _telemetry_from_args(args)
+    study = _load_study(args.scenario, telemetry)
     state = study.history.state("2023")
     if args.facility == "auto":
         facility_id, hypergiants = most_shared_facility(study)
@@ -74,6 +124,7 @@ def _cmd_cascade(args: argparse.Namespace) -> int:
         facility_outage_scenario(facility_id),
         study.population,
         asns=owner_asns,
+        telemetry=telemetry,
     )
     for asn, outcome in report.outcomes.items():
         print(
@@ -83,6 +134,7 @@ def _cmd_cascade(args: argparse.Namespace) -> int:
             f"collateral {outcome.collateral_gbph:.0f} Gbps-h"
         )
     print(f"affected users: {report.affected_users():,}")
+    _emit_telemetry(args, telemetry)
     return 0
 
 
@@ -106,12 +158,14 @@ def _cmd_mapping(args: argparse.Namespace) -> int:
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.io.archive import save_archive
 
-    study = _load_study(args.scenario)
+    telemetry = _telemetry_from_args(args)
+    study = _load_study(args.scenario, telemetry)
     directory = save_archive(study, args.output)
     files = sorted(p.name for p in directory.iterdir())
     print(f"wrote {len(files)} files to {directory}:")
     for name in files:
         print(f"  {name}")
+    _emit_telemetry(args, telemetry)
     return 0
 
 
@@ -132,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     study = subparsers.add_parser("study", help="run the pipeline and print paper artifacts")
     _add_scenario_argument(study)
+    _add_telemetry_arguments(study)
     study.add_argument(
         "--sections",
         default="all",
@@ -141,6 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     cascade = subparsers.add_parser("cascade", help="simulate a facility outage")
     _add_scenario_argument(cascade)
+    _add_telemetry_arguments(cascade)
     cascade.add_argument("--facility", default="auto", help="facility id or 'auto' (most shared)")
     cascade.set_defaults(handler=_cmd_cascade)
 
@@ -156,6 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     export = subparsers.add_parser("export", help="write a dataset archive")
     _add_scenario_argument(export)
+    _add_telemetry_arguments(export)
     export.add_argument("--output", required=True, help="destination directory")
     export.set_defaults(handler=_cmd_export)
 

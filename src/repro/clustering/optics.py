@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._util import require
+from repro.obs import Telemetry, ensure_telemetry
 
 
 @dataclass
@@ -34,7 +35,9 @@ class OpticsResult:
         return int(self.ordering.shape[0])
 
 
-def optics_order(distances: np.ndarray, min_pts: int = 2) -> OpticsResult:
+def optics_order(
+    distances: np.ndarray, min_pts: int = 2, telemetry: Telemetry | None = None
+) -> OpticsResult:
     """Compute the OPTICS ordering of points given a distance matrix.
 
     ``distances`` is a symmetric ``(n, n)`` matrix; NaN entries are treated
@@ -42,6 +45,10 @@ def optics_order(distances: np.ndarray, min_pts: int = 2) -> OpticsResult:
     itself, matching the common (sklearn) convention — the paper's
     ``n_min = 2`` therefore means "a cluster can be as small as two
     addresses", i.e. the core distance is the nearest-neighbour distance.
+
+    With ``telemetry``, the finite reachability values of the ordering feed
+    the ``cluster.optics_reachability_ms`` histogram (metrics are recorded
+    once per call, after the ordering loop — never inside it).
     """
     distances = np.asarray(distances, dtype=float)
     require(distances.ndim == 2 and distances.shape[0] == distances.shape[1], "need a square matrix")
@@ -89,9 +96,16 @@ def optics_order(distances: np.ndarray, min_pts: int = 2) -> OpticsResult:
             else:
                 current = int(best)
 
+    reachability = _reorder_reachability(working, core, ordering)
+    obs = ensure_telemetry(telemetry)
+    if obs.metrics.enabled:
+        obs.count("cluster.optics_runs")
+        obs.count("cluster.optics_points_ordered", n)
+        for value in reachability[np.isfinite(reachability)]:
+            obs.observe("cluster.optics_reachability_ms", float(value))
     return OpticsResult(
         ordering=ordering,
-        reachability=_reorder_reachability(working, core, ordering),
+        reachability=reachability,
         core_distance=core,
     )
 

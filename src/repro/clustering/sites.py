@@ -18,6 +18,7 @@ from repro._util import require, require_fraction
 from repro.clustering.distance import pairwise_trimmed_manhattan
 from repro.clustering.optics import optics_order
 from repro.clustering.xi import extract_xi_clusters, split_clusters_on_spikes, xi_labels
+from repro.obs import Telemetry, ensure_telemetry
 
 
 @dataclass(frozen=True)
@@ -84,6 +85,7 @@ def cluster_isp_offnets(
     columns: np.ndarray,
     ips: list[int],
     config: ClusteringConfig | None = None,
+    telemetry: Telemetry | None = None,
 ) -> SiteClustering:
     """Cluster one ISP's offnet IPs from their latency columns.
 
@@ -92,14 +94,16 @@ def cluster_isp_offnets(
     OPTICS semantics with min_pts = 2).
     """
     config = config or ClusteringConfig()
+    obs = ensure_telemetry(telemetry)
     require(columns.shape[1] == len(ips), "columns must align with ips")
     n = len(ips)
     if n == 0:
         return SiteClustering(ips=[], labels=np.empty(0, dtype=int), config=config)
     if n == 1:
+        obs.count("cluster.singleton_isps")
         return SiteClustering(ips=list(ips), labels=np.array([-1]), config=config)
     distances = pairwise_trimmed_manhattan(columns, config.trim_fraction)
-    result = optics_order(distances, config.min_pts)
+    result = optics_order(distances, config.min_pts, telemetry=telemetry)
     clusters = extract_xi_clusters(result.reachability, config.xi, config.min_pts)
     clusters = split_clusters_on_spikes(
         result.reachability, clusters, config.spike_factor, config.min_pts
@@ -107,7 +111,11 @@ def cluster_isp_offnets(
     position_labels = xi_labels(n, clusters)
     labels = np.full(n, -1, dtype=int)
     labels[result.ordering] = position_labels
-    return SiteClustering(ips=list(ips), labels=labels, config=config)
+    clustering = SiteClustering(ips=list(ips), labels=labels, config=config)
+    obs.count("cluster.clusters_found", len(clustering.clusters))
+    obs.count("cluster.noise_ips", len(clustering.noise_ips))
+    obs.observe("cluster.sites_per_isp", clustering.site_count)
+    return clustering
 
 
 def pair_confusion_counts(

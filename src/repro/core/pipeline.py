@@ -29,6 +29,7 @@ from repro.mlab.matrix import (
     measure_offnets,
 )
 from repro.mlab.vantage import VantagePoint, build_vantage_points
+from repro.obs import Telemetry, ensure_telemetry
 from repro.population.users import PopulationDataset, build_population_dataset
 from repro.rdns.ptr import PtrConfig, PtrDataset, build_ptr_dataset
 from repro.rdns.validation import ValidationSummary, validate_clusters
@@ -76,6 +77,9 @@ class Study:
     population: PopulationDataset
     ptr: PtrDataset
     traffic: TrafficModel = field(default_factory=TrafficModel)
+    #: Telemetry captured while this study ran (None when not requested).
+    #: Excluded from comparisons: timings are not part of the artifact.
+    telemetry: Telemetry | None = field(default=None, repr=False, compare=False)
 
     # -- convenient views -----------------------------------------------------
 
@@ -146,64 +150,115 @@ class Study:
         return single / total if total else 0.0
 
 
-def run_study(config: StudyConfig | None = None) -> Study:
-    """Run the full pipeline; deterministic given ``config.seed``."""
+def run_study(config: StudyConfig | None = None, telemetry: Telemetry | None = None) -> Study:
+    """Run the full pipeline; deterministic given ``config.seed``.
+
+    ``telemetry`` (optional) records a span per stage, the filter-attrition
+    funnel, and per-ISP clustering timings.  Instrumentation never touches
+    the RNG streams, so traced and untraced runs produce identical
+    artifacts; without ``telemetry`` every recording call is a no-op.
+    """
     config = config or StudyConfig()
+    obs = ensure_telemetry(telemetry)
     root = make_rng(config.seed)
 
-    internet = generate_internet(config.internet)
-    history = build_deployment_history(
-        internet, config=config.placement, seed=spawn_rng(root, "deployment")
-    )
+    with obs.span("study", seed=config.seed):
+        with obs.span("topology"):
+            internet = generate_internet(config.internet)
+        obs.count("topology.isps", len(internet.isps))
+        obs.count("topology.ixps", len(internet.ixps))
+        obs.log("topology generated", isps=len(internet.isps), ixps=len(internet.ixps))
 
-    scans: dict[str, ScanResult] = {}
-    inventories: dict[str, OffnetInventory] = {}
-    for epoch in sorted(history.epochs):
-        scans[epoch] = run_scan(internet, history.state(epoch), config.scan, seed=spawn_rng(root, f"scan-{epoch}"))
-        inventories[epoch] = detect_offnets(internet, scans[epoch])
+        with obs.span("deployment"):
+            history = build_deployment_history(
+                internet, config=config.placement, seed=spawn_rng(root, "deployment")
+            )
+        obs.count("deployment.epochs", len(history.epochs))
+        obs.count("deployment.servers_2023", len(history.state("2023").servers))
 
-    vantage_points = build_vantage_points(
-        internet.world, config.n_vantage_points, seed=spawn_rng(root, "vps")
-    )
+        scans: dict[str, ScanResult] = {}
+        with obs.span("scan"):
+            for epoch in sorted(history.epochs):
+                with obs.span("scan.epoch", epoch=epoch):
+                    scans[epoch] = run_scan(
+                        internet,
+                        history.state(epoch),
+                        config.scan,
+                        seed=spawn_rng(root, f"scan-{epoch}"),
+                        telemetry=telemetry,
+                    )
 
-    # Measure the detected (not ground-truth) IPs: the pipeline must live
-    # with its own detection errors, as the real study does.
-    state_2023 = history.state("2023")
-    target_ips = sorted(
-        ip for ip in (d.ip for d in inventories["2023"].detections)
-        if state_2023.server_at(ip) is not None
-    )
-    matrix = measure_offnets(
-        internet, state_2023, target_ips, vantage_points, config.campaign, seed=spawn_rng(root, "pings")
-    )
+        inventories: dict[str, OffnetInventory] = {}
+        with obs.span("detect"):
+            for epoch in sorted(history.epochs):
+                with obs.span("detect.epoch", epoch=epoch):
+                    inventories[epoch] = detect_offnets(internet, scans[epoch], telemetry=telemetry)
+        obs.log("offnets detected", **{epoch: len(inv) for epoch, inv in inventories.items()})
 
-    # Scale the per-ISP coverage threshold to the vantage-point count (the
-    # paper's 100-of-163 is ~61 %).
-    effective_min_vps = min(config.campaign.min_vps_per_isp, math.ceil(0.61 * config.n_vantage_points))
-    campaign_config = LatencyCampaignConfig(
-        ping=config.campaign.ping,
-        unresponsive_ip_fraction=config.campaign.unresponsive_ip_fraction,
-        split_location_fraction=config.campaign.split_location_fraction,
-        inflation_seed=config.campaign.inflation_seed,
-        plausibility_slack_ms=config.campaign.plausibility_slack_ms,
-        min_vps_per_isp=effective_min_vps,
-    )
-    ip_to_isp = {d.ip: d.isp_asn for d in inventories["2023"].detections}
-    campaign = apply_quality_filters(matrix, ip_to_isp, campaign_config)
+        with obs.span("ping_campaign"):
+            vantage_points = build_vantage_points(
+                internet.world, config.n_vantage_points, seed=spawn_rng(root, "vps")
+            )
 
-    clusterings: dict[float, dict[int, SiteClustering]] = {}
-    for xi in config.xis:
-        clustering_config = ClusteringConfig(xi=xi)
-        per_isp: dict[int, SiteClustering] = {}
-        for asn in campaign.analyzable_isp_asns:
-            ips = campaign.ips_by_isp[asn]
-            per_isp[asn] = cluster_isp_offnets(matrix.submatrix(ips), ips, clustering_config)
-        clusterings[xi] = per_isp
+            # Measure the detected (not ground-truth) IPs: the pipeline must
+            # live with its own detection errors, as the real study does.
+            state_2023 = history.state("2023")
+            target_ips = sorted(
+                ip for ip in (d.ip for d in inventories["2023"].detections)
+                if state_2023.server_at(ip) is not None
+            )
+            matrix = measure_offnets(
+                internet,
+                state_2023,
+                target_ips,
+                vantage_points,
+                config.campaign,
+                seed=spawn_rng(root, "pings"),
+                telemetry=telemetry,
+            )
 
-    population = build_population_dataset(
-        internet, config.population_noise_sigma, seed=spawn_rng(root, "population")
-    )
-    ptr = build_ptr_dataset(state_2023, internet.world, config.ptr, seed=spawn_rng(root, "ptr"))
+        # Scale the per-ISP coverage threshold to the vantage-point count
+        # (the paper's 100-of-163 is ~61 %).
+        effective_min_vps = min(config.campaign.min_vps_per_isp, math.ceil(0.61 * config.n_vantage_points))
+        campaign_config = LatencyCampaignConfig(
+            ping=config.campaign.ping,
+            unresponsive_ip_fraction=config.campaign.unresponsive_ip_fraction,
+            split_location_fraction=config.campaign.split_location_fraction,
+            inflation_seed=config.campaign.inflation_seed,
+            plausibility_slack_ms=config.campaign.plausibility_slack_ms,
+            min_vps_per_isp=effective_min_vps,
+        )
+        ip_to_isp = {d.ip: d.isp_asn for d in inventories["2023"].detections}
+        with obs.span("filters", min_vps_per_isp=effective_min_vps):
+            campaign = apply_quality_filters(matrix, ip_to_isp, campaign_config, telemetry=telemetry)
+        obs.log(
+            "quality filters applied",
+            kept_isps=len(campaign.ips_by_isp),
+            dropped_isps=len(campaign.discarded_isp_asns),
+        )
+
+        clusterings: dict[float, dict[int, SiteClustering]] = {}
+        with obs.span("clustering"):
+            obs.count("cluster.isps_analyzed", len(campaign.analyzable_isp_asns))
+            for xi in config.xis:
+                clustering_config = ClusteringConfig(xi=xi)
+                per_isp: dict[int, SiteClustering] = {}
+                with obs.span("clustering.xi", xi=xi):
+                    for asn in campaign.analyzable_isp_asns:
+                        ips = campaign.ips_by_isp[asn]
+                        with obs.span("cluster.isp", asn=asn, xi=xi, n_ips=len(ips)) as isp_span:
+                            per_isp[asn] = cluster_isp_offnets(
+                                matrix.submatrix(ips), ips, clustering_config, telemetry=telemetry
+                            )
+                        obs.observe("cluster.isp_duration_ms", isp_span.duration_ms)
+                clusterings[xi] = per_isp
+
+        with obs.span("population"):
+            population = build_population_dataset(
+                internet, config.population_noise_sigma, seed=spawn_rng(root, "population")
+            )
+        with obs.span("ptr"):
+            ptr = build_ptr_dataset(state_2023, internet.world, config.ptr, seed=spawn_rng(root, "ptr"))
 
     return Study(
         config=config,
@@ -217,4 +272,5 @@ def run_study(config: StudyConfig | None = None) -> Study:
         clusterings=clusterings,
         population=population,
         ptr=ptr,
+        telemetry=telemetry,
     )

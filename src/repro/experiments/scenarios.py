@@ -10,9 +10,9 @@ benchmark session pays for each study once.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
 from repro.core.pipeline import Study, StudyConfig, run_study
+from repro.obs import Telemetry, get_logger, global_metrics
 from repro.topology.generator import InternetConfig
 
 
@@ -27,9 +27,9 @@ class StudyScenario:
     #: ISPs sampled in the capacity/cascade analyses (None = all).
     capacity_sample: int | None
 
-    def run(self) -> Study:
+    def run(self, telemetry: Telemetry | None = None) -> Study:
         """Run the pipeline for this scenario (uncached)."""
-        return run_study(self.config)
+        return run_study(self.config, telemetry=telemetry)
 
 
 SMALL_SCENARIO = StudyScenario(
@@ -73,10 +73,27 @@ def scenario_by_name(name: str) -> StudyScenario:
     return _BY_NAME[name]
 
 
-@lru_cache(maxsize=4)
+_STUDY_CACHE: dict[str, Study] = {}
+
+
 def cached_study(name: str) -> Study:
-    """Run (once) and cache the study for the named scenario."""
-    return scenario_by_name(name).run()
+    """Run (once) and cache the study for the named scenario.
+
+    Hits and misses are accounted on the process-wide metrics registry
+    (``scenarios.cache_hits`` / ``scenarios.cache_misses``) and logged
+    through :func:`repro.obs.get_logger` (visible once logging is
+    configured below the default WARNING threshold).
+    """
+    log = get_logger("repro.scenarios")
+    if name in _STUDY_CACHE:
+        global_metrics().count("scenarios.cache_hits")
+        log.info("scenario cache hit", scenario=name)
+        return _STUDY_CACHE[name]
+    global_metrics().count("scenarios.cache_misses")
+    log.info("scenario cache miss", scenario=name)
+    study = scenario_by_name(name).run()
+    _STUDY_CACHE[name] = study
+    return study
 
 
 # Backwards-friendly alias used in module docs.

@@ -21,6 +21,7 @@ from repro.deployment.placement import DeploymentState
 from repro.mlab.latency import base_rtt_matrix, vp_pair_floor_rtt_ms
 from repro.mlab.pings import PingConfig, ping_rtts
 from repro.mlab.vantage import VantagePoint
+from repro.obs import Telemetry, ensure_telemetry
 from repro.topology.facilities import Facility
 from repro.topology.generator import Internet
 
@@ -94,6 +95,7 @@ def measure_offnets(
     vps: list[VantagePoint],
     config: LatencyCampaignConfig | None = None,
     seed: int | np.random.Generator = 0,
+    telemetry: Telemetry | None = None,
 ) -> LatencyMatrix:
     """Ping every IP in ``target_ips`` from every vantage point.
 
@@ -103,6 +105,7 @@ def measure_offnets(
     facility of the same hypergiant (split-location behaviour).
     """
     config = config or LatencyCampaignConfig()
+    obs = ensure_telemetry(telemetry)
     root = make_rng(seed)
     rng_behaviour = spawn_rng(root, "behaviour")
     rng_pings = spawn_rng(root, "pings")
@@ -153,6 +156,13 @@ def measure_offnets(
             base_row[rate_limited] = np.nan
         rtt[i] = ping_rtts(base_row, config.ping, rng_pings)
 
+    obs.count("campaign.vantage_points", n_vps)
+    obs.count("campaign.target_ips", n_ips)
+    obs.count("campaign.measurements", n_vps * n_ips)
+    obs.count("campaign.unresponsive_targets", int(unresponsive.sum()))
+    obs.count("campaign.split_location_targets", int(split.sum()))
+    obs.count("campaign.lossy_isps", len(lossy_asns))
+    obs.log("latency campaign measured", vps=n_vps, target_ips=n_ips)
     return LatencyMatrix(
         vps=vps,
         ips=list(target_ips),
@@ -201,9 +211,16 @@ def apply_quality_filters(
     matrix: LatencyMatrix,
     ip_to_isp: dict[int, int],
     config: LatencyCampaignConfig | None = None,
+    telemetry: Telemetry | None = None,
 ) -> FilteredCampaign:
-    """Apply the Appendix-A filters to a raw campaign matrix."""
+    """Apply the Appendix-A filters to a raw campaign matrix.
+
+    With ``telemetry``, records the full attrition funnel
+    (``filters.ips_considered`` → ``filters.ips_analyzable``; see
+    :data:`repro.obs.FUNNEL_COUNTERS`).
+    """
     config = config or LatencyCampaignConfig()
+    obs = ensure_telemetry(telemetry)
     n_vps = len(matrix.vps)
     floor = np.zeros((n_vps, n_vps))
     for i in range(n_vps):
@@ -237,6 +254,16 @@ def apply_quality_filters(
         else:
             discarded.append(asn)
 
+    n_analyzable_ips = sum(len(ips) for ips in ips_by_isp.values())
+    obs.count("filters.ips_considered", len(matrix.ips))
+    obs.count("filters.ips_dropped_unresponsive", len(unresponsive))
+    obs.count("filters.ips_dropped_implausible", len(implausible))
+    obs.count("filters.ips_kept", len(kept))
+    obs.count("filters.ips_dropped_low_coverage_isp", len(kept) - n_analyzable_ips)
+    obs.count("filters.ips_analyzable", n_analyzable_ips)
+    obs.count("filters.isps_considered", len(by_isp))
+    obs.count("filters.isps_dropped_low_coverage", len(discarded))
+    obs.count("filters.isps_analyzable", len(ips_by_isp))
     return FilteredCampaign(
         matrix=matrix,
         ips_by_isp=ips_by_isp,

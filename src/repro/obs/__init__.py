@@ -1,0 +1,83 @@
+"""Observability for the study pipeline: tracing, metrics, logging, export.
+
+The subsystem has four pieces:
+
+* :mod:`repro.obs.trace` — nested stage spans with wall-clock durations
+  (:class:`Tracer`); disabled mode is a shared no-op span with zero clock
+  calls.
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
+  gauges, and histograms named ``<stage>.<name>``.
+* :mod:`repro.obs.logging` — :func:`get_logger`, the repo's single
+  structured-logging entry point (text or JSON lines).
+* :mod:`repro.obs.export` — JSON snapshots in the ``BENCH_*.json``
+  trajectory format plus aligned-text renderings (stage tree, metrics
+  table, filter funnel).
+
+Instrumented pipeline functions accept ``telemetry: Telemetry | None``;
+``None`` (the default) means the shared :data:`NULL_TELEMETRY` bundle, so
+uninstrumented callers pay one attribute lookup per stage and nothing per
+inner-loop element.  Recording never draws randomness: a traced run's
+artifacts are byte-identical to an untraced one.
+"""
+
+from repro.obs.export import (
+    BENCH_FORMAT,
+    FUNNEL_COUNTERS,
+    render_filter_funnel,
+    render_metrics_table,
+    render_span_tree,
+    telemetry_from_json,
+    telemetry_to_json,
+    write_metrics_json,
+)
+from repro.obs.logging import (
+    DEBUG,
+    ERROR,
+    INFO,
+    WARNING,
+    NullLogger,
+    StructuredLogger,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.metrics import (
+    GLOBAL_METRICS,
+    HistogramSummary,
+    MetricsRegistry,
+    NullMetrics,
+    global_metrics,
+    summarize,
+)
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, ensure_telemetry
+from repro.obs.trace import NullTracer, Span, Tracer
+
+__all__ = [
+    "BENCH_FORMAT",
+    "DEBUG",
+    "ERROR",
+    "FUNNEL_COUNTERS",
+    "GLOBAL_METRICS",
+    "HistogramSummary",
+    "INFO",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullLogger",
+    "NullMetrics",
+    "NullTracer",
+    "Span",
+    "StructuredLogger",
+    "Telemetry",
+    "Tracer",
+    "WARNING",
+    "configure_logging",
+    "ensure_telemetry",
+    "get_logger",
+    "global_metrics",
+    "render_filter_funnel",
+    "render_metrics_table",
+    "render_span_tree",
+    "summarize",
+    "telemetry_from_json",
+    "telemetry_to_json",
+    "write_metrics_json",
+]

@@ -1,0 +1,128 @@
+"""Telemetry exporters: JSON snapshots and aligned-text renderings.
+
+The JSON shape follows the benchmark-trajectory convention used by the
+``BENCH_*.json`` files under ``benchmarks/``: a top-level ``bench`` name, a
+``format`` tag, and the measurements — here the span forest plus the full
+metrics registry — so a sequence of PRs can diff stage timings and funnel
+counts over time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro._util import format_table
+from repro.obs.metrics import MetricsRegistry, NullMetrics
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import NullTracer, Span, Tracer
+
+#: Format tag stamped into every exported snapshot.
+BENCH_FORMAT = "repro-bench-v1"
+
+#: The filter-attrition funnel, in pipeline order: (counter, description).
+FUNNEL_COUNTERS: tuple[tuple[str, str], ...] = (
+    ("filters.ips_considered", "measured offnet IPs entering the filters"),
+    ("filters.ips_dropped_unresponsive", "dropped: fully unresponsive"),
+    ("filters.ips_dropped_implausible", "dropped: implausible for one location"),
+    ("filters.ips_kept", "kept after per-IP filters"),
+    ("filters.ips_dropped_low_coverage_isp", "dropped: ISP below VP coverage"),
+    ("filters.ips_analyzable", "analyzable (enter clustering)"),
+)
+
+
+def telemetry_to_json(
+    telemetry: Telemetry, name: str = "study", include_values: bool = False
+) -> dict[str, Any]:
+    """The snapshot dict for ``telemetry`` (see module docstring for shape)."""
+    return {
+        "bench": name,
+        "format": BENCH_FORMAT,
+        "spans": [span.to_json() for span in telemetry.tracer.roots],
+        **telemetry.metrics.to_json(include_values=include_values),
+    }
+
+
+def write_metrics_json(
+    telemetry: Telemetry, path: str | Path, name: str = "study", include_values: bool = False
+) -> Path:
+    """Write the snapshot to ``path`` and return it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(telemetry_to_json(telemetry, name, include_values), indent=2) + "\n")
+    return path
+
+
+def telemetry_from_json(data: dict[str, Any]) -> Telemetry:
+    """Rebuild a telemetry bundle from an exported snapshot."""
+    tracer = Tracer()
+    tracer.roots = [Span.from_json(entry) for entry in data.get("spans", ())]
+    metrics = MetricsRegistry.from_json(data)
+    return Telemetry(tracer=tracer, metrics=metrics)
+
+
+# -- text renderings -------------------------------------------------------------
+
+
+def render_span_tree(tracer: Tracer | NullTracer, max_children: int = 10) -> str:
+    """An indented stage-time tree; large fan-outs are elided by duration."""
+    if not tracer.roots:
+        return "no spans recorded"
+    lines: list[str] = []
+
+    def visit(span: Span, depth: int) -> None:
+        attrs = "".join(
+            f" {key}={value}" for key, value in span.attributes.items() if key != "name"
+        )
+        lines.append(f"{'  ' * depth}{span.name:<{max(1, 28 - 2 * depth)}} {span.duration_ms:9.1f} ms{attrs}")
+        children = sorted(span.children, key=lambda s: s.duration_s, reverse=True)
+        for child in children[:max_children]:
+            visit(child, depth + 1)
+        if len(children) > max_children:
+            rest = children[max_children:]
+            rest_ms = 1000.0 * sum(s.duration_s for s in rest)
+            lines.append(f"{'  ' * (depth + 1)}... (+{len(rest)} more) {rest_ms:9.1f} ms")
+
+    for root in tracer.roots:
+        visit(root, 0)
+    return "\n".join(lines)
+
+
+def render_metrics_table(metrics: MetricsRegistry | NullMetrics) -> str:
+    """All counters, gauges, and histogram summaries as one aligned table."""
+    rows: list[list[object]] = []
+    for name in sorted(metrics.counters):
+        rows.append([name, "counter", f"{metrics.counters[name]:g}"])
+    for name in sorted(metrics.gauges):
+        rows.append([name, "gauge", f"{metrics.gauges[name]:g}"])
+    for name in metrics.histogram_names():
+        summary = metrics.histogram(name)
+        rows.append(
+            [
+                name,
+                "histogram",
+                f"n={summary.count} mean={summary.mean:.2f} p50={summary.p50:.2f} "
+                f"p90={summary.p90:.2f} max={summary.maximum:.2f}",
+            ]
+        )
+    if not rows:
+        return "no metrics recorded"
+    return format_table(["metric", "kind", "value"], rows)
+
+
+def render_filter_funnel(metrics: MetricsRegistry | NullMetrics) -> str:
+    """The Appendix-A attrition funnel as an aligned table."""
+    considered = metrics.counter("filters.ips_considered")
+    if not considered:
+        return "no filter metrics recorded"
+    rows: list[list[object]] = []
+    for counter, description in FUNNEL_COUNTERS:
+        value = metrics.counter(counter)
+        rows.append([description, f"{value:g}", f"{100.0 * value / considered:.1f}%"])
+    isp_line = (
+        f"ISPs: {metrics.counter('filters.isps_considered'):g} considered, "
+        f"{metrics.counter('filters.isps_dropped_low_coverage'):g} below coverage, "
+        f"{metrics.counter('filters.isps_analyzable'):g} analyzable"
+    )
+    return format_table(["filter stage", "IPs", "% of considered"], rows) + "\n" + isp_line

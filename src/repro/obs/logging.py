@@ -1,0 +1,130 @@
+"""Structured logging: the repo's single logging entry point.
+
+Every component that wants to log obtains a logger via :func:`get_logger`
+and emits *events with fields*::
+
+    log = get_logger("repro.traceroute")
+    log.debug("unroutable destination", ip=ip, source_asn=source.asn)
+
+Two render modes: human-readable text lines and JSON lines (one object per
+line, machine-parseable).  Log lines carry no timestamps, so captured
+streams are deterministic and diffable across runs.  The default level is
+WARNING — library internals stay silent unless the caller (e.g. the CLI's
+``--trace`` / ``--log-json`` flags) opts in via :func:`configure_logging`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, TextIO
+
+DEBUG = 10
+INFO = 20
+WARNING = 30
+ERROR = 40
+
+_LEVEL_NAMES = {DEBUG: "debug", INFO: "info", WARNING: "warning", ERROR: "error"}
+_LEVELS_BY_NAME = {name: level for level, name in _LEVEL_NAMES.items()}
+
+
+def level_from_name(name: str | int) -> int:
+    """Resolve ``'info'``/``'debug'``/... (or a numeric level) to an int."""
+    if isinstance(name, int):
+        return name
+    return _LEVELS_BY_NAME[name.lower()]
+
+
+class StructuredLogger:
+    """A named logger emitting text or JSON lines to a stream.
+
+    ``stream=None`` means "whatever ``sys.stderr`` is at emit time", which
+    keeps the logger compatible with stream-capturing test harnesses.
+    """
+
+    def __init__(
+        self,
+        name: str = "repro",
+        level: int = WARNING,
+        json_mode: bool = False,
+        stream: TextIO | None = None,
+    ) -> None:
+        self.name = name
+        self.level = level
+        self.json_mode = json_mode
+        self.stream = stream
+
+    # -- emission ---------------------------------------------------------------
+
+    def log(self, level: int, event: str, **fields: Any) -> None:
+        """Emit ``event`` with ``fields`` if ``level`` clears the threshold."""
+        if level < self.level:
+            return
+        stream = self.stream if self.stream is not None else sys.stderr
+        if self.json_mode:
+            record = {"level": _LEVEL_NAMES.get(level, str(level)), "logger": self.name, "event": event}
+            record.update(fields)
+            stream.write(json.dumps(record, default=str) + "\n")
+        else:
+            suffix = "".join(f" {key}={value}" for key, value in fields.items())
+            stream.write(f"[{_LEVEL_NAMES.get(level, level)}] {self.name}: {event}{suffix}\n")
+
+    def debug(self, event: str, **fields: Any) -> None:
+        """Emit at DEBUG."""
+        self.log(DEBUG, event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        """Emit at INFO."""
+        self.log(INFO, event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        """Emit at WARNING."""
+        self.log(WARNING, event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        """Emit at ERROR."""
+        self.log(ERROR, event, **fields)
+
+
+class NullLogger(StructuredLogger):
+    """Disabled logging: drops everything without formatting."""
+
+    def __init__(self) -> None:
+        super().__init__(name="null", level=ERROR + 1)
+
+    def log(self, level: int, event: str, **fields: Any) -> None:
+        pass
+
+
+NULL_LOGGER = NullLogger()
+
+_LOGGERS: dict[str, StructuredLogger] = {}
+_DEFAULTS = {"level": WARNING, "json_mode": False, "stream": None}
+
+
+def get_logger(name: str = "repro") -> StructuredLogger:
+    """The shared logger for ``name`` (created on first use)."""
+    if name not in _LOGGERS:
+        _LOGGERS[name] = StructuredLogger(name, **_DEFAULTS)  # type: ignore[arg-type]
+    return _LOGGERS[name]
+
+
+def configure_logging(
+    level: int | str | None = None,
+    json_mode: bool | None = None,
+    stream: TextIO | None = None,
+) -> None:
+    """Reconfigure all shared loggers (existing and future).
+
+    Only the arguments given change; the rest keep their current defaults.
+    """
+    if level is not None:
+        _DEFAULTS["level"] = level_from_name(level)
+    if json_mode is not None:
+        _DEFAULTS["json_mode"] = json_mode
+    if stream is not None:
+        _DEFAULTS["stream"] = stream
+    for logger in _LOGGERS.values():
+        logger.level = _DEFAULTS["level"]  # type: ignore[assignment]
+        logger.json_mode = _DEFAULTS["json_mode"]  # type: ignore[assignment]
+        logger.stream = _DEFAULTS["stream"]  # type: ignore[assignment]

@@ -1,0 +1,112 @@
+"""The telemetry bundle threaded through the pipeline.
+
+A :class:`Telemetry` groups one tracer, one metrics registry, and one
+logger, and exposes their recording surface directly (``span`` / ``count``
+/ ``gauge`` / ``observe`` / ``log``) so instrumented code deals with a
+single object.  :meth:`Telemetry.disabled` returns a process-wide no-op
+singleton: every call on it bottoms out immediately with no clock reads,
+no allocation, and no RNG interaction — the zero-cost default.
+"""
+
+from __future__ import annotations
+
+from typing import Any, TextIO
+
+from repro.obs.logging import (
+    INFO,
+    NULL_LOGGER,
+    StructuredLogger,
+    configure_logging,
+    level_from_name,
+)
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+
+class Telemetry:
+    """One study run's tracer + metrics + logger."""
+
+    __slots__ = ("tracer", "metrics", "logger")
+
+    def __init__(
+        self,
+        tracer: Tracer | NullTracer | None = None,
+        metrics: MetricsRegistry | NullMetrics | None = None,
+        logger: StructuredLogger | None = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.logger = logger if logger is not None else NULL_LOGGER
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any recording happens at all."""
+        return self.tracer.enabled or self.metrics.enabled
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """The shared no-op bundle (the pipeline's default)."""
+        return NULL_TELEMETRY
+
+    @classmethod
+    def capture(
+        cls,
+        json_logs: bool = False,
+        log_level: int | str = INFO,
+        stream: TextIO | None = None,
+    ) -> "Telemetry":
+        """A live bundle: real tracer, real registry, stderr logger.
+
+        Also flips the shared :func:`repro.obs.logging.get_logger` loggers
+        to the requested level/mode so library-level components (scenario
+        cache, traceroute engine) log consistently with the run.  ``stream``
+        only redirects this bundle's own logger; shared loggers keep
+        writing to the process stderr.
+        """
+        configure_logging(level=log_level, json_mode=json_logs)
+        logger = StructuredLogger(
+            "repro.study", level=level_from_name(log_level), json_mode=json_logs, stream=stream
+        )
+        return cls(tracer=Tracer(), metrics=MetricsRegistry(), logger=logger)
+
+    # -- recording surface (delegates) ------------------------------------------
+
+    def span(self, name: str, **attributes: Any):
+        """Open a stage span (context manager)."""
+        return self.tracer.span(name, **attributes)
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Increment a counter."""
+        self.metrics.count(name, value)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a gauge."""
+        self.metrics.gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record a histogram observation."""
+        self.metrics.observe(name, value)
+
+    def log(self, event: str, **fields: Any) -> None:
+        """Log an INFO event through the bundle's logger."""
+        self.logger.info(event, **fields)
+
+
+class _NullTelemetry(Telemetry):
+    """The do-nothing bundle; all members are the shared null objects."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(tracer=NULL_TRACER, metrics=NULL_METRICS, logger=NULL_LOGGER)
+
+    def log(self, event: str, **fields: Any) -> None:
+        pass
+
+
+NULL_TELEMETRY = _NullTelemetry()
+
+
+def ensure_telemetry(telemetry: Telemetry | None) -> Telemetry:
+    """``telemetry`` or the shared no-op bundle."""
+    return telemetry if telemetry is not None else NULL_TELEMETRY

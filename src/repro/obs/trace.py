@@ -1,0 +1,159 @@
+"""Stage tracing: nested, context-manager spans with wall-clock durations.
+
+A :class:`Tracer` records a forest of :class:`Span` objects; each span is a
+context manager, so instrumented code reads as::
+
+    with tracer.span("scan", epoch="2023"):
+        ...
+
+Tracing never touches the RNG streams — spans only read the wall clock —
+so a traced pipeline run produces byte-identical artifacts to an untraced
+one.  When tracing is disabled the :class:`NullTracer` hands out a shared
+no-op span that makes **no clock calls at all**, keeping disabled-mode
+overhead to a single attribute lookup per instrumented block.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+
+class Span:
+    """One timed stage: a name, attributes, a duration, and child spans."""
+
+    __slots__ = ("name", "attributes", "children", "duration_s", "_tracer", "_start_s")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict[str, Any]) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.children: list[Span] = []
+        self.duration_s: float = 0.0
+        self._tracer = tracer
+        self._start_s: float = 0.0
+
+    @property
+    def duration_ms(self) -> float:
+        """Wall-clock duration in milliseconds (0 until the span exits)."""
+        return 1000.0 * self.duration_s
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach (or overwrite) attributes on an open span."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self._start_s = self._tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_s = self._tracer._clock() - self._start_s
+        self._tracer._pop(self)
+        return False
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-serialisable form (nested, durations in milliseconds)."""
+        return {
+            "name": self.name,
+            "duration_ms": self.duration_ms,
+            "attributes": dict(self.attributes),
+            "children": [child.to_json() for child in self.children],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "Span":
+        """Rebuild a span tree exported with :meth:`to_json`."""
+        span = cls(NULL_TRACER, data["name"], dict(data.get("attributes", {})))  # type: ignore[arg-type]
+        span.duration_s = float(data.get("duration_ms", 0.0)) / 1000.0
+        span.children = [cls.from_json(child) for child in data.get("children", ())]
+        return span
+
+    def walk(self):
+        """Yield this span and all descendants, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration_ms:.1f}ms, {len(self.children)} children)"
+
+
+class Tracer:
+    """Records nested spans; the clock is injectable for tests."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._clock = clock
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """A new span, attached to the current parent when entered."""
+        return Span(self, name, attributes)
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+
+    def find(self, name: str) -> Span | None:
+        """The first recorded span named ``name``, depth first."""
+        for root in self.roots:
+            for span in root.walk():
+                if span.name == name:
+                    return span
+        return None
+
+    def span_names(self) -> set[str]:
+        """All recorded span names."""
+        return {span.name for root in self.roots for span in root.walk()}
+
+
+class _NullSpan:
+    """Shared do-nothing span: no clock calls, no allocation per use."""
+
+    __slots__ = ()
+    duration_s = 0.0
+    duration_ms = 0.0
+    name = ""
+    attributes: dict[str, Any] = {}
+    children: tuple = ()
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracing: hands out one shared no-op span."""
+
+    enabled = False
+    roots: tuple = ()
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def find(self, name: str) -> None:
+        return None
+
+    def span_names(self) -> set[str]:
+        return set()
+
+
+NULL_TRACER = NullTracer()

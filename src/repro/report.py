@@ -174,6 +174,23 @@ def _cf(study: Study) -> str:
     return run_dispersal_counterfactual(study).render()
 
 
+@_register("obs", "Telemetry: stage timings, metrics, and the filter funnel")
+def _obs(study: Study) -> str:
+    from repro.obs import render_filter_funnel, render_metrics_table, render_span_tree
+
+    if study.telemetry is None or not study.telemetry.enabled:
+        return (
+            "telemetry was not captured for this study\n"
+            "(run with --trace / --metrics-out, or pass telemetry=Telemetry.capture() to run_study)"
+        )
+    blocks = [
+        "stage timings:\n" + render_span_tree(study.telemetry.tracer),
+        "filter funnel:\n" + render_filter_funnel(study.telemetry.metrics),
+        "metrics:\n" + render_metrics_table(study.telemetry.metrics),
+    ]
+    return "\n\n".join(blocks)
+
+
 def available_sections() -> list[str]:
     """Section ids, in presentation order."""
     return list(_SECTIONS)

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro._util import require
 from repro.deployment.placement import DeploymentState
+from repro.obs import Telemetry, ensure_telemetry
 from repro.scan.fingerprints import FingerprintRule, fingerprint_rules
 from repro.scan.scanner import ScanResult
 from repro.topology.asn import AS
@@ -84,6 +85,7 @@ def detect_offnets(
     scan: ScanResult,
     rules: list[FingerprintRule] | None = None,
     ip2as=None,
+    telemetry: Telemetry | None = None,
 ) -> OffnetInventory:
     """Apply fingerprint ``rules`` (default: scan-epoch edition) to ``scan``.
 
@@ -94,8 +96,10 @@ def detect_offnets(
     """
     if rules is None:
         rules = fingerprint_rules(scan.epoch)
+    obs = ensure_telemetry(telemetry)
     hypergiant_asns = {a.asn for a in internet.hypergiant_ases.values()}
     detections: list[DetectedOffnet] = []
+    matched_records = 0
     for record in scan.records:
         matched: str | None = None
         for rule in rules:
@@ -104,6 +108,7 @@ def detect_offnets(
                 break
         if matched is None:
             continue
+        matched_records += 1
         if ip2as is None:
             owner = internet.plan.owner_of(record.ip)
         else:
@@ -113,6 +118,10 @@ def detect_offnets(
             continue  # onnet or unattributable: not an offnet
         detections.append(DetectedOffnet(ip=record.ip, hypergiant=matched, isp_asn=owner.asn))
     edition = rules[0].edition if rules else "2023"
+    obs.count("detect.records_scanned", len(scan.records))
+    obs.count("detect.records_matched", matched_records)
+    obs.count("detect.onnet_or_unattributable", matched_records - len(detections))
+    obs.count("detect.offnets_found", len(detections))
     return OffnetInventory(epoch=scan.epoch, edition=edition, detections=detections)
 
 

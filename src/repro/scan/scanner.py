@@ -20,6 +20,7 @@ import numpy as np
 
 from repro._util import make_rng, require, require_fraction, spawn_rng
 from repro.deployment.placement import DeploymentState
+from repro.obs import Telemetry, ensure_telemetry
 from repro.scan.certificates import (
     Certificate,
     certificate_for_server,
@@ -85,9 +86,11 @@ def run_scan(
     state: DeploymentState,
     config: ScanConfig | None = None,
     seed: int | np.random.Generator = 0,
+    telemetry: Telemetry | None = None,
 ) -> ScanResult:
     """Scan the generated Internet at ``state``'s epoch."""
     config = config or ScanConfig()
+    obs = ensure_telemetry(telemetry)
     root = make_rng(seed)
     rng_response = spawn_rng(root, "response")
     rng_certs = spawn_rng(root, "certs")
@@ -95,8 +98,10 @@ def run_scan(
     records: list[ScanRecord] = []
 
     # Offnet servers (the signal).
+    nonresponders = 0
     for server in state.servers:
         if rng_response.random() < config.offnet_nonresponse_rate:
+            nonresponders += 1
             continue
         records.append(ScanRecord(server.ip, certificate_for_server(server, state.epoch, rng_certs)))
 
@@ -132,4 +137,16 @@ def run_scan(
         records.append(ScanRecord(ip, impostor_certificate(hypergiant, rng_noise)))
 
     records.sort(key=lambda r: r.ip)
+    n_infra = config.infrastructure_hosts_per_isp * len(internet.isps)
+    n_onnet = config.onnet_hosts_per_hypergiant * len(internet.hypergiant_ases)
+    obs.count("scan.hosts_probed", len(state.servers) + n_infra + n_onnet + n_impostors)
+    obs.count("scan.offnet_servers", len(state.servers))
+    obs.count("scan.offnet_nonresponders", nonresponders)
+    obs.count("scan.records", len(records))
+    obs.log(
+        "scan complete",
+        epoch=state.epoch,
+        records=len(records),
+        offnet_nonresponders=nonresponders,
+    )
     return ScanResult(epoch=state.epoch, records=records)

@@ -1,5 +1,7 @@
 """Tests for the CLI and the report generator."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -76,6 +78,86 @@ class TestCommands:
 
     def test_cascade_bad_facility(self, capsys, small_study):
         assert main(["cascade", "--scenario", "small", "--facility", "999999"]) == 1
+
+
+def _span_names(spans: list[dict]) -> set[str]:
+    names: set[str] = set()
+    for span in spans:
+        names.add(span["name"])
+        names.update(_span_names(span["children"]))
+    return names
+
+
+class TestTelemetryFlags:
+    def test_parser_accepts_flags(self):
+        args = build_parser().parse_args(
+            ["study", "--trace", "--log-json", "--metrics-out", "m.json"]
+        )
+        assert args.trace and args.log_json and args.metrics_out == "m.json"
+
+    def test_flags_default_off(self):
+        args = build_parser().parse_args(["study"])
+        assert not args.trace and not args.log_json and args.metrics_out is None
+
+    def test_study_trace_and_metrics_out(self, capsys, tmp_path):
+        out = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "study",
+                    "--scenario",
+                    "small",
+                    "--sections",
+                    "t1",
+                    "--trace",
+                    "--log-json",
+                    "--metrics-out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        # The report still lands on stdout; diagnostics go to stderr.
+        assert "Table 1" in captured.out
+        assert "stage timings" in captured.err
+        assert "filter funnel" in captured.err
+        assert f"wrote telemetry to {out}" in captured.err
+        # --log-json: structured events are JSON lines on stderr.
+        json_events = [
+            json.loads(line) for line in captured.err.splitlines() if line.startswith("{")
+        ]
+        assert any(event.get("event") == "scan complete" for event in json_events)
+
+        data = json.loads(out.read_text())
+        assert data["format"] == "repro-bench-v1"
+        names = _span_names(data["spans"])
+        for stage in (
+            "topology",
+            "deployment",
+            "scan",
+            "detect",
+            "ping_campaign",
+            "filters",
+            "clustering",
+        ):
+            assert stage in names, f"stage {stage!r} missing from exported spans"
+        for counter in (
+            "filters.ips_considered",
+            "filters.ips_dropped_unresponsive",
+            "filters.ips_dropped_implausible",
+            "filters.ips_kept",
+            "filters.ips_analyzable",
+        ):
+            assert counter in data["counters"], f"funnel counter {counter!r} missing"
+
+    def test_cascade_metrics_out(self, capsys, tmp_path):
+        out = tmp_path / "cascade.json"
+        assert main(["cascade", "--scenario", "small", "--metrics-out", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert "cascade" in _span_names(data["spans"])
+        assert data["counters"]["cascade.rounds"] > 0
+        assert "cascade.overloaded_links_per_round" in data["histograms"]
 
 
 class TestExport:

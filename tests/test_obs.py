@@ -1,0 +1,445 @@
+"""Tests for the observability subsystem (repro.obs)."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    NULL_TELEMETRY,
+    MetricsRegistry,
+    NullMetrics,
+    NullTracer,
+    Span,
+    StructuredLogger,
+    Telemetry,
+    Tracer,
+    get_logger,
+    global_metrics,
+    render_filter_funnel,
+    render_metrics_table,
+    render_span_tree,
+    summarize,
+    telemetry_from_json,
+    telemetry_to_json,
+    write_metrics_json,
+)
+from repro.obs.logging import DEBUG, INFO, WARNING
+
+
+class FakeClock:
+    """A controllable clock for deterministic span durations."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTracer:
+    def test_nesting(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("child_a"):
+                pass
+            with tracer.span("child_b"):
+                with tracer.span("grandchild"):
+                    pass
+        assert len(tracer.roots) == 1
+        parent = tracer.roots[0]
+        assert [c.name for c in parent.children] == ["child_a", "child_b"]
+        assert [c.name for c in parent.children[1].children] == ["grandchild"]
+
+    def test_durations_from_clock(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer"):
+            clock.advance(1.0)
+            with tracer.span("inner"):
+                clock.advance(2.0)
+            clock.advance(0.5)
+        outer = tracer.find("outer")
+        inner = tracer.find("inner")
+        assert inner.duration_s == pytest.approx(2.0)
+        assert outer.duration_s == pytest.approx(3.5)
+
+    def test_child_durations_bounded_by_parent(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("parent"):
+            for _ in range(3):
+                with tracer.span("child"):
+                    clock.advance(0.25)
+        parent = tracer.roots[0]
+        assert sum(c.duration_s for c in parent.children) <= parent.duration_s
+        assert all(c.duration_s >= 0 for c in parent.children)
+
+    def test_sequential_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.roots] == ["first", "second"]
+
+    def test_attributes_and_set(self):
+        tracer = Tracer()
+        with tracer.span("stage", epoch="2023") as span:
+            span.set(records=42)
+        assert tracer.roots[0].attributes == {"epoch": "2023", "records": 42}
+
+    def test_span_names_and_find(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert tracer.span_names() == {"a", "b"}
+        assert tracer.find("b").name == "b"
+        assert tracer.find("missing") is None
+
+    def test_null_tracer_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("anything", key="value") as span:
+            span.set(more=1)
+        assert tracer.roots == ()
+        assert tracer.span_names() == set()
+        # Disabled mode hands out one shared span object: no per-use cost.
+        assert tracer.span("x") is tracer.span("y")
+        assert tracer.span("x").duration_ms == 0.0
+
+
+class TestMetrics:
+    def test_counter_aggregation(self):
+        metrics = MetricsRegistry()
+        metrics.count("scan.hosts_probed", 10)
+        metrics.count("scan.hosts_probed", 5)
+        metrics.count("detect.offnets_found")
+        assert metrics.counter("scan.hosts_probed") == 15
+        assert metrics.counter("detect.offnets_found") == 1
+        assert metrics.counter("never.recorded") == 0
+
+    def test_gauge_last_write_wins(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("cluster.xi", 0.1)
+        metrics.gauge("cluster.xi", 0.9)
+        assert metrics.gauges["cluster.xi"] == 0.9
+
+    def test_histogram_summary(self):
+        metrics = MetricsRegistry()
+        for value in [1.0, 2.0, 3.0, 4.0, 100.0]:
+            metrics.observe("cluster.optics_reachability_ms", value)
+        summary = metrics.histogram("cluster.optics_reachability_ms")
+        assert summary.count == 5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 100.0
+        assert summary.mean == pytest.approx(22.0)
+        assert summary.p50 == 3.0
+        assert summary.total == pytest.approx(110.0)
+
+    def test_empty_histogram(self):
+        assert MetricsRegistry().histogram("nothing").count == 0
+        assert summarize([]).mean == 0.0
+
+    def test_percentiles_nearest_rank(self):
+        summary = summarize([float(v) for v in range(1, 101)])
+        assert summary.p50 == 50.0
+        assert summary.p90 == 90.0
+        assert summary.p99 == 99.0
+
+    def test_null_metrics_noop(self):
+        metrics = NullMetrics()
+        metrics.count("a", 5)
+        metrics.gauge("b", 1.0)
+        metrics.observe("c", 2.0)
+        assert metrics.counter("a") == 0
+        assert metrics.histogram_names() == []
+        assert metrics.to_json() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_global_registry_is_shared(self):
+        assert global_metrics() is global_metrics()
+
+
+class TestLogging:
+    def test_text_mode(self):
+        stream = io.StringIO()
+        log = StructuredLogger("repro.test", level=INFO, stream=stream)
+        log.info("scan complete", epoch="2023", records=7)
+        assert stream.getvalue() == "[info] repro.test: scan complete epoch=2023 records=7\n"
+
+    def test_json_mode(self):
+        stream = io.StringIO()
+        log = StructuredLogger("repro.test", level=INFO, json_mode=True, stream=stream)
+        log.info("scan complete", epoch="2023", records=7)
+        record = json.loads(stream.getvalue())
+        assert record == {
+            "level": "info",
+            "logger": "repro.test",
+            "event": "scan complete",
+            "epoch": "2023",
+            "records": 7,
+        }
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        log = StructuredLogger("repro.test", level=WARNING, stream=stream)
+        log.debug("dropped")
+        log.info("dropped too")
+        log.warning("kept")
+        assert stream.getvalue().count("\n") == 1
+        assert "kept" in stream.getvalue()
+
+    def test_get_logger_is_shared(self):
+        assert get_logger("repro.x") is get_logger("repro.x")
+        assert get_logger("repro.x") is not get_logger("repro.y")
+
+    def test_default_level_is_quiet(self):
+        assert StructuredLogger("fresh").level == WARNING
+
+
+class TestTelemetry:
+    def test_capture_records_everything(self):
+        telemetry = Telemetry.capture(stream=io.StringIO())
+        with telemetry.span("stage"):
+            telemetry.count("stage.things", 3)
+            telemetry.observe("stage.sizes", 1.5)
+        assert telemetry.enabled
+        assert telemetry.tracer.find("stage") is not None
+        assert telemetry.metrics.counter("stage.things") == 3
+
+    def test_disabled_singleton(self):
+        assert Telemetry.disabled() is NULL_TELEMETRY
+        assert not NULL_TELEMETRY.enabled
+        with NULL_TELEMETRY.span("stage"):
+            NULL_TELEMETRY.count("x")
+            NULL_TELEMETRY.observe("y", 1.0)
+            NULL_TELEMETRY.log("z")
+        assert NULL_TELEMETRY.tracer.roots == ()
+        assert NULL_TELEMETRY.metrics.counter("x") == 0
+
+
+class TestExport:
+    def _sample_telemetry(self) -> Telemetry:
+        clock = FakeClock()
+        telemetry = Telemetry(tracer=Tracer(clock=clock))
+        with telemetry.span("study", seed=0):
+            with telemetry.span("scan", epoch="2023"):
+                clock.advance(0.1)
+            telemetry.count("scan.hosts_probed", 100)
+            telemetry.gauge("campaign.vantage_points", 40)
+            telemetry.observe("cluster.optics_reachability_ms", 3.5)
+            telemetry.observe("cluster.optics_reachability_ms", 7.0)
+        return telemetry
+
+    def test_snapshot_shape(self):
+        data = telemetry_to_json(self._sample_telemetry(), name="unit")
+        assert data["bench"] == "unit"
+        assert data["format"] == "repro-bench-v1"
+        assert data["spans"][0]["name"] == "study"
+        assert data["spans"][0]["children"][0]["name"] == "scan"
+        assert data["counters"]["scan.hosts_probed"] == 100
+        assert data["histograms"]["cluster.optics_reachability_ms"]["count"] == 2
+
+    def test_json_round_trip(self, tmp_path):
+        telemetry = self._sample_telemetry()
+        path = write_metrics_json(telemetry, tmp_path / "m.json", name="unit", include_values=True)
+        loaded = telemetry_from_json(json.loads(path.read_text()))
+        assert loaded.tracer.span_names() == telemetry.tracer.span_names()
+        assert loaded.tracer.find("scan").duration_ms == pytest.approx(
+            telemetry.tracer.find("scan").duration_ms
+        )
+        assert loaded.tracer.find("scan").attributes == {"epoch": "2023"}
+        assert loaded.metrics.counters == telemetry.metrics.counters
+        assert loaded.metrics.gauges == telemetry.metrics.gauges
+        assert loaded.metrics.histogram_values(
+            "cluster.optics_reachability_ms"
+        ) == telemetry.metrics.histogram_values("cluster.optics_reachability_ms")
+        # And the re-export is identical: a true round trip.
+        assert telemetry_to_json(loaded, "unit", include_values=True) == telemetry_to_json(
+            telemetry, "unit", include_values=True
+        )
+
+    def test_renderings(self):
+        telemetry = self._sample_telemetry()
+        tree = render_span_tree(telemetry.tracer)
+        assert "study" in tree and "scan" in tree and "ms" in tree
+        table = render_metrics_table(telemetry.metrics)
+        assert "scan.hosts_probed" in table and "counter" in table
+        assert render_filter_funnel(telemetry.metrics) == "no filter metrics recorded"
+
+    def test_empty_renderings(self):
+        assert render_span_tree(Tracer()) == "no spans recorded"
+        assert render_metrics_table(MetricsRegistry()) == "no metrics recorded"
+
+
+class TestPipelineInstrumentation:
+    @pytest.fixture(scope="class")
+    def traced_pair(self):
+        """One tiny study run traced, one untraced, same config."""
+        from repro.core.pipeline import StudyConfig, run_study
+        from repro.topology.generator import InternetConfig
+
+        config = StudyConfig(
+            internet=InternetConfig(seed=3, n_access_isps=25, n_ixps=8),
+            n_vantage_points=10,
+            seed=3,
+        )
+        telemetry = Telemetry.capture(stream=io.StringIO())
+        return run_study(config, telemetry=telemetry), run_study(config), telemetry
+
+    def test_all_stages_have_spans(self, traced_pair):
+        _, _, telemetry = traced_pair
+        names = telemetry.tracer.span_names()
+        for stage in ("topology", "deployment", "scan", "detect", "ping_campaign", "filters", "clustering"):
+            assert stage in names, f"missing span for stage {stage!r}"
+
+    def test_funnel_counters_recorded(self, traced_pair):
+        _, _, telemetry = traced_pair
+        metrics = telemetry.metrics
+        considered = metrics.counter("filters.ips_considered")
+        assert considered > 0
+        assert (
+            metrics.counter("filters.ips_kept")
+            + metrics.counter("filters.ips_dropped_unresponsive")
+            + metrics.counter("filters.ips_dropped_implausible")
+            == considered
+        )
+        assert metrics.counter("filters.ips_analyzable") == metrics.counter(
+            "filters.ips_kept"
+        ) - metrics.counter("filters.ips_dropped_low_coverage_isp")
+        assert metrics.counter("scan.hosts_probed") > 0
+        assert metrics.counter("detect.offnets_found") > 0
+        assert metrics.counter("cluster.isps_analyzed") > 0
+
+    def test_tracing_preserves_determinism(self, traced_pair):
+        traced, untraced, _ = traced_pair
+        assert np.array_equal(traced.matrix.rtt_ms, untraced.matrix.rtt_ms, equal_nan=True)
+        assert traced.matrix.ips == untraced.matrix.ips
+        assert traced.inventories["2023"].detections == untraced.inventories["2023"].detections
+        assert traced.inventories["2021"].detections == untraced.inventories["2021"].detections
+        assert traced.campaign.ips_by_isp == untraced.campaign.ips_by_isp
+        assert traced.campaign.unresponsive_ips == untraced.campaign.unresponsive_ips
+        assert traced.campaign.implausible_ips == untraced.campaign.implausible_ips
+        for xi in traced.clusterings:
+            for asn in traced.clusterings[xi]:
+                assert np.array_equal(
+                    traced.clusterings[xi][asn].labels, untraced.clusterings[xi][asn].labels
+                )
+        assert traced.ptr.records == untraced.ptr.records
+        assert traced.telemetry is not None and untraced.telemetry is None
+
+    def test_study_attaches_telemetry(self, traced_pair):
+        traced, _, telemetry = traced_pair
+        assert traced.telemetry is telemetry
+
+    def test_span_tree_renders_for_study(self, traced_pair):
+        _, _, telemetry = traced_pair
+        tree = render_span_tree(telemetry.tracer)
+        assert tree.startswith("study")
+        funnel = render_filter_funnel(telemetry.metrics)
+        assert "analyzable" in funnel
+
+    def test_optics_reachability_histogram(self, traced_pair):
+        _, _, telemetry = traced_pair
+        summary = telemetry.metrics.histogram("cluster.optics_reachability_ms")
+        assert summary.count > 0
+        assert summary.minimum >= 0.0
+
+    def test_per_isp_timings(self, traced_pair):
+        _, _, telemetry = traced_pair
+        durations = telemetry.metrics.histogram("cluster.isp_duration_ms")
+        assert durations.count == telemetry.metrics.counter("cluster.optics_runs") + int(
+            telemetry.metrics.counter("cluster.singleton_isps")
+        )
+
+
+class TestCachedStudyMetrics:
+    def test_cache_hit_and_miss_counters(self, small_study):
+        from repro.experiments.scenarios import cached_study
+
+        registry = global_metrics()
+        hits_before = registry.counter("scenarios.cache_hits")
+        # The small study is already cached (fixture): both calls are hits.
+        assert cached_study("small") is cached_study("small")
+        assert registry.counter("scenarios.cache_hits") == hits_before + 2
+        # The session saw at least the fixture's initial miss.
+        assert registry.counter("scenarios.cache_misses") >= 1
+
+    def test_cache_logs_scenario(self, small_study, capsys):
+        from repro.experiments.scenarios import cached_study
+        from repro.obs import configure_logging
+
+        configure_logging(level="info", json_mode=False)
+        try:
+            cached_study("small")
+            err = capsys.readouterr().err
+            assert "scenario cache hit" in err and "scenario=small" in err
+        finally:
+            configure_logging(level="warning", json_mode=False)
+
+
+class TestCascadeInstrumentation:
+    def test_cascade_metrics(self, small_study):
+        from repro.capacity.cascade import simulate_cascade
+        from repro.capacity.demand import DemandModel
+        from repro.capacity.events import facility_outage_scenario
+        from repro.capacity.links import build_capacity_plan
+        from repro.experiments.section43_collateral import most_shared_facility
+
+        facility_id, _ = most_shared_facility(small_study)
+        state = small_study.history.state("2023")
+        demand = DemandModel(traffic=small_study.traffic)
+        plans = build_capacity_plan(small_study.internet, state, demand, seed=11)
+        owner_asns = sorted(
+            {s.isp.asn for s in state.servers if s.facility.facility_id == facility_id}
+        )
+        telemetry = Telemetry.capture(stream=io.StringIO())
+        report = simulate_cascade(
+            small_study.internet,
+            demand,
+            plans,
+            facility_outage_scenario(facility_id),
+            small_study.population,
+            asns=owner_asns,
+            telemetry=telemetry,
+        )
+        assert telemetry.metrics.counter("cascade.isps_simulated") == len(owner_asns)
+        assert telemetry.metrics.counter("cascade.rounds") == 24 * len(owner_asns)
+        assert telemetry.metrics.counter("cascade.congested_rounds") == sum(
+            o.congested_hours for o in report.outcomes.values()
+        )
+        assert telemetry.metrics.histogram("cascade.overloaded_links_per_round").count == 24 * len(
+            owner_asns
+        )
+        assert telemetry.tracer.find("cascade") is not None
+
+
+class TestTracerouteLogging:
+    def test_engine_counts_traces(self, small_internet):
+        from repro.traceroute.engine import TracerouteEngine
+
+        telemetry = Telemetry.capture(stream=io.StringIO())
+        engine = TracerouteEngine(small_internet, seed=1, telemetry=telemetry)
+        google = small_internet.hypergiant_as("Google")
+        target = small_internet.plan.prefixes_of(small_internet.access_isps[0])[0].base + 7
+        path = engine.trace(google, target)
+        assert path.routable
+        assert telemetry.metrics.counter("traceroute.traces") == 1
+
+    def test_engine_logs_unattributable(self, small_internet, capsys):
+        from repro.obs import configure_logging
+        from repro.traceroute.engine import TracerouteEngine
+
+        configure_logging(level="debug")
+        try:
+            engine = TracerouteEngine(small_internet, seed=1)
+            google = small_internet.hypergiant_as("Google")
+            path = engine.trace(google, 1)  # address owned by nobody
+            assert not path.routable
+            assert "destination unattributable" in capsys.readouterr().err
+        finally:
+            configure_logging(level="warning")
