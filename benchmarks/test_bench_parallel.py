@@ -1,0 +1,125 @@
+"""Parallel-execution bench: serial vs process-backend wall time.
+
+Runs the small scenario under the serial backend and the process backend at
+2 and 4 workers, cross-checks that all three runs export **byte-identical**
+archives, and writes the timings to ``BENCH_parallel.json`` in the
+``repro-bench-v1`` trajectory format.  The JSON records the host's CPU
+count: the speedup assertion only arms when the hardware can physically
+deliver parallelism (>= 4 usable cores); on smaller hosts the numbers are
+still committed so the trajectory stays honest about where they came from.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_bench_parallel.py -s``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro._util import format_table
+from repro.experiments.scenarios import scenario_by_name
+from repro.io.archive import save_archive
+from repro.obs import Telemetry
+from repro.parallel import ParallelConfig, process_backend_available
+
+from benchmarks.conftest import emit
+
+SNAPSHOT_PATH = Path(__file__).parent / "BENCH_parallel.json"
+
+#: (backend, workers) grid the bench sweeps.
+RUNS = (("serial", 1), ("process", 2), ("process", 4))
+
+#: Wall-time speedup the 4-worker run must reach on capable hardware.
+TARGET_SPEEDUP_4W = 1.5
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _time_run(backend: str, workers: int, export_dir: Path) -> dict:
+    telemetry = Telemetry.capture()
+    parallel = ParallelConfig(backend=backend, workers=workers)
+    started = time.perf_counter()
+    study = scenario_by_name("small").run(telemetry=telemetry, parallel=parallel)
+    total_s = time.perf_counter() - started
+    save_archive(study, export_dir)
+    digest = hashlib.sha256()
+    for path in sorted(export_dir.iterdir()):
+        digest.update(path.name.encode())
+        digest.update(path.read_bytes())
+    campaign = telemetry.tracer.find("ping_campaign")
+    clustering = telemetry.tracer.find("clustering")
+    return {
+        "backend": backend,
+        "workers": workers,
+        "total_s": round(total_s, 3),
+        "campaign_s": round(campaign.duration_s, 3),
+        "clustering_s": round(clustering.duration_s, 3),
+        "parallel_stages_s": round(campaign.duration_s + clustering.duration_s, 3),
+        "archive_sha256": digest.hexdigest(),
+    }
+
+
+def test_bench_parallel_snapshot(tmp_path):
+    if not process_backend_available():
+        pytest.skip("process executor backend unavailable on this host")
+
+    runs = [
+        _time_run(backend, workers, tmp_path / f"{backend}-{workers}")
+        for backend, workers in RUNS
+    ]
+
+    # Differential cross-check: every backend/worker combination exported
+    # the same bytes (the equivalence harness proves this per-file; here it
+    # guards the benchmark itself against comparing different work).
+    digests = {run["archive_sha256"] for run in runs}
+    assert len(digests) == 1, "backends exported different artifacts"
+
+    serial = runs[0]
+    cpus = _usable_cpus()
+    speedups = {
+        f"speedup_{run['workers']}w": round(
+            serial["parallel_stages_s"] / run["parallel_stages_s"], 3
+        )
+        for run in runs
+        if run["backend"] == "process"
+    }
+    snapshot = {
+        "bench": "parallel-small",
+        "format": "repro-bench-v1",
+        "scenario": "small",
+        "cpu_count": cpus,
+        "identical_artifacts": True,
+        "target_speedup_4w": TARGET_SPEEDUP_4W,
+        "hardware_limited": cpus < 4,
+        "runs": [
+            {key: value for key, value in run.items() if key != "archive_sha256"}
+            for run in runs
+        ],
+        **speedups,
+    }
+    SNAPSHOT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+
+    rows = [
+        [run["backend"], run["workers"], run["total_s"], run["parallel_stages_s"]]
+        for run in runs
+    ]
+    emit(
+        f"parallel backend wall times ({cpus} usable CPUs)",
+        format_table(["backend", "workers", "total s", "campaign+clustering s"], rows),
+    )
+
+    if cpus >= 4:
+        assert snapshot["speedup_4w"] >= TARGET_SPEEDUP_4W, (
+            f"4-worker speedup {snapshot['speedup_4w']}x below {TARGET_SPEEDUP_4W}x "
+            f"on a {cpus}-core host"
+        )

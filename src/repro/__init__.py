@@ -24,6 +24,7 @@ from repro.core.traffic_model import TrafficModel
 from repro.deployment.growth import DeploymentHistory, build_deployment_history
 from repro.deployment.placement import DeploymentState, OffnetServer, place_offnets
 from repro.obs import MetricsRegistry, Telemetry, Tracer
+from repro.parallel import ParallelConfig, ShardPlan, run_sharded
 from repro.scan.detection import OffnetInventory, detect_offnets
 from repro.scan.scanner import ScanResult, run_scan
 from repro.topology.generator import Internet, InternetConfig, generate_internet
@@ -38,7 +39,9 @@ __all__ = [
     "MetricsRegistry",
     "OffnetInventory",
     "OffnetServer",
+    "ParallelConfig",
     "ScanResult",
+    "ShardPlan",
     "Study",
     "StudyConfig",
     "Telemetry",
@@ -50,5 +53,6 @@ __all__ = [
     "generate_internet",
     "place_offnets",
     "run_scan",
+    "run_sharded",
     "run_study",
 ]

@@ -57,14 +57,40 @@ def _telemetry_from_args(args: argparse.Namespace):
     return Telemetry.capture(json_logs=args.log_json)
 
 
-def _load_study(name: str, telemetry=None):
+def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "process"),
+        default="serial",
+        help="execution backend for the campaign/clustering fan-outs (default: serial)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for --backend process (results are identical at any N)",
+    )
+
+
+def _parallel_from_args(args: argparse.Namespace):
+    """A ParallelConfig when any parallel flag departs from the default, else None."""
+    if getattr(args, "backend", "serial") == "serial" and getattr(args, "workers", 1) == 1:
+        return None
+    from repro.parallel import ParallelConfig
+
+    return ParallelConfig(backend=args.backend, workers=args.workers)
+
+
+def _load_study(name: str, telemetry=None, parallel=None):
     from repro.experiments.scenarios import cached_study, scenario_by_name
 
     print(f"running the {name!r} study...", file=sys.stderr)
-    if telemetry is None:
+    if telemetry is None and parallel is None:
         return cached_study(name)
-    # A traced run must exercise the live pipeline, so it bypasses the cache.
-    return scenario_by_name(name).run(telemetry=telemetry)
+    # A traced or non-default-backend run must exercise the live pipeline,
+    # so it bypasses the cache.
+    return scenario_by_name(name).run(telemetry=telemetry, parallel=parallel)
 
 
 def _emit_telemetry(args: argparse.Namespace, telemetry) -> None:
@@ -87,7 +113,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
     from repro.report import build_report
 
     telemetry = _telemetry_from_args(args)
-    study = _load_study(args.scenario, telemetry)
+    study = _load_study(args.scenario, telemetry, _parallel_from_args(args))
     sections = tuple(args.sections.split(",")) if args.sections != "all" else None
     print(build_report(study, sections))
     _emit_telemetry(args, telemetry)
@@ -102,7 +128,7 @@ def _cmd_cascade(args: argparse.Namespace) -> int:
     from repro.experiments.section43_collateral import most_shared_facility
 
     telemetry = _telemetry_from_args(args)
-    study = _load_study(args.scenario, telemetry)
+    study = _load_study(args.scenario, telemetry, _parallel_from_args(args))
     state = study.history.state("2023")
     if args.facility == "auto":
         facility_id, hypergiants = most_shared_facility(study)
@@ -159,7 +185,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
     from repro.io.archive import save_archive
 
     telemetry = _telemetry_from_args(args)
-    study = _load_study(args.scenario, telemetry)
+    study = _load_study(args.scenario, telemetry, _parallel_from_args(args))
     directory = save_archive(study, args.output)
     files = sorted(p.name for p in directory.iterdir())
     print(f"wrote {len(files)} files to {directory}:")
@@ -187,6 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
     study = subparsers.add_parser("study", help="run the pipeline and print paper artifacts")
     _add_scenario_argument(study)
     _add_telemetry_arguments(study)
+    _add_parallel_arguments(study)
     study.add_argument(
         "--sections",
         default="all",
@@ -197,6 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
     cascade = subparsers.add_parser("cascade", help="simulate a facility outage")
     _add_scenario_argument(cascade)
     _add_telemetry_arguments(cascade)
+    _add_parallel_arguments(cascade)
     cascade.add_argument("--facility", default="auto", help="facility id or 'auto' (most shared)")
     cascade.set_defaults(handler=_cmd_cascade)
 
@@ -213,6 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
     export = subparsers.add_parser("export", help="write a dataset archive")
     _add_scenario_argument(export)
     _add_telemetry_arguments(export)
+    _add_parallel_arguments(export)
     export.add_argument("--output", required=True, help="destination directory")
     export.set_defaults(handler=_cmd_export)
 

@@ -30,6 +30,7 @@ from repro.mlab.matrix import (
 )
 from repro.mlab.vantage import VantagePoint, build_vantage_points
 from repro.obs import Telemetry, ensure_telemetry
+from repro.parallel import ParallelConfig, Shard, ShardPlan, run_sharded
 from repro.population.users import PopulationDataset, build_population_dataset
 from repro.rdns.ptr import PtrConfig, PtrDataset, build_ptr_dataset
 from repro.rdns.validation import ValidationSummary, validate_clusters
@@ -52,6 +53,10 @@ class StudyConfig:
     xis: tuple[float, ...] = (0.1, 0.9)
     #: Log-normal sigma of the population-estimate noise (0 = exact).
     population_noise_sigma: float = 0.0
+    #: How the campaign and clustering fan-outs execute.  Backend and
+    #: worker count never change the artifacts (chunk sizes do, by design:
+    #: they shape the shard RNG streams).
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -150,6 +155,25 @@ class Study:
         return single / total if total else 0.0
 
 
+def _cluster_shard(
+    shard: Shard, telemetry: Telemetry | None
+) -> list[tuple[float, int, SiteClustering]]:
+    """Cluster one shard of ``(config, asn, ips, columns)`` work units.
+
+    OPTICS draws no randomness, so shard placement cannot affect labels;
+    per-ISP spans and timings are recorded here so serial and process
+    backends produce the same telemetry shape.
+    """
+    obs = ensure_telemetry(telemetry)
+    results: list[tuple[float, int, SiteClustering]] = []
+    for clustering_config, asn, ips, columns in shard.items:
+        with obs.span("cluster.isp", asn=asn, xi=clustering_config.xi, n_ips=len(ips)) as isp_span:
+            clustering = cluster_isp_offnets(columns, list(ips), clustering_config, telemetry=telemetry)
+        obs.observe("cluster.isp_duration_ms", isp_span.duration_ms)
+        results.append((clustering_config.xi, asn, clustering))
+    return results
+
+
 def run_study(config: StudyConfig | None = None, telemetry: Telemetry | None = None) -> Study:
     """Run the full pipeline; deterministic given ``config.seed``.
 
@@ -215,6 +239,7 @@ def run_study(config: StudyConfig | None = None, telemetry: Telemetry | None = N
                 config.campaign,
                 seed=spawn_rng(root, "pings"),
                 telemetry=telemetry,
+                parallel=config.parallel,
             )
 
         # Scale the per-ISP coverage threshold to the vantage-point count
@@ -237,21 +262,24 @@ def run_study(config: StudyConfig | None = None, telemetry: Telemetry | None = N
             dropped_isps=len(campaign.discarded_isp_asns),
         )
 
-        clusterings: dict[float, dict[int, SiteClustering]] = {}
         with obs.span("clustering"):
             obs.count("cluster.isps_analyzed", len(campaign.analyzable_isp_asns))
-            for xi in config.xis:
-                clustering_config = ClusteringConfig(xi=xi)
-                per_isp: dict[int, SiteClustering] = {}
-                with obs.span("clustering.xi", xi=xi):
-                    for asn in campaign.analyzable_isp_asns:
-                        ips = campaign.ips_by_isp[asn]
-                        with obs.span("cluster.isp", asn=asn, xi=xi, n_ips=len(ips)) as isp_span:
-                            per_isp[asn] = cluster_isp_offnets(
-                                matrix.submatrix(ips), ips, clustering_config, telemetry=telemetry
-                            )
-                        obs.observe("cluster.isp_duration_ms", isp_span.duration_ms)
-                clusterings[xi] = per_isp
+            # Work units are (isp_asn, xi) pairs; each carries its own latency
+            # columns so process workers never pickle the whole study.
+            pairs = [
+                (ClusteringConfig(xi=xi), asn, campaign.ips_by_isp[asn],
+                 matrix.submatrix(campaign.ips_by_isp[asn]))
+                for xi in config.xis
+                for asn in campaign.analyzable_isp_asns
+            ]
+            plan = ShardPlan.of(pairs, chunk_size=config.parallel.clustering_chunk)
+            shard_results = run_sharded(
+                _cluster_shard, plan, config.parallel, telemetry=telemetry, label="clustering"
+            )
+            clusterings = {xi: {} for xi in config.xis}
+            for shard_result in shard_results:
+                for xi, asn, clustering in shard_result:
+                    clusterings[xi][asn] = clustering
 
         with obs.span("population"):
             population = build_population_dataset(

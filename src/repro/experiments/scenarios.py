@@ -9,10 +9,11 @@ benchmark session pays for each study once.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.pipeline import Study, StudyConfig, run_study
 from repro.obs import Telemetry, get_logger, global_metrics
+from repro.parallel import ParallelConfig
 from repro.topology.generator import InternetConfig
 
 
@@ -27,9 +28,16 @@ class StudyScenario:
     #: ISPs sampled in the capacity/cascade analyses (None = all).
     capacity_sample: int | None
 
-    def run(self, telemetry: Telemetry | None = None) -> Study:
-        """Run the pipeline for this scenario (uncached)."""
-        return run_study(self.config, telemetry=telemetry)
+    def run(
+        self, telemetry: Telemetry | None = None, parallel: ParallelConfig | None = None
+    ) -> Study:
+        """Run the pipeline for this scenario (uncached).
+
+        ``parallel`` overrides the scenario's execution backend/workers; it
+        never changes the artifacts (see :mod:`repro.parallel`).
+        """
+        config = self.config if parallel is None else replace(self.config, parallel=parallel)
+        return run_study(config, telemetry=telemetry)
 
 
 SMALL_SCENARIO = StudyScenario(

@@ -13,6 +13,7 @@ ISP's offnets).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -22,6 +23,7 @@ from repro.mlab.latency import base_rtt_matrix, vp_pair_floor_rtt_ms
 from repro.mlab.pings import PingConfig, ping_rtts
 from repro.mlab.vantage import VantagePoint
 from repro.obs import Telemetry, ensure_telemetry
+from repro.parallel import ParallelConfig, Shard, ShardPlan, run_sharded
 from repro.topology.facilities import Facility
 from repro.topology.generator import Internet
 
@@ -75,17 +77,86 @@ class LatencyMatrix:
         self._column_of = {ip: j for j, ip in enumerate(self.ips)}
         require(len(self._column_of) == len(self.ips), "duplicate IPs in matrix")
 
+    def _index_of(self, ip: int) -> int:
+        try:
+            return self._column_of[ip]
+        except KeyError:
+            raise KeyError(
+                f"IP {ip} is not a target of this campaign "
+                f"({len(self.ips)} measured IPs; see LatencyMatrix.has_ip)"
+            ) from None
+
     def column(self, ip: int) -> np.ndarray:
-        """The RTT vector (one entry per vantage point) for ``ip``."""
-        return self.rtt_ms[:, self._column_of[ip]]
+        """The RTT vector (one entry per vantage point) for ``ip``.
+
+        Raises :class:`KeyError` naming the IP when it was not a campaign
+        target.
+        """
+        return self.rtt_ms[:, self._index_of(ip)]
 
     def submatrix(self, ips: list[int]) -> np.ndarray:
-        """Columns for ``ips``, in the given order."""
-        return self.rtt_ms[:, [self._column_of[ip] for ip in ips]]
+        """Columns for ``ips``, in the given order.
+
+        Raises :class:`KeyError` naming the first missing IP when any of
+        ``ips`` was not a campaign target.
+        """
+        return self.rtt_ms[:, [self._index_of(ip) for ip in ips]]
 
     def has_ip(self, ip: int) -> bool:
         """Whether ``ip`` was a target in this campaign."""
         return ip in self._column_of
+
+
+@dataclass(frozen=True)
+class _CampaignShardInputs:
+    """Everything one campaign shard needs, picklable for process workers.
+
+    All randomness-driven *behaviour* (which IPs are unresponsive, split, or
+    rate-limited) is decided in the parent before fan-out; shards only draw
+    the per-probe measurement noise from their own stream.
+    """
+
+    base: np.ndarray  # (n_vps, n_facilities) base RTTs
+    target_facility: np.ndarray  # facility column per target IP
+    alternate_facility: np.ndarray  # split-location alternate per target IP
+    unresponsive: np.ndarray  # bool per target IP
+    split: np.ndarray  # bool per target IP
+    lossy: np.ndarray  # bool per target IP (ISP rate-limits ICMP)
+    ping: PingConfig
+    lossy_success_rate: float
+
+
+def _measure_shard(
+    inputs: _CampaignShardInputs,
+    rngs: tuple[np.random.Generator, ...],
+    shard: Shard,
+    telemetry: Telemetry | None,
+) -> np.ndarray:
+    """Measure one shard's columns: shape ``(n_vps, len(shard))``."""
+    obs = ensure_telemetry(telemetry)
+    rng = rngs[shard.index]
+    cols = np.asarray(shard.items, dtype=int)
+    k = cols.size
+    target_facility = inputs.target_facility[cols]
+    alternate_facility = inputs.alternate_facility[cols]
+    unresponsive = inputs.unresponsive[cols]
+    split = inputs.split[cols]
+    lossy = inputs.lossy[cols]
+    n_vps = inputs.base.shape[0]
+    rtt = np.empty((n_vps, k))
+    for i in range(n_vps):
+        base_row = inputs.base[i, target_facility].copy()
+        if split.any():
+            # Each vantage point hits one of the two locations, 50/50.
+            use_alternate = split & (rng.random(k) < 0.5)
+            base_row[use_alternate] = inputs.base[i, alternate_facility[use_alternate]]
+        base_row[unresponsive] = np.nan
+        if lossy.any():
+            rate_limited = lossy & (rng.random(k) >= inputs.lossy_success_rate)
+            base_row[rate_limited] = np.nan
+        rtt[i] = ping_rtts(base_row, inputs.ping, rng)
+    obs.count("campaign.shard_measurements", n_vps * k)
+    return rtt
 
 
 def measure_offnets(
@@ -96,6 +167,7 @@ def measure_offnets(
     config: LatencyCampaignConfig | None = None,
     seed: int | np.random.Generator = 0,
     telemetry: Telemetry | None = None,
+    parallel: ParallelConfig | None = None,
 ) -> LatencyMatrix:
     """Ping every IP in ``target_ips`` from every vantage point.
 
@@ -103,8 +175,14 @@ def measure_offnets(
     the base RTT).  A configured fraction are made unresponsive, and another
     fraction respond from a mix of their true facility and a random other
     facility of the same hypergiant (split-location behaviour).
+
+    The measurement fan-out is sharded over target IPs (``parallel``
+    controls the backend); each shard draws from its own RNG stream spawned
+    before dispatch, so the matrix is byte-identical for every backend and
+    worker count at a fixed ``campaign_chunk``.
     """
     config = config or LatencyCampaignConfig()
+    parallel = parallel or ParallelConfig()
     obs = ensure_telemetry(telemetry)
     root = make_rng(seed)
     rng_behaviour = spawn_rng(root, "behaviour")
@@ -143,18 +221,26 @@ def measure_offnets(
         if candidates:
             alternate_facility[idx] = candidates[int(rng_behaviour.integers(0, len(candidates)))]
 
-    rtt = np.empty((n_vps, n_ips))
-    for i in range(n_vps):
-        base_row = base[i, target_facility].copy()
-        if split.any():
-            # Each vantage point hits one of the two locations, 50/50.
-            use_alternate = split & (rng_behaviour.random(n_ips) < 0.5)
-            base_row[use_alternate] = base[i, alternate_facility[use_alternate]]
-        base_row[unresponsive] = np.nan
-        if lossy_ip.any():
-            rate_limited = lossy_ip & (rng_pings.random(n_ips) >= config.lossy_success_rate)
-            base_row[rate_limited] = np.nan
-        rtt[i] = ping_rtts(base_row, config.ping, rng_pings)
+    inputs = _CampaignShardInputs(
+        base=base,
+        target_facility=target_facility,
+        alternate_facility=alternate_facility,
+        unresponsive=unresponsive,
+        split=split,
+        lossy=lossy_ip,
+        ping=config.ping,
+        lossy_success_rate=config.lossy_success_rate,
+    )
+    plan = ShardPlan.of(range(n_ips), chunk_size=parallel.campaign_chunk)
+    rngs = plan.shard_rngs(rng_pings, "campaign")
+    columns = run_sharded(
+        partial(_measure_shard, inputs, rngs),
+        plan,
+        parallel,
+        telemetry=telemetry,
+        label="campaign",
+    )
+    rtt = np.concatenate(columns, axis=1) if columns else np.empty((n_vps, 0))
 
     obs.count("campaign.vantage_points", n_vps)
     obs.count("campaign.target_ips", n_ips)

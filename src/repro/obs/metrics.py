@@ -107,6 +107,33 @@ class MetricsRegistry:
         """Names of all histograms, sorted."""
         return sorted(self._histograms)
 
+    # -- merging ----------------------------------------------------------------
+
+    def merge_json(self, data: dict[str, Any]) -> None:
+        """Fold a snapshot (``to_json(include_values=True)``) into this registry.
+
+        Counters add, gauges last-write-win, histogram observations extend.
+        This is how worker-process telemetry re-enters the parent registry
+        (see :mod:`repro.parallel.executor`): each worker records into a
+        private registry, so merging its snapshot once counts each
+        observation exactly once.  Snapshots whose histograms lack raw
+        values degrade the same way :meth:`from_json` does.
+        """
+        for name, value in data.get("counters", {}).items():
+            self.count(name, value)
+        for name, value in data.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, entry in data.get("histograms", {}).items():
+            if "values" in entry:
+                values = [float(v) for v in entry["values"]]
+            else:
+                values = [float(entry["mean"])] * int(entry["count"])
+            self._histograms.setdefault(name, []).extend(values)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (same semantics as merge_json)."""
+        self.merge_json(other.to_json(include_values=True))
+
     # -- serialisation ----------------------------------------------------------
 
     def to_json(self, include_values: bool = False) -> dict[str, Any]:
@@ -156,6 +183,12 @@ class NullMetrics:
         pass
 
     def observe(self, name: str, value: float) -> None:
+        pass
+
+    def merge_json(self, data: dict[str, Any]) -> None:
+        pass
+
+    def merge(self, other: Any) -> None:
         pass
 
     def counter(self, name: str) -> float:

@@ -104,6 +104,19 @@ class Tracer:
         if self._stack and self._stack[-1] is span:
             self._stack.pop()
 
+    def adopt(self, spans: list[Span]) -> None:
+        """Graft already-finished spans under the currently-open span.
+
+        Used to merge span forests recorded out-of-process (worker shards)
+        back into the parent trace: the adopted spans keep their recorded
+        durations and children, and attach to whatever span is open at the
+        merge point (or become roots if none is).
+        """
+        if self._stack:
+            self._stack[-1].children.extend(spans)
+        else:
+            self.roots.extend(spans)
+
     def find(self, name: str) -> Span | None:
         """The first recorded span named ``name``, depth first."""
         for root in self.roots:
@@ -148,6 +161,9 @@ class NullTracer:
 
     def span(self, name: str, **attributes: Any) -> _NullSpan:
         return _NULL_SPAN
+
+    def adopt(self, spans: list[Span]) -> None:
+        pass
 
     def find(self, name: str) -> None:
         return None

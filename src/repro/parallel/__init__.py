@@ -1,0 +1,53 @@
+"""Deterministic parallel execution for the measurement pipeline.
+
+The pipeline is embarrassingly parallel at two hot spots — the latency
+campaign (one column of pings per offnet IP) and the per-ISP OPTICS
+clustering at each xi — and this package fans both out without giving up
+bit-reproducibility:
+
+* :class:`ShardPlan` partitions the work units into contiguous chunks as a
+  pure function of the items and a chunk size (never of the worker count);
+* per-shard RNG streams are spawned from the stage's root generator in
+  shard order *before* dispatch (:meth:`ShardPlan.shard_rngs`), so every
+  shard sees the same randomness on every backend;
+* :func:`run_sharded` executes the shards on the configured backend
+  (:class:`SerialExecutor` or :class:`ProcessExecutor`) and merges results
+  in shard order.
+
+Consequently a study's exported artifacts are byte-identical across
+``backend="serial"`` and ``backend="process"`` at any worker count — the
+property ``tests/test_parallel_equivalence.py`` proves differentially.
+"""
+
+from repro.parallel.executor import (
+    BACKENDS,
+    DEFAULT_CAMPAIGN_CHUNK,
+    DEFAULT_CLUSTERING_CHUNK,
+    SHARD_DURATION_METRIC,
+    Executor,
+    ParallelConfig,
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
+    preferred_start_method,
+    process_backend_available,
+    run_sharded,
+)
+from repro.parallel.plan import Shard, ShardPlan
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_CAMPAIGN_CHUNK",
+    "DEFAULT_CLUSTERING_CHUNK",
+    "Executor",
+    "ParallelConfig",
+    "ProcessExecutor",
+    "SHARD_DURATION_METRIC",
+    "SerialExecutor",
+    "Shard",
+    "ShardPlan",
+    "make_executor",
+    "preferred_start_method",
+    "process_backend_available",
+    "run_sharded",
+]

@@ -1,0 +1,217 @@
+"""Execution backends: run a shard task serially or across processes.
+
+A *shard task* is a picklable callable ``task(shard, telemetry) -> result``.
+Both backends return results **in shard-index order**, so a sharded stage is
+a drop-in replacement for its serial loop: determinism comes from the
+:class:`~repro.parallel.plan.ShardPlan` (partition and RNG streams fixed
+before dispatch), not from execution order.
+
+Telemetry crosses the process boundary by value: each worker records into a
+fresh private bundle, returns its snapshot alongside the shard result, and
+the parent merges snapshots back — counters add, histogram observations
+extend, and the worker's span forest is adopted under the stage's fan-out
+span, in shard order.  Nothing is recorded twice: in process mode the
+parent records only the fan-out span and the merge, never the per-shard
+work the workers already accounted for.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Callable
+
+from repro._util import require
+from repro.obs import MetricsRegistry, Telemetry, ensure_telemetry
+from repro.obs.export import telemetry_to_json
+from repro.obs.logging import NULL_LOGGER
+from repro.obs.trace import Span, Tracer
+
+from repro.parallel.plan import Shard, ShardPlan
+
+#: Recognised backend names, in preference order.
+BACKENDS = ("serial", "process")
+
+#: Shard-duration histogram shared by every sharded stage.
+SHARD_DURATION_METRIC = "parallel.shard_duration_ms"
+
+#: Default work units per shard for the latency campaign (offnet IPs).
+DEFAULT_CAMPAIGN_CHUNK = 64
+
+#: Default work units per shard for clustering ((isp_asn, xi) pairs).
+DEFAULT_CLUSTERING_CHUNK = 4
+
+ShardTask = Callable[[Shard, Telemetry | None], Any]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How sharded pipeline stages execute.
+
+    Chunk sizes shape the :class:`ShardPlan` and therefore the artifacts'
+    RNG stream layout; ``backend`` and ``workers`` only decide *where*
+    shards run, so changing them never changes results.
+    """
+
+    backend: str = "serial"
+    workers: int = 1
+    #: Offnet IPs per campaign shard.
+    campaign_chunk: int = DEFAULT_CAMPAIGN_CHUNK
+    #: (isp_asn, xi) pairs per clustering shard.
+    clustering_chunk: int = DEFAULT_CLUSTERING_CHUNK
+
+    def __post_init__(self) -> None:
+        require(self.backend in BACKENDS, f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        require(self.workers >= 1, "workers must be >= 1")
+        require(self.campaign_chunk >= 1, "campaign_chunk must be >= 1")
+        require(self.clustering_chunk >= 1, "clustering_chunk must be >= 1")
+
+
+class SerialExecutor:
+    """Runs shards in-process, in order; the reference backend."""
+
+    name = "serial"
+
+    def map_shards(
+        self, task: ShardTask, shards: list[Shard], telemetry: Telemetry | None, label: str
+    ) -> list[Any]:
+        obs = ensure_telemetry(telemetry)
+        results = []
+        for shard in shards:
+            with obs.span(f"{label}.shard", shard=shard.index, n_items=len(shard)) as span:
+                results.append(task(shard, telemetry))
+            obs.observe(SHARD_DURATION_METRIC, span.duration_ms)
+        return results
+
+
+class ProcessExecutor:
+    """Runs shards on a :class:`~concurrent.futures.ProcessPoolExecutor`."""
+
+    name = "process"
+
+    def __init__(self, workers: int) -> None:
+        require(workers >= 1, "workers must be >= 1")
+        self.workers = workers
+
+    def map_shards(
+        self, task: ShardTask, shards: list[Shard], telemetry: Telemetry | None, label: str
+    ) -> list[Any]:
+        capture = telemetry is not None and telemetry.enabled
+        context = multiprocessing.get_context(preferred_start_method())
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(shards)), mp_context=context
+        ) as pool:
+            futures = [pool.submit(_invoke_shard, task, shard, label, capture) for shard in shards]
+            outcomes = [future.result() for future in futures]
+        results = []
+        for _shard, (value, snapshot) in zip(shards, outcomes):
+            if snapshot is not None and telemetry is not None:
+                _merge_worker_snapshot(telemetry, snapshot)
+            results.append(value)
+        return results
+
+
+Executor = SerialExecutor | ProcessExecutor
+
+
+def make_executor(config: ParallelConfig) -> Executor:
+    """The executor for ``config`` (``serial`` unless told otherwise)."""
+    if config.backend == "process":
+        return ProcessExecutor(config.workers)
+    return SerialExecutor()
+
+
+def run_sharded(
+    task: ShardTask,
+    plan: ShardPlan,
+    config: ParallelConfig | None = None,
+    *,
+    telemetry: Telemetry | None = None,
+    label: str = "parallel",
+) -> list[Any]:
+    """Execute ``task`` over every shard of ``plan``; ordered results.
+
+    The fan-out is traced as ``<label>.fanout`` (attributes: backend,
+    workers, shard/item counts) and every shard lands one observation in
+    :data:`SHARD_DURATION_METRIC`, whichever backend ran it.
+    """
+    config = config or ParallelConfig()
+    shards = plan.shards()
+    if not shards:
+        return []
+    obs = ensure_telemetry(telemetry)
+    executor = make_executor(config)
+    with obs.span(
+        f"{label}.fanout",
+        backend=executor.name,
+        workers=config.workers if executor.name == "process" else 1,
+        n_shards=len(shards),
+        n_items=plan.n_items,
+    ):
+        results = executor.map_shards(task, shards, telemetry, label)
+    obs.count(f"{label}.shards_executed", len(shards))
+    return results
+
+
+# -- worker-side machinery ---------------------------------------------------------
+
+
+def _invoke_shard(
+    task: ShardTask, shard: Shard, label: str, capture: bool
+) -> tuple[Any, dict[str, Any] | None]:
+    """Run one shard in a worker process; optionally capture its telemetry."""
+    if not capture:
+        return task(shard, None), None
+    worker = Telemetry(tracer=Tracer(), metrics=MetricsRegistry(), logger=NULL_LOGGER)
+    with worker.span(f"{label}.shard", shard=shard.index, n_items=len(shard)) as span:
+        value = task(shard, worker)
+    worker.observe(SHARD_DURATION_METRIC, span.duration_ms)
+    return value, telemetry_to_json(worker, name=f"{label}.shard", include_values=True)
+
+
+def _merge_worker_snapshot(telemetry: Telemetry, snapshot: dict[str, Any]) -> None:
+    """Fold one worker's snapshot into the parent bundle.
+
+    Metrics merge through :meth:`MetricsRegistry.merge_json`; the worker's
+    span forest is adopted by the currently-open parent span (the stage's
+    fan-out span), preserving recorded durations.
+    """
+    if telemetry.metrics.enabled:
+        telemetry.metrics.merge_json(snapshot)
+    if telemetry.tracer.enabled:
+        spans = [Span.from_json(entry) for entry in snapshot.get("spans", ())]
+        telemetry.tracer.adopt(spans)
+
+
+def _probe_worker() -> int:
+    """Trivial round-trip payload for :func:`process_backend_available`."""
+    return 42
+
+
+def preferred_start_method() -> str:
+    """The multiprocessing start method the process backend uses.
+
+    ``fork`` when the platform offers it (cheapest, inherits the parent's
+    imports), otherwise whatever the platform default is (``spawn`` on
+    macOS/Windows, which re-imports :mod:`repro` in each worker).
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else multiprocessing.get_start_method()
+
+
+@lru_cache(maxsize=1)
+def process_backend_available() -> bool:
+    """Whether a worker pool can actually run here (probed once, cached).
+
+    Sandboxes and some CI runners restrict process creation or semaphores;
+    callers (and ``tests/conftest.py``) use this to degrade gracefully to
+    the serial backend instead of crashing mid-pipeline.
+    """
+    try:
+        context = multiprocessing.get_context(preferred_start_method())
+        with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+            return pool.submit(_probe_worker).result(timeout=60) == 42
+    except Exception:
+        return False

@@ -34,6 +34,25 @@ def state23(history: DeploymentHistory) -> DeploymentState:
     return history.state("2023")
 
 
+def pytest_collection_modifyitems(config, items):
+    """Skip ``parallel``-marked tests where worker pools cannot run.
+
+    Some sandboxes restrict multiprocessing start methods or semaphores;
+    the probe (one trivial pool round-trip, cached) degrades those tests to
+    skips instead of hard errors, keeping tier-1 green everywhere.
+    """
+    if not any(item.get_closest_marker("parallel") for item in items):
+        return
+    from repro.parallel import process_backend_available
+
+    if process_backend_available():
+        return
+    skip = pytest.mark.skip(reason="process executor backend unavailable (multiprocessing restricted)")
+    for item in items:
+        if item.get_closest_marker("parallel"):
+            item.add_marker(skip)
+
+
 @pytest.fixture(scope="session")
 def small_study() -> Study:
     """The full small-scenario study (scan -> detect -> ping -> cluster).

@@ -179,6 +179,19 @@ class TestCampaign:
         with pytest.raises(ValueError):
             measure_offnets(small_internet, state23, [123], vps)
 
+    def test_column_unknown_ip_raises_keyerror_naming_ip(self, campaign):
+        matrix, _ = campaign
+        missing = max(matrix.ips) + 1
+        with pytest.raises(KeyError, match=f"IP {missing} is not a target"):
+            matrix.column(missing)
+
+    def test_submatrix_unknown_ip_raises_keyerror_naming_ip(self, campaign):
+        matrix, _ = campaign
+        missing = max(matrix.ips) + 1
+        with pytest.raises(KeyError, match=f"IP {missing} is not a target"):
+            matrix.submatrix([matrix.ips[0], missing])
+        assert not matrix.has_ip(missing)
+
     def test_config_validation(self):
         with pytest.raises(ValueError):
             LatencyCampaignConfig(lossy_isp_fraction=2.0)

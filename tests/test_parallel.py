@@ -1,0 +1,309 @@
+"""Tests for :mod:`repro.parallel`: plans, executors, and telemetry merge.
+
+The differential serial≡process study harness lives in
+``tests/test_parallel_equivalence.py``; this module covers the building
+blocks — partition invariants (hypothesis property tests), ordered merge,
+per-shard RNG stability, and worker-telemetry accounting.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import make_rng
+from repro.obs import MetricsRegistry, Telemetry, Tracer
+from repro.parallel import (
+    ParallelConfig,
+    ProcessExecutor,
+    SHARD_DURATION_METRIC,
+    SerialExecutor,
+    Shard,
+    ShardPlan,
+    make_executor,
+    run_sharded,
+)
+
+
+# Module-level so the process backend can pickle them.
+def _sum_shard(shard: Shard, telemetry) -> int:
+    if telemetry is not None:
+        telemetry.count("test.items_seen", len(shard.items))
+    return sum(shard.items)
+
+
+def _echo_shard(shard: Shard, telemetry) -> tuple[int, tuple]:
+    return shard.index, shard.items
+
+
+def _boom_shard(shard: Shard, telemetry) -> None:
+    raise RuntimeError(f"shard {shard.index} exploded")
+
+
+class TestShardPlan:
+    @given(n=st.integers(0, 500), chunk=st.integers(1, 64))
+    @settings(max_examples=200, deadline=None)
+    def test_partition_exhaustive_disjoint_ordered(self, n, chunk):
+        items = list(range(n))
+        plan = ShardPlan.of(items, chunk_size=chunk)
+        shards = plan.shards()
+        # Exhaustive + order-stable: concatenation reproduces the input.
+        flattened = [item for shard in shards for item in shard.items]
+        assert flattened == items
+        # Disjoint: no item lands in two shards.
+        assert len(set(flattened)) == len(flattened)
+        # Index order and sizes.
+        assert [s.index for s in shards] == list(range(plan.n_shards))
+        assert all(len(s) <= chunk for s in shards)
+        assert all(len(s) == chunk for s in shards[:-1])
+
+    @given(n=st.integers(0, 300), chunk_a=st.integers(1, 64), chunk_b=st.integers(1, 64))
+    @settings(max_examples=200, deadline=None)
+    def test_coverage_stable_under_chunk_size_changes(self, n, chunk_a, chunk_b):
+        items = tuple(range(n))
+        flat_a = [x for s in ShardPlan.of(items, chunk_a).shards() for x in s.items]
+        flat_b = [x for s in ShardPlan.of(items, chunk_b).shards() for x in s.items]
+        assert flat_a == flat_b == list(items)
+
+    def test_empty_plan(self):
+        plan = ShardPlan.of([], chunk_size=8)
+        assert plan.n_shards == 0 and plan.shards() == []
+        assert run_sharded(_sum_shard, plan) == []
+
+    def test_chunk_size_validation(self):
+        with pytest.raises(ValueError):
+            ShardPlan.of([1, 2], chunk_size=0)
+
+    def test_shard_rngs_deterministic_and_distinct(self):
+        plan = ShardPlan.of(range(40), chunk_size=10)
+        rngs_a = plan.shard_rngs(make_rng(9), "stage")
+        rngs_b = plan.shard_rngs(make_rng(9), "stage")
+        assert len(rngs_a) == plan.n_shards == 4
+        draws_a = [rng.random(5).tolist() for rng in rngs_a]
+        draws_b = [rng.random(5).tolist() for rng in rngs_b]
+        # Same root seed -> identical streams; different shards -> distinct.
+        assert draws_a == draws_b
+        assert len({tuple(d) for d in draws_a}) == len(draws_a)
+
+    def test_shard_rngs_label_namespacing(self):
+        plan = ShardPlan.of(range(10), chunk_size=5)
+        a = plan.shard_rngs(make_rng(1), "campaign")[0].random(4).tolist()
+        b = plan.shard_rngs(make_rng(1), "clustering")[0].random(4).tolist()
+        assert a != b
+
+
+class TestParallelConfig:
+    def test_defaults_are_serial(self):
+        config = ParallelConfig()
+        assert config.backend == "serial" and config.workers == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"backend": "threads"},
+            {"workers": 0},
+            {"campaign_chunk": 0},
+            {"clustering_chunk": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ParallelConfig(**kwargs)
+
+    def test_factory(self):
+        assert isinstance(make_executor(ParallelConfig()), SerialExecutor)
+        executor = make_executor(ParallelConfig(backend="process", workers=3))
+        assert isinstance(executor, ProcessExecutor) and executor.workers == 3
+
+
+class TestSerialExecution:
+    def test_ordered_results(self):
+        plan = ShardPlan.of(range(25), chunk_size=4)
+        results = run_sharded(_echo_shard, plan)
+        assert [index for index, _ in results] == list(range(plan.n_shards))
+        assert [x for _, items in results for x in items] == list(range(25))
+
+    def test_telemetry_spans_and_histogram(self):
+        telemetry = Telemetry(tracer=Tracer(), metrics=MetricsRegistry())
+        plan = ShardPlan.of(range(10), chunk_size=3)
+        run_sharded(_sum_shard, plan, telemetry=telemetry, label="stage")
+        assert "stage.fanout" in telemetry.tracer.span_names()
+        assert "stage.shard" in telemetry.tracer.span_names()
+        assert telemetry.metrics.histogram(SHARD_DURATION_METRIC).count == plan.n_shards
+        assert telemetry.metrics.counter("test.items_seen") == 10
+        assert telemetry.metrics.counter("stage.shards_executed") == plan.n_shards
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(RuntimeError, match="exploded"):
+            run_sharded(_boom_shard, ShardPlan.of(range(4), chunk_size=2))
+
+
+@pytest.mark.parallel
+class TestProcessExecution:
+    def test_results_match_serial(self):
+        plan = ShardPlan.of(range(57), chunk_size=5)
+        config = ParallelConfig(backend="process", workers=4)
+        assert run_sharded(_sum_shard, plan, config) == run_sharded(_sum_shard, plan)
+
+    def test_ordered_despite_completion_order(self):
+        plan = ShardPlan.of(range(30), chunk_size=2)
+        config = ParallelConfig(backend="process", workers=4)
+        results = run_sharded(_echo_shard, plan, config)
+        assert [index for index, _ in results] == list(range(plan.n_shards))
+
+    def test_worker_exceptions_propagate(self):
+        config = ParallelConfig(backend="process", workers=2)
+        with pytest.raises(RuntimeError, match="exploded"):
+            run_sharded(_boom_shard, ShardPlan.of(range(4), chunk_size=2), config)
+
+    def test_worker_telemetry_merges_without_double_counting(self):
+        plan = ShardPlan.of(range(22), chunk_size=4)
+        serial_telemetry = Telemetry(tracer=Tracer(), metrics=MetricsRegistry())
+        run_sharded(_sum_shard, plan, telemetry=serial_telemetry, label="stage")
+        process_telemetry = Telemetry(tracer=Tracer(), metrics=MetricsRegistry())
+        run_sharded(
+            _sum_shard,
+            plan,
+            ParallelConfig(backend="process", workers=3),
+            telemetry=process_telemetry,
+            label="stage",
+        )
+        # Worker-side counters and histograms arrive exactly once.
+        for metrics in (serial_telemetry.metrics, process_telemetry.metrics):
+            assert metrics.counter("test.items_seen") == 22
+            assert metrics.histogram(SHARD_DURATION_METRIC).count == plan.n_shards
+        # Worker spans appear under the fan-out span, in shard order.
+        fanout = process_telemetry.tracer.find("stage.fanout")
+        shard_spans = [span for span in fanout.children if span.name == "stage.shard"]
+        assert [span.attributes["shard"] for span in shard_spans] == list(range(plan.n_shards))
+        assert serial_telemetry.tracer.span_names() == process_telemetry.tracer.span_names()
+
+
+class TestMetricsMerge:
+    def test_merge_json_counters_gauges_histograms(self):
+        parent = MetricsRegistry()
+        parent.count("a", 2)
+        parent.observe("h", 1.0)
+        child = MetricsRegistry()
+        child.count("a", 3)
+        child.count("b", 1)
+        child.gauge("g", 7.0)
+        child.observe("h", 2.0)
+        child.observe("h", 3.0)
+        parent.merge_json(child.to_json(include_values=True))
+        assert parent.counter("a") == 5 and parent.counter("b") == 1
+        assert parent.gauges["g"] == 7.0
+        assert parent.histogram_values("h") == [1.0, 2.0, 3.0]
+
+    def test_merge_registry_and_summary_fallback(self):
+        child = MetricsRegistry()
+        child.observe("h", 4.0)
+        child.observe("h", 6.0)
+        parent = MetricsRegistry()
+        parent.merge(child)
+        assert parent.histogram("h").count == 2
+        # Snapshots without raw values degrade to mean-replicated entries.
+        lossy = MetricsRegistry()
+        lossy.merge_json(child.to_json(include_values=False))
+        assert lossy.histogram("h").count == 2
+        assert lossy.histogram("h").mean == pytest.approx(5.0)
+
+    def test_tracer_adopt_under_open_span(self):
+        tracer = Tracer()
+        orphan = Tracer().span("orphan")
+        with orphan:
+            pass
+        with tracer.span("parent") as parent:
+            tracer.adopt([orphan])
+        assert parent.children == [orphan]
+        # With no open span, adopted spans become roots.
+        tracer.adopt([orphan])
+        assert tracer.roots[-1] is orphan
+
+
+class TestCampaignSharding:
+    """measure_offnets-level determinism (study-level lives in the harness)."""
+
+    @pytest.fixture(scope="class")
+    def campaign_setup(self, small_internet, state23):
+        from repro.mlab.vantage import build_vantage_points
+
+        vps = build_vantage_points(small_internet.world, 12, seed=3)
+        ips = [s.ip for s in state23.servers][:400]
+        return small_internet, state23, ips, vps
+
+    def test_serial_identical_across_worker_counts(self, campaign_setup):
+        from repro.mlab.matrix import measure_offnets
+
+        internet, state, ips, vps = campaign_setup
+        matrices = [
+            measure_offnets(
+                internet, state, ips, vps, seed=4, parallel=ParallelConfig(workers=w)
+            ).rtt_ms
+            for w in (1, 3)
+        ]
+        assert np.array_equal(matrices[0], matrices[1], equal_nan=True)
+
+    @pytest.mark.parallel
+    def test_process_identical_to_serial(self, campaign_setup):
+        from repro.mlab.matrix import measure_offnets
+
+        internet, state, ips, vps = campaign_setup
+        serial = measure_offnets(
+            internet, state, ips, vps, seed=4, parallel=ParallelConfig(campaign_chunk=32)
+        )
+        process = measure_offnets(
+            internet,
+            state,
+            ips,
+            vps,
+            seed=4,
+            parallel=ParallelConfig(backend="process", workers=4, campaign_chunk=32),
+        )
+        assert np.array_equal(serial.rtt_ms, process.rtt_ms, equal_nan=True)
+        assert serial.split_location_ips == process.split_location_ips
+
+    def test_chunk_size_is_part_of_the_artifact(self, campaign_setup):
+        # Chunk size shapes the shard RNG streams, so it is pinned in
+        # ParallelConfig rather than derived from the worker count.
+        from repro.mlab.matrix import measure_offnets
+
+        internet, state, ips, vps = campaign_setup
+        a = measure_offnets(internet, state, ips, vps, seed=4, parallel=ParallelConfig(campaign_chunk=32))
+        b = measure_offnets(internet, state, ips, vps, seed=4, parallel=ParallelConfig(campaign_chunk=32))
+        assert np.array_equal(a.rtt_ms, b.rtt_ms, equal_nan=True)
+
+
+@pytest.mark.parallel
+class TestProcessBackendCli:
+    def test_trace_output_stable_across_backends(self, capsys):
+        """`--trace` with the process backend reports the same stage set."""
+        from repro.cli import main
+
+        assert main(["study", "--scenario", "small", "--trace", "--sections", "t1"]) == 0
+        serial_err = capsys.readouterr().err
+        assert (
+            main(
+                [
+                    "study",
+                    "--scenario",
+                    "small",
+                    "--trace",
+                    "--sections",
+                    "t1",
+                    "--backend",
+                    "process",
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        process_err = capsys.readouterr().err
+        for stage in ("ping_campaign", "clustering", "campaign.fanout", "clustering.fanout"):
+            assert stage in serial_err and stage in process_err
+        assert "stage timings" in process_err and "filter funnel" in process_err

@@ -1,0 +1,162 @@
+"""The serial≡parallel differential harness.
+
+Runs the *same* :class:`StudyConfig` under the serial backend and under the
+process backend at 1, 2, and 4 workers, exports each run with
+:func:`repro.io.archive.save_archive`, and asserts the archives are
+**byte-identical** file by file.  This is the strongest equivalence claim
+the executor makes: not "statistically close", but the same artifact bytes
+a third party would download.
+
+A second axis checks that execution knobs that *should* be inert (backend,
+workers) are, while knobs documented to shape the artifact (chunk size,
+which pins the shard RNG stream layout) are allowed to change it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import Study, StudyConfig, run_study
+from repro.io.archive import save_archive
+from repro.parallel import ParallelConfig
+from repro.topology.generator import InternetConfig
+
+
+def _study_config(parallel: ParallelConfig) -> StudyConfig:
+    """A compact but full-pipeline study: every stage and filter exercised."""
+    return StudyConfig(
+        internet=InternetConfig(seed=5, n_access_isps=25, n_ixps=8),
+        n_vantage_points=10,
+        seed=5,
+        parallel=parallel,
+    )
+
+
+def _archive_digests(study: Study, directory: Path) -> dict[str, str]:
+    """Export ``study`` and hash every produced file."""
+    save_archive(study, directory)
+    return {
+        path.name: hashlib.sha256(path.read_bytes()).hexdigest()
+        for path in sorted(directory.iterdir())
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_run(tmp_path_factory) -> tuple[Study, dict[str, str]]:
+    """The reference run: serial backend, default chunking."""
+    study = run_study(_study_config(ParallelConfig()))
+    digests = _archive_digests(study, tmp_path_factory.mktemp("serial"))
+    return study, digests
+
+
+class TestSerialReference:
+    def test_archive_has_all_artifacts(self, serial_run):
+        _, digests = serial_run
+        assert {
+            "manifest.json",
+            "latency.npz",
+            "clusterings.json",
+            "results.json",
+            "isps.csv",
+            "ptr.csv",
+        } <= set(digests)
+
+    def test_serial_is_self_reproducible(self, serial_run, tmp_path):
+        """Two serial runs of the same config export identical bytes."""
+        _, reference = serial_run
+        study = run_study(_study_config(ParallelConfig()))
+        assert _archive_digests(study, tmp_path / "again") == reference
+
+    def test_serial_worker_count_is_inert(self, serial_run, tmp_path):
+        """workers=N is meaningless for the serial backend: same bytes."""
+        _, reference = serial_run
+        study = run_study(_study_config(ParallelConfig(workers=4)))
+        assert _archive_digests(study, tmp_path / "w4") == reference
+
+
+@pytest.mark.parallel
+class TestProcessEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_process_backend_bytes_identical(self, serial_run, tmp_path, workers):
+        """The headline differential: serial ≡ process at 1/2/4 workers."""
+        _, reference = serial_run
+        study = run_study(
+            _study_config(ParallelConfig(backend="process", workers=workers))
+        )
+        digests = _archive_digests(study, tmp_path / f"process-{workers}")
+        assert digests == reference, (
+            f"process backend at {workers} workers diverged from serial on: "
+            f"{sorted(name for name in reference if digests.get(name) != reference[name])}"
+        )
+
+    def test_in_memory_artifacts_equal(self, serial_run):
+        """Beyond the export: the live Study objects agree field by field."""
+        serial_study, _ = serial_run
+        process_study = run_study(
+            _study_config(ParallelConfig(backend="process", workers=2))
+        )
+        assert np.array_equal(
+            serial_study.matrix.rtt_ms, process_study.matrix.rtt_ms, equal_nan=True
+        )
+        assert serial_study.matrix.ips == process_study.matrix.ips
+        assert serial_study.campaign.ips_by_isp == process_study.campaign.ips_by_isp
+        assert serial_study.campaign.unresponsive_ips == process_study.campaign.unresponsive_ips
+        assert serial_study.campaign.implausible_ips == process_study.campaign.implausible_ips
+        assert set(serial_study.clusterings) == set(process_study.clusterings)
+        for xi, per_isp in serial_study.clusterings.items():
+            assert set(per_isp) == set(process_study.clusterings[xi])
+            for asn, clustering in per_isp.items():
+                assert np.array_equal(
+                    clustering.labels, process_study.clusterings[xi][asn].labels
+                )
+
+
+@pytest.mark.slow
+@pytest.mark.parallel
+class TestProcessEquivalenceAtScale:
+    """The same differential at small-scenario scale (excluded from tier-1).
+
+    Run with ``pytest -m slow tests/test_parallel_equivalence.py``.
+    """
+
+    def test_small_scenario_bytes_identical(self, tmp_path):
+        from repro.experiments.scenarios import SMALL_SCENARIO
+
+        serial = SMALL_SCENARIO.run()
+        process = SMALL_SCENARIO.run(
+            parallel=ParallelConfig(backend="process", workers=4)
+        )
+        assert _archive_digests(serial, tmp_path / "serial") == _archive_digests(
+            process, tmp_path / "process"
+        )
+
+
+class TestChunkSizeSemantics:
+    def test_chunk_size_may_change_measurements(self, serial_run):
+        """Chunk size pins the RNG stream layout, so it is an artifact knob.
+
+        This documents (rather than forbids) the behaviour: equivalence is
+        promised across backends and worker counts *at a fixed plan*, and
+        the plan is part of the configuration.
+        """
+        serial_study, _ = serial_run
+        other = run_study(_study_config(ParallelConfig(campaign_chunk=16)))
+        assert other.matrix.rtt_ms.shape == serial_study.matrix.rtt_ms.shape
+        # Same campaign geometry, different noise stream layout.
+        assert not np.array_equal(
+            serial_study.matrix.rtt_ms, other.matrix.rtt_ms, equal_nan=True
+        )
+
+    def test_clustering_chunk_is_inert_given_matrix(self, serial_run):
+        """Clustering draws no randomness: its chunk size cannot change labels."""
+        serial_study, _ = serial_run
+        other = run_study(_study_config(ParallelConfig(clustering_chunk=1)))
+        for xi, per_isp in serial_study.clusterings.items():
+            for asn, clustering in per_isp.items():
+                assert np.array_equal(
+                    clustering.labels, other.clusterings[xi][asn].labels
+                )
