@@ -1,0 +1,129 @@
+"""Sweep-campaign bench: cold run vs warm resume vs fully-cached replay.
+
+Runs one four-cell seed sweep three ways — cold into a fresh store,
+resumed after an interrupt that left half the cells durable, and replayed
+against a fully-warm store — cross-checks that all three produce
+**byte-identical** campaign reports, and writes the timings plus store
+hit rates to ``BENCH_sweep.json`` in the ``repro-bench-v1`` trajectory
+format.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_bench_sweep.py -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro._util import format_table
+from repro.core.pipeline import StudyConfig
+from repro.store import StudyStore
+from repro.sweep import MetricSpec, ParameterGrid, run_campaign
+from repro.topology.generator import InternetConfig
+
+from benchmarks.conftest import emit
+
+SNAPSHOT_PATH = Path(__file__).parent / "BENCH_sweep.json"
+
+N_CELLS = 4
+#: Cells already durable when the "resume" leg starts.
+INTERRUPT_AFTER = 2
+
+#: A fully-cached replay must beat the cold run by at least this factor
+#: (rehydration skips the ping campaign and clustering entirely).
+TARGET_REPLAY_SPEEDUP = 1.5
+
+
+def _n_detections(study) -> float:
+    return float(len(study.latest_inventory))
+
+
+def _n_analyzable(study) -> float:
+    return float(len(study.campaign.analyzable_isp_asns))
+
+
+METRICS = (
+    MetricSpec("detections", _n_detections, 1.0, 1e9, "n/a"),
+    MetricSpec("analyzable ISPs", _n_analyzable, 1.0, 1e9, "n/a"),
+)
+
+
+def _grid() -> ParameterGrid:
+    base = StudyConfig(
+        internet=InternetConfig(seed=3, n_access_isps=60, n_ixps=22),
+        n_vantage_points=32,
+        seed=3,
+    )
+    return ParameterGrid.of(base, {"seed,internet.seed": list(range(3, 3 + N_CELLS))})
+
+
+def _timed_campaign(grid, store, **kwargs):
+    started = time.perf_counter()
+    report = run_campaign(grid, METRICS, store=store, **kwargs)
+    return report, time.perf_counter() - started
+
+
+def test_bench_sweep_snapshot(tmp_path):
+    grid = _grid()
+
+    # Cold: every cell computed and checkpointed into a fresh store.
+    cold_store = StudyStore(tmp_path / "cold")
+    cold, cold_s = _timed_campaign(grid, cold_store)
+
+    # Resume: a separate store holds the first INTERRUPT_AFTER cells (the
+    # interrupted prefix), so the resume rehydrates those and computes
+    # only the remainder.
+    resume_store = StudyStore(tmp_path / "resume")
+    run_campaign(grid, METRICS, store=resume_store, max_cells=INTERRUPT_AFTER)
+    resumed, resume_s = _timed_campaign(grid, resume_store)
+
+    # Replay: the cold store is now fully warm; nothing recomputes.
+    replay, replay_s = _timed_campaign(grid, cold_store)
+
+    reports = {
+        json.dumps(report.to_json(), sort_keys=True) for report in (cold, resumed, replay)
+    }
+    assert len(reports) == 1, "cold / resumed / replayed reports diverged"
+    assert (cold.cache_hits, cold.cache_misses) == (0, N_CELLS)
+    assert (resumed.cache_hits, resumed.cache_misses) == (
+        INTERRUPT_AFTER,
+        N_CELLS - INTERRUPT_AFTER,
+    )
+    assert (replay.cache_hits, replay.cache_misses) == (N_CELLS, 0)
+
+    runs = [
+        {"leg": "cold", "seconds": round(cold_s, 3), "hits": 0, "misses": N_CELLS},
+        {
+            "leg": "warm-resume",
+            "seconds": round(resume_s, 3),
+            "hits": INTERRUPT_AFTER,
+            "misses": N_CELLS - INTERRUPT_AFTER,
+        },
+        {"leg": "cached-replay", "seconds": round(replay_s, 3), "hits": N_CELLS, "misses": 0},
+    ]
+    replay_speedup = round(cold_s / replay_s, 3)
+    snapshot = {
+        "bench": "sweep-resume",
+        "format": "repro-bench-v1",
+        "n_cells": N_CELLS,
+        "interrupt_after": INTERRUPT_AFTER,
+        "identical_reports": True,
+        "store_bytes": cold_store.stats().total_bytes,
+        "target_replay_speedup": TARGET_REPLAY_SPEEDUP,
+        "replay_speedup": replay_speedup,
+        "runs": runs,
+    }
+    SNAPSHOT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+
+    rows = [
+        [run["leg"], run["seconds"], f"{run['hits']}/{N_CELLS}", run["misses"]] for run in runs
+    ]
+    emit(
+        f"sweep campaign timings ({N_CELLS} cells, replay speedup {replay_speedup}x)",
+        format_table(["leg", "seconds", "store hits", "computed"], rows),
+    )
+
+    assert replay_speedup >= TARGET_REPLAY_SPEEDUP, (
+        f"cached replay only {replay_speedup}x faster than cold ({cold_s:.2f}s vs {replay_s:.2f}s)"
+    )

@@ -7,7 +7,13 @@ Commands:
 * ``peering``  — run the §4.2.1 traceroute campaign for one hypergiant.
 * ``mapping``  — run the steering-blindness (client-mapping) experiment.
 * ``export``   — run the pipeline and write a dataset archive to a directory.
+* ``sweep``    — run/resume, inspect, or garbage-collect sweep campaigns
+  (``sweep run``, ``sweep status``, ``sweep gc``).
 * ``info``     — library version and available scenarios/sections.
+
+``study``, ``cascade``, and ``export`` accept ``--store-dir`` to back the
+scenario cache with a durable :class:`repro.store.StudyStore`: the first
+run pays the full pipeline, every later process rehydrates from disk.
 """
 
 from __future__ import annotations
@@ -82,15 +88,37 @@ def _parallel_from_args(args: argparse.Namespace):
     return ParallelConfig(backend=args.backend, workers=args.workers)
 
 
-def _load_study(name: str, telemetry=None, parallel=None):
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store-dir",
+        metavar="DIR",
+        default=None,
+        help="durable study store directory (cold runs persist, warm runs rehydrate)",
+    )
+
+
+def _store_from_args(args: argparse.Namespace):
+    """A StudyStore when --store-dir was given, else None."""
+    store_dir = getattr(args, "store_dir", None)
+    if store_dir is None:
+        return None
+    from repro.store import StudyStore
+
+    return StudyStore(store_dir)
+
+
+def _load_study(name: str, telemetry=None, parallel=None, store=None):
     from repro.experiments.scenarios import cached_study, scenario_by_name
 
     print(f"running the {name!r} study...", file=sys.stderr)
     if telemetry is None and parallel is None:
-        return cached_study(name)
+        return cached_study(name, store=store)
     # A traced or non-default-backend run must exercise the live pipeline,
-    # so it bypasses the cache.
-    return scenario_by_name(name).run(telemetry=telemetry, parallel=parallel)
+    # so it bypasses the caches — but still warms the store afterwards.
+    study = scenario_by_name(name).run(telemetry=telemetry, parallel=parallel)
+    if store is not None:
+        store.put(study)
+    return study
 
 
 def _emit_telemetry(args: argparse.Namespace, telemetry) -> None:
@@ -105,7 +133,8 @@ def _emit_telemetry(args: argparse.Namespace, telemetry) -> None:
         funnel = render_filter_funnel(telemetry.metrics)
         print(f"\nfilter funnel\n-------------\n{funnel}", file=sys.stderr)
     if args.metrics_out:
-        path = write_metrics_json(telemetry, args.metrics_out, name=f"study-{args.scenario}")
+        label = getattr(args, "scenario", None) or "sweep"
+        path = write_metrics_json(telemetry, args.metrics_out, name=f"study-{label}")
         print(f"wrote telemetry to {path}", file=sys.stderr)
 
 
@@ -113,7 +142,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
     from repro.report import build_report
 
     telemetry = _telemetry_from_args(args)
-    study = _load_study(args.scenario, telemetry, _parallel_from_args(args))
+    study = _load_study(args.scenario, telemetry, _parallel_from_args(args), _store_from_args(args))
     sections = tuple(args.sections.split(",")) if args.sections != "all" else None
     print(build_report(study, sections))
     _emit_telemetry(args, telemetry)
@@ -128,7 +157,7 @@ def _cmd_cascade(args: argparse.Namespace) -> int:
     from repro.experiments.section43_collateral import most_shared_facility
 
     telemetry = _telemetry_from_args(args)
-    study = _load_study(args.scenario, telemetry, _parallel_from_args(args))
+    study = _load_study(args.scenario, telemetry, _parallel_from_args(args), _store_from_args(args))
     state = study.history.state("2023")
     if args.facility == "auto":
         facility_id, hypergiants = most_shared_facility(study)
@@ -185,13 +214,72 @@ def _cmd_export(args: argparse.Namespace) -> int:
     from repro.io.archive import save_archive
 
     telemetry = _telemetry_from_args(args)
-    study = _load_study(args.scenario, telemetry, _parallel_from_args(args))
+    study = _load_study(args.scenario, telemetry, _parallel_from_args(args), _store_from_args(args))
     directory = save_archive(study, args.output)
     files = sorted(p.name for p in directory.iterdir())
     print(f"wrote {len(files)} files to {directory}:")
     for name in files:
         print(f"  {name}")
     _emit_telemetry(args, telemetry)
+    return 0
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    from repro.sensitivity import DEFAULT_METRICS
+    from repro.sweep import load_grid, run_campaign
+
+    grid = load_grid(args.spec)
+    store = _store_from_args(args)
+    telemetry = _telemetry_from_args(args)
+    print(
+        f"sweep campaign: {grid.n_cells} cells over axes {', '.join(grid.axis_names) or '(none)'}"
+        + (f" (store: {store.root})" if store is not None else " (no store: not resumable)"),
+        file=sys.stderr,
+    )
+    report = run_campaign(
+        grid,
+        metrics=DEFAULT_METRICS,
+        store=store,
+        parallel=_parallel_from_args(args),
+        telemetry=telemetry,
+        max_cells=args.max_cells,
+    )
+    print(report.render())
+    print(
+        f"cells: {len(report.cells)} ({report.cache_hits} from store, "
+        f"{report.cache_misses} computed)",
+        file=sys.stderr,
+    )
+    if args.report_out:
+        path = report.write(args.report_out)
+        print(f"wrote campaign report to {path}", file=sys.stderr)
+    _emit_telemetry(args, telemetry)
+    return 0
+
+
+def _cmd_sweep_status(args: argparse.Namespace) -> int:
+    from repro.sweep import campaign_status, load_grid
+
+    grid = load_grid(args.spec)
+    status = campaign_status(grid, _store_from_args(args))
+    print(status.render())
+    return 0 if status.n_pending == 0 else 2
+
+
+def _cmd_sweep_gc(args: argparse.Namespace) -> int:
+    from repro.store import StudyStore
+
+    store = StudyStore(args.store_dir)
+    before = store.stats()
+    evicted = store.gc(max_entries=args.max_entries, max_bytes=args.max_bytes)
+    after = store.stats()
+    print(
+        f"evicted {len(evicted)} of {before.entries} entries "
+        f"({before.total_bytes - after.total_bytes:,} bytes freed, "
+        f"{after.entries} entries / {after.total_bytes:,} bytes remain)"
+    )
+    for key in evicted:
+        print(f"  evicted {key}")
     return 0
 
 
@@ -214,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_argument(study)
     _add_telemetry_arguments(study)
     _add_parallel_arguments(study)
+    _add_store_argument(study)
     study.add_argument(
         "--sections",
         default="all",
@@ -225,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_argument(cascade)
     _add_telemetry_arguments(cascade)
     _add_parallel_arguments(cascade)
+    _add_store_argument(cascade)
     cascade.add_argument("--facility", default="auto", help="facility id or 'auto' (most shared)")
     cascade.set_defaults(handler=_cmd_cascade)
 
@@ -242,8 +332,44 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_argument(export)
     _add_telemetry_arguments(export)
     _add_parallel_arguments(export)
+    _add_store_argument(export)
     export.add_argument("--output", required=True, help="destination directory")
     export.set_defaults(handler=_cmd_export)
+
+    sweep = subparsers.add_parser("sweep", help="run/resume, inspect, or GC sweep campaigns")
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    sweep_run = sweep_sub.add_parser("run", help="run (or resume) a campaign from a grid spec")
+    sweep_run.add_argument("--spec", required=True, metavar="PATH", help="grid spec file (JSON)")
+    _add_store_argument(sweep_run)
+    _add_telemetry_arguments(sweep_run)
+    _add_parallel_arguments(sweep_run)
+    sweep_run.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run only the first N cells of the expansion (deterministic prefix)",
+    )
+    sweep_run.add_argument(
+        "--report-out", metavar="PATH", default=None, help="write the campaign report JSON to PATH"
+    )
+    sweep_run.set_defaults(handler=_cmd_sweep_run)
+
+    sweep_status = sweep_sub.add_parser("status", help="how much of a campaign is already stored")
+    sweep_status.add_argument("--spec", required=True, metavar="PATH", help="grid spec file (JSON)")
+    sweep_status.add_argument(
+        "--store-dir", required=True, metavar="DIR", help="durable study store directory"
+    )
+    sweep_status.set_defaults(handler=_cmd_sweep_status)
+
+    sweep_gc = sweep_sub.add_parser("gc", help="evict least-recently-used store entries")
+    sweep_gc.add_argument(
+        "--store-dir", required=True, metavar="DIR", help="durable study store directory"
+    )
+    sweep_gc.add_argument("--max-entries", type=int, default=None, help="keep at most N entries")
+    sweep_gc.add_argument("--max-bytes", type=int, default=None, help="keep at most N bytes")
+    sweep_gc.set_defaults(handler=_cmd_sweep_gc)
 
     info = subparsers.add_parser("info", help="version and available options")
     info.set_defaults(handler=_cmd_info)

@@ -13,6 +13,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro._util import make_rng, require, spawn_rng
 from repro.clustering.sites import ClusteringConfig, SiteClustering, cluster_isp_offnets
 from repro.core.colocation import ColocationTable, build_colocation_table
@@ -64,6 +66,26 @@ class StudyConfig:
         require(bool(self.xis), "need at least one xi value")
         for xi in self.xis:
             require(0.0 < xi < 1.0, f"xi must be in (0, 1), got {xi}")
+
+
+@dataclass(frozen=True)
+class PrecomputedArtifacts:
+    """Expensive pipeline artifacts restored from a persisted study.
+
+    :func:`run_study` accepts this to *rehydrate* a study: the cheap
+    deterministic stages (topology, deployment, scan, detection, filters,
+    population, PTR) replay from the config's seed while the latency
+    campaign and the per-ISP clustering — the two stages that dominate
+    wall time — are taken from here instead of recomputed.  The RNG spawn
+    sequence is preserved either way, so a rehydrated study's artifacts
+    are byte-identical to a fresh run's (``tests/test_store.py`` proves
+    this differentially).
+    """
+
+    rtt_ms: np.ndarray
+    target_ips: tuple[int, ...]
+    #: xi -> asn -> SiteClustering, exactly as the clustering stage built it.
+    clusterings: dict[float, dict[int, SiteClustering]]
 
 
 @dataclass
@@ -174,19 +196,29 @@ def _cluster_shard(
     return results
 
 
-def run_study(config: StudyConfig | None = None, telemetry: Telemetry | None = None) -> Study:
+def run_study(
+    config: StudyConfig | None = None,
+    telemetry: Telemetry | None = None,
+    precomputed: PrecomputedArtifacts | None = None,
+) -> Study:
     """Run the full pipeline; deterministic given ``config.seed``.
 
     ``telemetry`` (optional) records a span per stage, the filter-attrition
     funnel, and per-ISP clustering timings.  Instrumentation never touches
     the RNG streams, so traced and untraced runs produce identical
     artifacts; without ``telemetry`` every recording call is a no-op.
+
+    ``precomputed`` (optional) substitutes a persisted latency matrix and
+    clusterings for the two expensive stages; see
+    :class:`PrecomputedArtifacts`.  The stored artifacts must belong to
+    exactly this config — a target-IP or xi mismatch raises
+    :class:`ValueError` rather than silently mixing runs.
     """
     config = config or StudyConfig()
     obs = ensure_telemetry(telemetry)
     root = make_rng(config.seed)
 
-    with obs.span("study", seed=config.seed):
+    with obs.span("study", seed=config.seed, rehydrated=precomputed is not None):
         with obs.span("topology"):
             internet = generate_internet(config.internet)
         obs.count("topology.isps", len(internet.isps))
@@ -231,16 +263,35 @@ def run_study(config: StudyConfig | None = None, telemetry: Telemetry | None = N
                 ip for ip in (d.ip for d in inventories["2023"].detections)
                 if state_2023.server_at(ip) is not None
             )
-            matrix = measure_offnets(
-                internet,
-                state_2023,
-                target_ips,
-                vantage_points,
-                config.campaign,
-                seed=spawn_rng(root, "pings"),
-                telemetry=telemetry,
-                parallel=config.parallel,
-            )
+            # Spawn the campaign stream even when rehydrating: every spawn
+            # advances the root generator, and later stages (population,
+            # PTR) must see exactly the streams a fresh run would.
+            pings_rng = spawn_rng(root, "pings")
+            if precomputed is None:
+                matrix = measure_offnets(
+                    internet,
+                    state_2023,
+                    target_ips,
+                    vantage_points,
+                    config.campaign,
+                    seed=pings_rng,
+                    telemetry=telemetry,
+                    parallel=config.parallel,
+                )
+            else:
+                require(
+                    list(precomputed.target_ips) == target_ips,
+                    "precomputed artifacts do not match this config: target IPs differ "
+                    f"({len(precomputed.target_ips)} stored vs {len(target_ips)} detected)",
+                )
+                rtt_ms = np.asarray(precomputed.rtt_ms, dtype=float)
+                require(
+                    rtt_ms.shape == (len(vantage_points), len(target_ips)),
+                    f"precomputed matrix shape {rtt_ms.shape} does not match "
+                    f"({len(vantage_points)}, {len(target_ips)})",
+                )
+                matrix = LatencyMatrix(vps=vantage_points, ips=list(target_ips), rtt_ms=rtt_ms)
+                obs.count("study.rehydrated_measurements", rtt_ms.size)
 
         # Scale the per-ISP coverage threshold to the vantage-point count
         # (the paper's 100-of-163 is ~61 %).
@@ -264,22 +315,37 @@ def run_study(config: StudyConfig | None = None, telemetry: Telemetry | None = N
 
         with obs.span("clustering"):
             obs.count("cluster.isps_analyzed", len(campaign.analyzable_isp_asns))
-            # Work units are (isp_asn, xi) pairs; each carries its own latency
-            # columns so process workers never pickle the whole study.
-            pairs = [
-                (ClusteringConfig(xi=xi), asn, campaign.ips_by_isp[asn],
-                 matrix.submatrix(campaign.ips_by_isp[asn]))
-                for xi in config.xis
-                for asn in campaign.analyzable_isp_asns
-            ]
-            plan = ShardPlan.of(pairs, chunk_size=config.parallel.clustering_chunk)
-            shard_results = run_sharded(
-                _cluster_shard, plan, config.parallel, telemetry=telemetry, label="clustering"
-            )
-            clusterings = {xi: {} for xi in config.xis}
-            for shard_result in shard_results:
-                for xi, asn, clustering in shard_result:
-                    clusterings[xi][asn] = clustering
+            if precomputed is None:
+                # Work units are (isp_asn, xi) pairs; each carries its own latency
+                # columns so process workers never pickle the whole study.
+                pairs = [
+                    (ClusteringConfig(xi=xi), asn, campaign.ips_by_isp[asn],
+                     matrix.submatrix(campaign.ips_by_isp[asn]))
+                    for xi in config.xis
+                    for asn in campaign.analyzable_isp_asns
+                ]
+                plan = ShardPlan.of(pairs, chunk_size=config.parallel.clustering_chunk)
+                shard_results = run_sharded(
+                    _cluster_shard, plan, config.parallel, telemetry=telemetry, label="clustering"
+                )
+                clusterings = {xi: {} for xi in config.xis}
+                for shard_result in shard_results:
+                    for xi, asn, clustering in shard_result:
+                        clusterings[xi][asn] = clustering
+            else:
+                require(
+                    sorted(precomputed.clusterings) == sorted(config.xis),
+                    "precomputed artifacts do not match this config: xis differ "
+                    f"({sorted(precomputed.clusterings)} stored vs {sorted(config.xis)})",
+                )
+                expected_asns = set(campaign.analyzable_isp_asns)
+                for xi, per_isp in precomputed.clusterings.items():
+                    require(
+                        set(per_isp) == expected_asns,
+                        f"precomputed clusterings at xi={xi} cover different ISPs "
+                        "than this config's filtered campaign",
+                    )
+                clusterings = {xi: dict(per_isp) for xi, per_isp in precomputed.clusterings.items()}
 
         with obs.span("population"):
             population = build_population_dataset(

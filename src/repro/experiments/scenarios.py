@@ -14,6 +14,7 @@ from dataclasses import dataclass, replace
 from repro.core.pipeline import Study, StudyConfig, run_study
 from repro.obs import Telemetry, get_logger, global_metrics
 from repro.parallel import ParallelConfig
+from repro.store import StudyStore, config_fingerprint
 from repro.topology.generator import InternetConfig
 
 
@@ -81,26 +82,43 @@ def scenario_by_name(name: str) -> StudyScenario:
     return _BY_NAME[name]
 
 
+#: Process-memory front layer, keyed by the *full* config fingerprint —
+#: never by scenario name, so two scenarios sharing a name but differing
+#: in any knob (even the parallel backend) can never collide.
 _STUDY_CACHE: dict[str, Study] = {}
 
 
-def cached_study(name: str) -> Study:
-    """Run (once) and cache the study for the named scenario.
+def cached_study(scenario: str | StudyScenario, store: StudyStore | None = None) -> Study:
+    """Run (once) and cache the study for a scenario.
+
+    Two cache layers: a process-memory dict keyed by
+    :func:`repro.store.config_fingerprint` of the scenario's config, and
+    — when ``store`` is given — a durable
+    :class:`~repro.store.StudyStore` consulted on memory misses and
+    warmed after fresh runs, so a new process pays only the (cheap)
+    rehydration cost instead of the full pipeline.
 
     Hits and misses are accounted on the process-wide metrics registry
     (``scenarios.cache_hits`` / ``scenarios.cache_misses``) and logged
     through :func:`repro.obs.get_logger` (visible once logging is
     configured below the default WARNING threshold).
     """
+    if isinstance(scenario, str):
+        scenario = scenario_by_name(scenario)
     log = get_logger("repro.scenarios")
-    if name in _STUDY_CACHE:
+    key = config_fingerprint(scenario.config)
+    if key in _STUDY_CACHE:
         global_metrics().count("scenarios.cache_hits")
-        log.info("scenario cache hit", scenario=name)
-        return _STUDY_CACHE[name]
+        log.info("scenario cache hit", scenario=scenario.name)
+        return _STUDY_CACHE[key]
     global_metrics().count("scenarios.cache_misses")
-    log.info("scenario cache miss", scenario=name)
-    study = scenario_by_name(name).run()
-    _STUDY_CACHE[name] = study
+    log.info("scenario cache miss", scenario=scenario.name)
+    study = store.get(scenario.config) if store is not None else None
+    if study is None:
+        study = scenario.run()
+        if store is not None:
+            store.put(study)
+    _STUDY_CACHE[key] = study
     return study
 
 

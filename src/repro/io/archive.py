@@ -14,11 +14,17 @@ Everything round-trips: :func:`load_archive` returns a
 :class:`LoadedArchive` from which Table 2 and Figure 2 can be recomputed
 without the generator (see ``tests/test_io.py``), which is exactly how a
 third party would reanalyse a released dataset.
+
+The manifest carries a sha256 digest per data file; :func:`load_archive`
+verifies them before parsing anything, so a truncated or bit-flipped file
+raises :class:`ArchiveCorruptError` up front instead of surfacing as a
+confusing parse error deep in reanalysis code.
 """
 
 from __future__ import annotations
 
 import csv
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -33,6 +39,19 @@ from repro.core.pipeline import Study
 _MANIFEST_NAME = "manifest.json"
 
 
+class ArchiveCorruptError(RuntimeError):
+    """An archive file is missing, truncated, or fails its digest check."""
+
+
+def file_sha256(path: Path) -> str:
+    """Hex sha256 of one file, streamed."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
 @dataclass(frozen=True)
 class ArchiveManifest:
     """Archive-level metadata."""
@@ -42,6 +61,8 @@ class ArchiveManifest:
     xis: tuple[float, ...]
     n_vantage_points: int
     n_detections: int
+    #: filename -> sha256 hex digest; empty for pre-digest archives.
+    digests: tuple[tuple[str, str], ...] = ()
 
     def to_json(self) -> dict:
         """JSON-serialisable form."""
@@ -51,6 +72,7 @@ class ArchiveManifest:
             "xis": list(self.xis),
             "n_vantage_points": self.n_vantage_points,
             "n_detections": self.n_detections,
+            "digests": {name: digest for name, digest in self.digests},
         }
 
     @classmethod
@@ -62,7 +84,36 @@ class ArchiveManifest:
             xis=tuple(float(x) for x in data["xis"]),
             n_vantage_points=int(data["n_vantage_points"]),
             n_detections=int(data["n_detections"]),
+            digests=tuple(sorted(data.get("digests", {}).items())),
         )
+
+
+def verify_archive(directory: str | Path, manifest: ArchiveManifest | None = None) -> None:
+    """Check every digest recorded in ``directory``'s manifest.
+
+    Raises :class:`ArchiveCorruptError` naming the first file that is
+    missing or whose bytes no longer match.  Archives written before
+    digests existed (empty ``digests``) pass vacuously.
+    """
+    directory = Path(directory)
+    if manifest is None:
+        manifest_path = directory / _MANIFEST_NAME
+        if not manifest_path.exists():
+            raise ArchiveCorruptError(f"not an archive: {directory} (missing {_MANIFEST_NAME})")
+        try:
+            manifest = ArchiveManifest.from_json(json.loads(manifest_path.read_text()))
+        except (json.JSONDecodeError, KeyError) as error:
+            raise ArchiveCorruptError(f"unreadable manifest in {directory}: {error}") from error
+    for name, expected in manifest.digests:
+        path = directory / name
+        if not path.exists():
+            raise ArchiveCorruptError(f"archive file missing: {path}")
+        actual = file_sha256(path)
+        if actual != expected:
+            raise ArchiveCorruptError(
+                f"archive file corrupt: {path} (sha256 {actual[:12]}..., "
+                f"manifest says {expected[:12]}...)"
+            )
 
 
 def save_archive(study: Study, directory: str | Path) -> Path:
@@ -125,12 +176,22 @@ def save_archive(study: Study, directory: str | Path) -> Path:
     }
     (directory / "results.json").write_text(json.dumps(results, indent=2))
 
+    # Digest every data file, then write the manifest last: a reader that
+    # finds a manifest is guaranteed the digests cover the whole archive.
+    digests = tuple(
+        sorted(
+            (path.name, file_sha256(path))
+            for path in directory.iterdir()
+            if path.is_file() and path.name != _MANIFEST_NAME
+        )
+    )
     manifest = ArchiveManifest(
         version=__version__,
         epochs=tuple(sorted(study.inventories)),
         xis=tuple(study.config.xis),
         n_vantage_points=len(study.vantage_points),
         n_detections=len(study.latest_inventory),
+        digests=digests,
     )
     (directory / _MANIFEST_NAME).write_text(json.dumps(manifest.to_json(), indent=2))
     return directory
@@ -164,12 +225,19 @@ class LoadedArchive:
         return {asn: sorted(hypergiants) for asn, hypergiants in mapping.items()}
 
 
-def load_archive(directory: str | Path) -> LoadedArchive:
-    """Load an archive written by :func:`save_archive`."""
+def load_archive(directory: str | Path, verify: bool = True) -> LoadedArchive:
+    """Load an archive written by :func:`save_archive`.
+
+    With ``verify`` (the default) every file's sha256 is checked against
+    the manifest before parsing, so corruption raises
+    :class:`ArchiveCorruptError` instead of a downstream parse error.
+    """
     directory = Path(directory)
     manifest_path = directory / _MANIFEST_NAME
     require(manifest_path.exists(), f"not an archive: {directory} (missing {_MANIFEST_NAME})")
     manifest = ArchiveManifest.from_json(json.loads(manifest_path.read_text()))
+    if verify:
+        verify_archive(directory, manifest)
 
     inventories: dict[str, list[tuple[int, str, int]]] = {}
     for epoch in manifest.epochs:

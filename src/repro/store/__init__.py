@@ -1,0 +1,35 @@
+"""Durable, content-addressed persistence for pipeline studies.
+
+The package has two pieces:
+
+* :mod:`repro.store.keys` — canonical config hashing.
+  :func:`config_fingerprint` identifies a config exactly (it keys the
+  process-memory cache in :mod:`repro.experiments.scenarios`);
+  :func:`study_key` is the on-disk content address, which normalises
+  execution-only knobs (backend, workers) the differential harness
+  proves artifact-neutral.
+* :mod:`repro.store.store` — :class:`StudyStore`, the on-disk store:
+  atomic writes, digest-verified loads with quarantine, LRU/size-bounded
+  garbage collection, and ``store.*`` metrics.
+
+Together with :mod:`repro.sweep` this forms the durable-execution layer:
+every completed sweep cell checkpoints here, and a restarted campaign
+skips everything already present.
+"""
+
+from repro.store.keys import (
+    STORE_SCHEMA,
+    canonical_config_json,
+    config_fingerprint,
+    study_key,
+)
+from repro.store.store import StoreStats, StudyStore
+
+__all__ = [
+    "STORE_SCHEMA",
+    "StoreStats",
+    "StudyStore",
+    "canonical_config_json",
+    "config_fingerprint",
+    "study_key",
+]

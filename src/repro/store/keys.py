@@ -1,0 +1,83 @@
+"""Canonical, content-addressed keys for study configurations.
+
+Two layers of identity:
+
+* :func:`config_fingerprint` — a stable hash over **every** field of a
+  :class:`~repro.core.pipeline.StudyConfig`.  Two configs that differ in
+  any knob (including the execution backend) get different fingerprints;
+  this keys the process-memory front cache so a study object always
+  reports exactly the config it was asked for.
+* :func:`study_key` — the on-disk content address.  It hashes only the
+  *artifact-relevant* knobs: the parallel backend and worker count are
+  normalised away because the differential harness
+  (``tests/test_parallel_equivalence.py``) proves they never change the
+  artifacts, while chunk sizes stay in the key because they shape the
+  shard RNG streams.  The package version and a store schema tag are
+  folded in, so a code upgrade can never serve stale artifacts.
+
+Both hashes are computed over canonical JSON (sorted keys, no whitespace
+variance) of the dataclass tree, so they are stable across processes,
+platforms, and dict orderings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+from repro import __version__
+from repro.core.pipeline import StudyConfig
+
+#: Bump when the store layout or key derivation changes incompatibly.
+STORE_SCHEMA = "repro-store-v1"
+
+
+def _jsonable(value: Any) -> Any:
+    """Convert a config value tree into deterministic JSON-ready form."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(item) for item in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot canonicalise {type(value).__name__} for a store key: {value!r}")
+
+
+def canonical_config_json(config: StudyConfig) -> str:
+    """The canonical JSON text for ``config`` (full fidelity)."""
+    return json.dumps(_jsonable(config), sort_keys=True, separators=(",", ":"))
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def config_fingerprint(config: StudyConfig) -> str:
+    """Hash over every config field; distinguishes even backend/workers."""
+    return _sha256(canonical_config_json(config))
+
+
+def _artifact_view(config: StudyConfig) -> dict:
+    """The config dict with artifact-irrelevant execution knobs normalised."""
+    view = _jsonable(config)
+    view["parallel"] = dict(view["parallel"], backend="serial", workers=1)
+    return view
+
+
+def study_key(config: StudyConfig) -> str:
+    """The content address a study computed from ``config`` lives under."""
+    payload = {
+        "schema": STORE_SCHEMA,
+        "version": __version__,
+        "config": _artifact_view(config),
+    }
+    return _sha256(json.dumps(payload, sort_keys=True, separators=(",", ":")))

@@ -1,0 +1,165 @@
+"""Declarative parameter grids over :class:`StudyConfig`.
+
+A grid is a base config plus named axes.  Axis names are dotted paths
+into the (nested, frozen) config dataclasses — ``"seed"``,
+``"internet.n_access_isps"``, ``"campaign.ping.pings_per_target"`` — and an axis
+may link several paths with commas (``"seed,internet.seed"`` varies both
+together, the shape seed-sensitivity campaigns need).  Expansion is the
+cartesian product in axis order, so cell order — and therefore every
+downstream report — is deterministic.
+
+Grids also load from spec files (JSON always; YAML when PyYAML happens
+to be installed)::
+
+    {
+      "scenario": "small",
+      "overrides": {"n_vantage_points": 32},
+      "axes": {"seed,internet.seed": [1, 2, 3],
+               "xis": [[0.1, 0.9], [0.5, 0.9]]}
+    }
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, fields, is_dataclass, replace
+from pathlib import Path
+from typing import Any
+
+from repro._util import require
+from repro.core.pipeline import StudyConfig
+
+
+def apply_override(config: Any, path: str, value: Any) -> Any:
+    """A copy of ``config`` with the dotted ``path`` replaced by ``value``.
+
+    Walks nested frozen dataclasses with :func:`dataclasses.replace`;
+    unknown field names raise :class:`ValueError` naming the full path.
+    JSON lists are coerced to tuples where the current value is a tuple,
+    so spec files can express ``xis`` naturally.
+    """
+    return _apply_override(config, path, value, full_path=path)
+
+
+def _apply_override(config: Any, path: str, value: Any, full_path: str) -> Any:
+    require(
+        is_dataclass(config),
+        f"cannot apply override {full_path!r} to {type(config).__name__}",
+    )
+    head, _, rest = path.partition(".")
+    names = {field.name for field in fields(config)}
+    require(
+        head in names,
+        f"unknown config field {head!r} in override path {full_path!r} "
+        f"(fields of {type(config).__name__}: {', '.join(sorted(names))})",
+    )
+    current = getattr(config, head)
+    if rest:
+        return replace(config, **{head: _apply_override(current, rest, value, full_path)})
+    if isinstance(current, tuple) and isinstance(value, list):
+        value = tuple(value)
+    return replace(config, **{head: value})
+
+
+def _format_value(value: Any) -> str:
+    """Compact, deterministic rendering of an axis value for cell ids."""
+    if isinstance(value, str):
+        return value
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One expanded grid point: a fully-resolved config plus provenance."""
+
+    index: int
+    cell_id: str
+    #: (axis name, value) in axis order.
+    overrides: tuple[tuple[str, Any], ...]
+    config: StudyConfig
+
+
+@dataclass(frozen=True)
+class ParameterGrid:
+    """A base config and the axes to sweep over it."""
+
+    base: StudyConfig
+    #: (axis name, values); an axis name may comma-link several paths.
+    axes: tuple[tuple[str, tuple[Any, ...]], ...]
+
+    def __post_init__(self) -> None:
+        for name, values in self.axes:
+            require(bool(values), f"axis {name!r} has no values")
+
+    @classmethod
+    def of(cls, base: StudyConfig, axes: dict[str, Any]) -> "ParameterGrid":
+        """Build a grid from a dict of axis name -> iterable of values."""
+        return cls(base=base, axes=tuple((name, tuple(values)) for name, values in axes.items()))
+
+    @property
+    def axis_names(self) -> tuple[str, ...]:
+        """Axis names in sweep order."""
+        return tuple(name for name, _ in self.axes)
+
+    @property
+    def n_cells(self) -> int:
+        """Number of grid points (1 for an axis-free grid)."""
+        count = 1
+        for _, values in self.axes:
+            count *= len(values)
+        return count
+
+    def cells(self) -> list[SweepCell]:
+        """Expand the cartesian product, in deterministic axis order."""
+        expanded: list[SweepCell] = []
+        value_lists = [values for _, values in self.axes]
+        for index, combo in enumerate(itertools.product(*value_lists)):
+            config = self.base
+            overrides: list[tuple[str, Any]] = []
+            for (axis, _), value in zip(self.axes, combo):
+                for path in axis.split(","):
+                    config = apply_override(config, path.strip(), value)
+                overrides.append((axis, value))
+            cell_id = (
+                ",".join(f"{axis}={_format_value(value)}" for axis, value in overrides) or "base"
+            )
+            expanded.append(
+                SweepCell(index=index, cell_id=cell_id, overrides=tuple(overrides), config=config)
+            )
+        return expanded
+
+    @classmethod
+    def from_spec(cls, spec: dict[str, Any]) -> "ParameterGrid":
+        """Build a grid from a parsed spec file (see module docstring)."""
+        unknown = set(spec) - {"scenario", "overrides", "axes"}
+        require(not unknown, f"unknown spec keys: {sorted(unknown)}")
+        if "scenario" in spec:
+            from repro.experiments.scenarios import scenario_by_name
+
+            base = scenario_by_name(spec["scenario"]).config
+        else:
+            base = StudyConfig()
+        for path, value in spec.get("overrides", {}).items():
+            base = apply_override(base, path, value)
+        return cls.of(base, spec.get("axes", {}))
+
+
+def load_spec(path: str | Path) -> dict[str, Any]:
+    """Parse a grid spec file: JSON always, YAML if PyYAML is available."""
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError as error:  # pragma: no cover - depends on host env
+            raise ValueError(
+                f"cannot read {path}: PyYAML is not installed; use a JSON spec instead"
+            ) from error
+        return yaml.safe_load(text)
+    return json.loads(text)
+
+
+def load_grid(path: str | Path) -> ParameterGrid:
+    """Load and expand a spec file into a :class:`ParameterGrid`."""
+    return ParameterGrid.from_spec(load_spec(path))

@@ -1,0 +1,36 @@
+"""Metric specifications: named study-level observables with shape bands.
+
+:class:`MetricSpec` was born in :mod:`repro.sensitivity` (which still
+re-exports it) and moved here when sweep campaigns became the general
+mechanism: any campaign — seed sensitivity, OPTICS-steepness sweeps,
+outage grids — extracts the same named metrics per cell and aggregates
+them against the same paper-shape acceptance bands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.pipeline import Study
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One headline metric plus its paper-shape acceptance band."""
+
+    name: str
+    extract: "Callable[[Study], float]"
+    lower: float
+    upper: float
+    paper_value: str
+
+    def within_band(self, value: float) -> bool:
+        """Whether ``value`` satisfies the shape assertion."""
+        return self.lower <= value <= self.upper
+
+
+def evaluate_metrics(study: "Study", specs: tuple[MetricSpec, ...]) -> dict[str, float]:
+    """Extract every spec's value from ``study``, keyed by metric name."""
+    return {spec.name: float(spec.extract(study)) for spec in specs}

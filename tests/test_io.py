@@ -1,10 +1,19 @@
 """Tests for study archives: save, load, and third-party reanalysis."""
 
+import json
+import shutil
+
 import numpy as np
 import pytest
 
 from repro.core.colocation import build_colocation_table
-from repro.io.archive import load_archive, save_archive
+from repro.io.archive import (
+    ArchiveCorruptError,
+    file_sha256,
+    load_archive,
+    save_archive,
+    verify_archive,
+)
 
 
 @pytest.fixture(scope="module")
@@ -83,3 +92,60 @@ class TestThirdPartyReanalysis:
     def test_results_json_contains_table1(self, loaded):
         assert "table1" in loaded.results
         assert loaded.results["table1"]["Google"]["2023"] > 0
+
+
+class TestIntegrity:
+    @pytest.fixture()
+    def copy_dir(self, archive_dir, tmp_path):
+        destination = tmp_path / "copy"
+        shutil.copytree(archive_dir, destination)
+        return destination
+
+    def test_manifest_digests_every_data_file(self, archive_dir, loaded):
+        recorded = dict(loaded.manifest.digests)
+        data_files = {p.name for p in archive_dir.iterdir() if p.name != "manifest.json"}
+        assert set(recorded) == data_files
+        for name, digest in recorded.items():
+            assert file_sha256(archive_dir / name) == digest
+
+    def test_clean_archive_verifies(self, archive_dir):
+        verify_archive(archive_dir)
+
+    def test_truncated_file_raises_corrupt_error(self, copy_dir):
+        """Regression: a truncated latency.npz used to surface as an opaque
+        zipfile/KeyError deep inside numpy; it must fail fast and by name."""
+        victim = copy_dir / "latency.npz"
+        victim.write_bytes(victim.read_bytes()[:64])
+        with pytest.raises(ArchiveCorruptError, match="latency.npz"):
+            load_archive(copy_dir)
+
+    def test_bit_flip_raises_corrupt_error(self, copy_dir):
+        victim = copy_dir / "clusterings.json"
+        raw = bytearray(victim.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        with pytest.raises(ArchiveCorruptError, match="clusterings.json"):
+            load_archive(copy_dir)
+
+    def test_missing_file_raises_corrupt_error(self, copy_dir):
+        (copy_dir / "ptr.csv").unlink()
+        with pytest.raises(ArchiveCorruptError, match="ptr.csv"):
+            load_archive(copy_dir)
+
+    def test_verify_false_skips_digest_check(self, copy_dir, small_study):
+        # Reformat results.json: same content, different bytes -> digest
+        # mismatch that verify=False must tolerate.
+        victim = copy_dir / "results.json"
+        victim.write_text(json.dumps(json.loads(victim.read_text()), indent=4))
+        with pytest.raises(ArchiveCorruptError):
+            load_archive(copy_dir)
+        loaded = load_archive(copy_dir, verify=False)
+        assert loaded.manifest.n_detections == len(small_study.latest_inventory)
+
+    def test_pre_digest_archives_pass_vacuously(self, copy_dir):
+        manifest_path = copy_dir / "manifest.json"
+        data = json.loads(manifest_path.read_text())
+        del data["digests"]
+        manifest_path.write_text(json.dumps(data))
+        loaded = load_archive(copy_dir)
+        assert loaded.manifest.digests == ()

@@ -1,0 +1,227 @@
+"""Tests for the content-addressed study store (``repro.store``)."""
+
+import json
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import StudyConfig, run_study
+from repro.io.archive import save_archive
+from repro.obs import MetricsRegistry
+from repro.parallel import ParallelConfig
+from repro.store import StudyStore, config_fingerprint, study_key
+from repro.topology.generator import InternetConfig
+
+pytestmark = pytest.mark.store
+
+
+def _tiny_config(seed: int = 3, **overrides) -> StudyConfig:
+    return StudyConfig(
+        internet=InternetConfig(seed=seed, n_access_isps=40, n_ixps=20),
+        n_vantage_points=24,
+        seed=seed,
+        **overrides,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_study():
+    return run_study(_tiny_config())
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return StudyStore(tmp_path / "store", metrics=MetricsRegistry())
+
+
+def _archive_digest(directory):
+    import hashlib
+
+    digest = hashlib.sha256()
+    for path in sorted(directory.iterdir()):
+        digest.update(path.name.encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+class TestKeys:
+    def test_fingerprint_is_stable(self):
+        assert config_fingerprint(_tiny_config()) == config_fingerprint(_tiny_config())
+        assert study_key(_tiny_config()) == study_key(_tiny_config())
+
+    def test_fingerprint_sees_every_field(self):
+        base = _tiny_config()
+        assert config_fingerprint(base) != config_fingerprint(_tiny_config(seed=4))
+        assert config_fingerprint(base) != config_fingerprint(_tiny_config(xis=(0.5,)))
+
+    def test_backend_changes_fingerprint_but_not_study_key(self):
+        """backend/workers never change artifacts, so the content address
+        normalises them away — while the full fingerprint still differs."""
+        serial = _tiny_config()
+        process = _tiny_config(parallel=ParallelConfig(backend="process", workers=4))
+        assert config_fingerprint(serial) != config_fingerprint(process)
+        assert study_key(serial) == study_key(process)
+
+    def test_chunk_sizes_stay_in_study_key(self):
+        """Chunk sizes shape shard RNG streams, so they must key the store."""
+        assert study_key(_tiny_config()) != study_key(
+            _tiny_config(parallel=ParallelConfig(campaign_chunk=16))
+        )
+
+
+class TestStoreRoundTrip:
+    def test_miss_then_hit(self, store, tiny_study):
+        config = _tiny_config()
+        assert store.get(config) is None
+        store.put(tiny_study)
+        assert store.contains(config)
+        rehydrated = store.get(config)
+        assert rehydrated is not None
+        assert store.metrics.counter("store.hits") == 1
+        assert store.metrics.counter("store.misses") == 1
+
+    def test_rehydrated_study_exports_identical_archive(self, store, tiny_study, tmp_path):
+        """The acceptance property: a store hit is indistinguishable from a
+        fresh run at the artifact level."""
+        store.put(tiny_study)
+        rehydrated = store.get(_tiny_config())
+        save_archive(tiny_study, tmp_path / "fresh")
+        save_archive(rehydrated, tmp_path / "warm")
+        assert _archive_digest(tmp_path / "fresh") == _archive_digest(tmp_path / "warm")
+
+    def test_rehydrated_views_match(self, store, tiny_study):
+        store.put(tiny_study)
+        rehydrated = store.get(_tiny_config())
+        np.testing.assert_array_equal(rehydrated.matrix.rtt_ms, tiny_study.matrix.rtt_ms)
+        assert rehydrated.hypergiant_of_ip == tiny_study.hypergiant_of_ip
+        assert rehydrated.campaign.analyzable_isp_asns == tiny_study.campaign.analyzable_isp_asns
+        for xi in tiny_study.config.xis:
+            assert rehydrated.colocation_table(xi).row_percentages(
+                "Google"
+            ) == tiny_study.colocation_table(xi).row_percentages("Google")
+
+    def test_put_is_idempotent(self, store, tiny_study):
+        key = store.put(tiny_study)
+        assert store.put(tiny_study) == key
+        assert store.stats().entries == 1
+        assert store.metrics.counter("store.writes") == 1
+
+    def test_different_config_misses(self, store, tiny_study):
+        store.put(tiny_study)
+        assert store.get(_tiny_config(seed=4)) is None
+
+
+class TestCorruption:
+    def test_truncated_file_quarantines_and_misses(self, store, tiny_study):
+        key = store.put(tiny_study)
+        victim = store.entry_path(key) / "latency.npz"
+        victim.write_bytes(victim.read_bytes()[:100])
+        assert store.get(_tiny_config()) is None
+        assert store.metrics.counter("store.corruptions") == 1
+        assert not store.contains_key(key)
+        quarantined = list((store.root / "quarantine").iterdir())
+        assert len(quarantined) == 1
+        assert (quarantined[0] / "quarantine_reason.txt").exists()
+
+    def test_recompute_after_quarantine(self, store, tiny_study):
+        key = store.put(tiny_study)
+        (store.entry_path(key) / "isps.csv").write_text("garbage")
+        assert store.get(_tiny_config()) is None
+        store.put(tiny_study)
+        assert store.get(_tiny_config()) is not None
+
+
+class TestGcAndIndex:
+    def test_lru_eviction_order(self, tmp_path, tiny_study):
+        store = StudyStore(tmp_path / "store", metrics=MetricsRegistry())
+        studies = [tiny_study, run_study(_tiny_config(seed=4)), run_study(_tiny_config(seed=5))]
+        keys = [store.put(study) for study in studies]
+        # Touch the oldest so it becomes most recently used.
+        assert store.get(_tiny_config(seed=3)) is not None
+        evicted = store.gc(max_entries=2)
+        assert evicted == [keys[1]]
+        assert store.contains_key(keys[0]) and store.contains_key(keys[2])
+        assert store.metrics.counter("store.evictions") == 1
+
+    def test_max_bytes_bound(self, tmp_path, tiny_study):
+        store = StudyStore(tmp_path / "store", metrics=MetricsRegistry())
+        store.put(tiny_study)
+        store.put(run_study(_tiny_config(seed=4)))
+        evicted = store.gc(max_bytes=store.stats().total_bytes - 1)
+        assert len(evicted) == 1
+        assert store.stats().entries == 1
+
+    def test_put_enforces_configured_limits(self, tmp_path, tiny_study):
+        store = StudyStore(tmp_path / "store", max_entries=1, metrics=MetricsRegistry())
+        store.put(tiny_study)
+        store.put(run_study(_tiny_config(seed=4)))
+        assert store.stats().entries == 1
+
+    def test_index_rebuilds_from_filesystem(self, store, tiny_study):
+        key = store.put(tiny_study)
+        (store.root / "index.json").unlink()
+        assert store.contains_key(key)
+        assert store.keys() == [key]
+        assert store.stats().entries == 1
+
+    def test_crash_debris_in_tmp_is_inert(self, store, tiny_study):
+        key = store.put(tiny_study)
+        debris = store.root / "tmp" / "deadbeef.1234.abcd"
+        debris.mkdir(parents=True)
+        (debris / "manifest.json").write_text("{}")
+        assert store.keys() == [key]
+        assert store.get(_tiny_config()) is not None
+
+
+class TestCachedStudyKeying:
+    def test_same_name_different_backend_does_not_collide(self):
+        """Regression: the memo used to key on the scenario *name* alone, so
+        a scenario variant differing only in execution config collided."""
+        from repro.experiments.scenarios import SMALL_SCENARIO, cached_study
+
+        variant = SMALL_SCENARIO.__class__(
+            name=SMALL_SCENARIO.name,
+            config=StudyConfig(
+                internet=SMALL_SCENARIO.config.internet,
+                n_vantage_points=SMALL_SCENARIO.config.n_vantage_points,
+                seed=SMALL_SCENARIO.config.seed,
+                parallel=ParallelConfig(backend="process", workers=2),
+            ),
+            n_traceroute_regions=SMALL_SCENARIO.n_traceroute_regions,
+            capacity_sample=SMALL_SCENARIO.capacity_sample,
+        )
+        assert config_fingerprint(variant.config) != config_fingerprint(SMALL_SCENARIO.config)
+        baseline = cached_study("small")
+        from repro.parallel import process_backend_available
+
+        if not process_backend_available():
+            pytest.skip("process executor backend unavailable")
+        other = cached_study(variant)
+        assert other is not baseline
+        assert other.config.parallel.backend == "process"
+        assert baseline.config.parallel.backend == "serial"
+        # Both now memoised independently.
+        assert cached_study(variant) is other
+        assert cached_study("small") is baseline
+
+    def test_cached_study_delegates_to_store(self, tmp_path):
+        """A fresh process-memory cache plus a warm store -> rehydration, no
+        pipeline rerun (observable through the store hit counter)."""
+        from repro.experiments import scenarios
+
+        registry = MetricsRegistry()
+        store = StudyStore(tmp_path / "store", metrics=registry)
+        scenario = scenarios.StudyScenario(
+            name="tiny-store-test",
+            config=_tiny_config(),
+            n_traceroute_regions=2,
+            capacity_sample=10,
+        )
+        first = scenarios.cached_study(scenario, store=store)
+        assert registry.counter("store.writes") == 1
+        # Simulate a new process: drop only the memory layer.
+        scenarios._STUDY_CACHE.pop(config_fingerprint(scenario.config))
+        second = scenarios.cached_study(scenario, store=store)
+        assert registry.counter("store.hits") == 1
+        np.testing.assert_array_equal(first.matrix.rtt_ms, second.matrix.rtt_ms)
