@@ -1,0 +1,120 @@
+"""Resilience-layer bench: injection must be free when off, cheap when on.
+
+Three timed runs of the small scenario:
+
+* **clean** — no faults, no resilience: the baseline every prior PR's
+  numbers were measured against.  The acceptance bar is that wiring the
+  injection points added <2% to this path (the hooks are a ``None`` check).
+* **armed** — the resilience layer configured but a plan that never fires
+  (rate 0): the cost of carrying supervision without faults.
+* **chaos** — every campaign shard crashes once and every clustering
+  shard errors once, all retried to success: the measured retry overhead
+  quoted in ``EXPERIMENTS.md``.
+
+All three runs must export byte-identical archives (transient faults are
+artifact-inert); the snapshot lands in ``BENCH_resilience.json``.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_bench_resilience.py -s``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import time
+from pathlib import Path
+
+from repro._util import format_table
+from repro.core.pipeline import run_study
+from repro.experiments.scenarios import scenario_by_name
+from repro.faults import FaultPlan, FaultSpec
+from repro.io.archive import save_archive
+from repro.resilience import ResilienceConfig
+
+from benchmarks.conftest import emit
+
+SNAPSHOT_PATH = Path(__file__).parent / "BENCH_resilience.json"
+
+#: Clean-path overhead budget: the injected hooks may not cost more than
+#: this fraction versus the recorded pre-resilience baseline.
+CLEAN_OVERHEAD_BUDGET = 0.02
+
+CHAOS_PLAN = FaultPlan(
+    seed=99,
+    specs=(
+        FaultSpec(site="campaign.shard", kind="crash", rate=1.0, fail_attempts=1),
+        FaultSpec(site="clustering.shard", kind="error", rate=1.0, fail_attempts=1),
+    ),
+)
+
+#: Armed but silent: supervision on, zero faults fire.
+SILENT_PLAN = FaultPlan(
+    seed=99, specs=(FaultSpec(site="campaign.shard", kind="error", rate=0.0, fail_attempts=1),)
+)
+
+
+def _time_run(faults, resilience, export_dir: Path, repeats: int = 3) -> dict:
+    base = scenario_by_name("small").config
+    config = dataclasses.replace(base, faults=faults, resilience=resilience)
+    best = float("inf")
+    study = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        study = run_study(config)
+        best = min(best, time.perf_counter() - started)
+    save_archive(study, export_dir)
+    digest = hashlib.sha256()
+    for path in sorted(export_dir.iterdir()):
+        digest.update(path.name.encode())
+        digest.update(path.read_bytes())
+    return {"total_s": round(best, 3), "archive_sha256": digest.hexdigest()}
+
+
+def test_bench_resilience_snapshot(tmp_path):
+    # Warm-up: pay one-time import/allocator costs outside the timings.
+    run_study(scenario_by_name("small").config)
+    clean = _time_run(None, None, tmp_path / "clean")
+    armed = _time_run(SILENT_PLAN, ResilienceConfig(), tmp_path / "armed")
+    chaos = _time_run(CHAOS_PLAN, ResilienceConfig(), tmp_path / "chaos")
+
+    digests = {run["archive_sha256"] for run in (clean, armed, chaos)}
+    assert len(digests) == 1, "fault-injected runs exported different artifacts"
+
+    armed_overhead = armed["total_s"] / clean["total_s"] - 1.0
+    chaos_overhead = chaos["total_s"] / clean["total_s"] - 1.0
+    snapshot = {
+        "bench": "resilience-small",
+        "format": "repro-bench-v1",
+        "scenario": "small",
+        "identical_artifacts": True,
+        "clean_overhead_budget": CLEAN_OVERHEAD_BUDGET,
+        "runs": {
+            "clean_s": clean["total_s"],
+            "armed_silent_s": armed["total_s"],
+            "chaos_transient_s": chaos["total_s"],
+        },
+        "armed_overhead_fraction": round(armed_overhead, 4),
+        "chaos_retry_overhead_fraction": round(chaos_overhead, 4),
+    }
+    SNAPSHOT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+
+    rows = [
+        ["clean (no faults, no resilience)", clean["total_s"], "baseline"],
+        ["armed (supervision on, 0 faults)", armed["total_s"], f"{100 * armed_overhead:+.1f}%"],
+        ["chaos (every shard fails once)", chaos["total_s"], f"{100 * chaos_overhead:+.1f}%"],
+    ]
+    emit(
+        "resilience overhead (small scenario, best of 3)",
+        format_table(["run", "wall s", "vs clean"], rows),
+    )
+
+    # Supervision without firing faults should be near-free; the explicit
+    # <2% clean-path bar versus the PR-3 baseline is checked by comparing
+    # BENCH_parallel.json's serial time out-of-band (hardware varies too
+    # much for a same-file assertion), but armed-vs-clean on identical
+    # hardware must stay inside a loose multiple of the budget.
+    assert armed_overhead < 5 * CLEAN_OVERHEAD_BUDGET, (
+        f"armed-but-silent supervision cost {100 * armed_overhead:.1f}% "
+        f"(budget {100 * CLEAN_OVERHEAD_BUDGET:.0f}%)"
+    )

@@ -81,11 +81,75 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _parallel_from_args(args: argparse.Namespace):
     """A ParallelConfig when any parallel flag departs from the default, else None."""
-    if getattr(args, "backend", "serial") == "serial" and getattr(args, "workers", 1) == 1:
+    shard_timeout = getattr(args, "shard_timeout", None)
+    if (
+        getattr(args, "backend", "serial") == "serial"
+        and getattr(args, "workers", 1) == 1
+        and shard_timeout is None
+    ):
         return None
     from repro.parallel import ParallelConfig
 
-    return ParallelConfig(backend=args.backend, workers=args.workers)
+    return ParallelConfig(
+        backend=getattr(args, "backend", "serial"),
+        workers=getattr(args, "workers", 1),
+        shard_timeout_s=shard_timeout,
+    )
+
+
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults",
+        metavar="PATH",
+        default=None,
+        help="fault-plan JSON for deterministic chaos testing (see repro.faults)",
+    )
+    parser.add_argument(
+        "--retry",
+        type=int,
+        default=None,
+        metavar="N",
+        help="enable the resilience layer: at most N attempts per shard / store load",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard timeout; hung workers are requeued (with --retry) or fatal",
+    )
+    parser.add_argument(
+        "--shard-loss-budget",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="with --retry: tolerate losing up to this fraction of shards per stage "
+        "(default 0.0: any quarantined shard aborts the study)",
+    )
+
+
+def _faults_from_args(args: argparse.Namespace):
+    """A FaultPlan when --faults was given, else None."""
+    path = getattr(args, "faults", None)
+    if path is None:
+        return None
+    from repro.faults import load_fault_plan
+
+    return load_fault_plan(path)
+
+
+def _resilience_from_args(args: argparse.Namespace):
+    """A ResilienceConfig when --retry was given, else None."""
+    retries = getattr(args, "retry", None)
+    if retries is None:
+        return None
+    from repro.resilience import ErrorBudget, ResilienceConfig, RetryPolicy
+
+    budget = getattr(args, "shard_loss_budget", None)
+    return ResilienceConfig(
+        retry=RetryPolicy(max_attempts=retries),
+        budget=ErrorBudget(shard_loss_fraction=budget if budget is not None else 0.0),
+    )
 
 
 def _add_store_argument(parser: argparse.ArgumentParser) -> None:
@@ -107,15 +171,18 @@ def _store_from_args(args: argparse.Namespace):
     return StudyStore(store_dir)
 
 
-def _load_study(name: str, telemetry=None, parallel=None, store=None):
+def _load_study(name: str, telemetry=None, parallel=None, store=None, faults=None, resilience=None):
     from repro.experiments.scenarios import cached_study, scenario_by_name
 
     print(f"running the {name!r} study...", file=sys.stderr)
-    if telemetry is None and parallel is None:
+    if telemetry is None and parallel is None and faults is None and resilience is None:
         return cached_study(name, store=store)
-    # A traced or non-default-backend run must exercise the live pipeline,
-    # so it bypasses the caches — but still warms the store afterwards.
-    study = scenario_by_name(name).run(telemetry=telemetry, parallel=parallel)
+    # A traced, fault-injected, or non-default-backend run must exercise the
+    # live pipeline, so it bypasses the caches — but still warms the store
+    # afterwards (the store itself refuses degraded studies).
+    study = scenario_by_name(name).run(
+        telemetry=telemetry, parallel=parallel, faults=faults, resilience=resilience
+    )
     if store is not None:
         store.put(study)
     return study
@@ -142,7 +209,14 @@ def _cmd_study(args: argparse.Namespace) -> int:
     from repro.report import build_report
 
     telemetry = _telemetry_from_args(args)
-    study = _load_study(args.scenario, telemetry, _parallel_from_args(args), _store_from_args(args))
+    study = _load_study(
+        args.scenario,
+        telemetry,
+        _parallel_from_args(args),
+        _store_from_args(args),
+        faults=_faults_from_args(args),
+        resilience=_resilience_from_args(args),
+    )
     sections = tuple(args.sections.split(",")) if args.sections != "all" else None
     print(build_report(study, sections))
     _emit_telemetry(args, telemetry)
@@ -157,7 +231,14 @@ def _cmd_cascade(args: argparse.Namespace) -> int:
     from repro.experiments.section43_collateral import most_shared_facility
 
     telemetry = _telemetry_from_args(args)
-    study = _load_study(args.scenario, telemetry, _parallel_from_args(args), _store_from_args(args))
+    study = _load_study(
+        args.scenario,
+        telemetry,
+        _parallel_from_args(args),
+        _store_from_args(args),
+        faults=_faults_from_args(args),
+        resilience=_resilience_from_args(args),
+    )
     state = study.history.state("2023")
     if args.facility == "auto":
         facility_id, hypergiants = most_shared_facility(study)
@@ -214,7 +295,14 @@ def _cmd_export(args: argparse.Namespace) -> int:
     from repro.io.archive import save_archive
 
     telemetry = _telemetry_from_args(args)
-    study = _load_study(args.scenario, telemetry, _parallel_from_args(args), _store_from_args(args))
+    study = _load_study(
+        args.scenario,
+        telemetry,
+        _parallel_from_args(args),
+        _store_from_args(args),
+        faults=_faults_from_args(args),
+        resilience=_resilience_from_args(args),
+    )
     directory = save_archive(study, args.output)
     files = sorted(p.name for p in directory.iterdir())
     print(f"wrote {len(files)} files to {directory}:")
@@ -243,6 +331,8 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
         parallel=_parallel_from_args(args),
         telemetry=telemetry,
         max_cells=args.max_cells,
+        faults=_faults_from_args(args),
+        resilience=_resilience_from_args(args),
     )
     print(report.render())
     print(
@@ -271,7 +361,12 @@ def _cmd_sweep_gc(args: argparse.Namespace) -> int:
 
     store = StudyStore(args.store_dir)
     before = store.stats()
-    evicted = store.gc(max_entries=args.max_entries, max_bytes=args.max_bytes)
+    evicted = store.gc(
+        max_entries=args.max_entries,
+        max_bytes=args.max_bytes,
+        max_quarantine_entries=args.max_quarantine_entries,
+        max_quarantine_age_s=args.max_quarantine_age_s,
+    )
     after = store.stats()
     print(
         f"evicted {len(evicted)} of {before.entries} entries "
@@ -302,6 +397,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_argument(study)
     _add_telemetry_arguments(study)
     _add_parallel_arguments(study)
+    _add_resilience_arguments(study)
     _add_store_argument(study)
     study.add_argument(
         "--sections",
@@ -314,6 +410,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_argument(cascade)
     _add_telemetry_arguments(cascade)
     _add_parallel_arguments(cascade)
+    _add_resilience_arguments(cascade)
     _add_store_argument(cascade)
     cascade.add_argument("--facility", default="auto", help="facility id or 'auto' (most shared)")
     cascade.set_defaults(handler=_cmd_cascade)
@@ -332,6 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_argument(export)
     _add_telemetry_arguments(export)
     _add_parallel_arguments(export)
+    _add_resilience_arguments(export)
     _add_store_argument(export)
     export.add_argument("--output", required=True, help="destination directory")
     export.set_defaults(handler=_cmd_export)
@@ -344,6 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_argument(sweep_run)
     _add_telemetry_arguments(sweep_run)
     _add_parallel_arguments(sweep_run)
+    _add_resilience_arguments(sweep_run)
     sweep_run.add_argument(
         "--max-cells",
         type=int,
@@ -369,6 +468,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_gc.add_argument("--max-entries", type=int, default=None, help="keep at most N entries")
     sweep_gc.add_argument("--max-bytes", type=int, default=None, help="keep at most N bytes")
+    sweep_gc.add_argument(
+        "--max-quarantine-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep at most N quarantined (corrupt) entries, oldest evicted first",
+    )
+    sweep_gc.add_argument(
+        "--max-quarantine-age-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evict quarantined entries older than this many seconds",
+    )
     sweep_gc.set_defaults(handler=_cmd_sweep_gc)
 
     info = subparsers.add_parser("info", help="version and available options")

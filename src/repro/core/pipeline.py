@@ -23,11 +23,13 @@ from repro.core.country import CountryHostingResult, country_hosting_fractions
 from repro.core.traffic_model import TrafficModel
 from repro.deployment.growth import DeploymentHistory, build_deployment_history
 from repro.deployment.placement import PlacementConfig
+from repro.faults import FaultPlan
 from repro.mlab.matrix import (
     FilteredCampaign,
     LatencyCampaignConfig,
     LatencyMatrix,
     apply_quality_filters,
+    injected_ping_drops,
     measure_offnets,
 )
 from repro.mlab.vantage import VantagePoint, build_vantage_points
@@ -35,6 +37,7 @@ from repro.obs import Telemetry, ensure_telemetry
 from repro.parallel import ParallelConfig, Shard, ShardPlan, run_sharded
 from repro.population.users import PopulationDataset, build_population_dataset
 from repro.rdns.ptr import PtrConfig, PtrDataset, build_ptr_dataset
+from repro.resilience import CoverageReport, ResilienceConfig, ShardLoss
 from repro.rdns.validation import ValidationSummary, validate_clusters
 from repro.rdns.geohints import build_default_parser
 from repro.scan.detection import OffnetInventory, detect_offnets
@@ -59,6 +62,15 @@ class StudyConfig:
     #: worker count never change the artifacts (chunk sizes do, by design:
     #: they shape the shard RNG streams).
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    #: Deterministic fault injection (chaos testing).  None = no faults.
+    #: Transient faults are retried away and never change artifacts;
+    #: permanent data faults degrade coverage and *do* change artifacts
+    #: (so they participate in the store key; transient ones do not).
+    faults: FaultPlan | None = None
+    #: How the run absorbs faults: retry policy, in-process fallback, and
+    #: error budgets.  Execution-only — never changes artifacts.  None =
+    #: strict mode: the first unhandled failure aborts the run.
+    resilience: ResilienceConfig | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -104,6 +116,9 @@ class Study:
     population: PopulationDataset
     ptr: PtrDataset
     traffic: TrafficModel = field(default_factory=TrafficModel)
+    #: Per-site (lost, total) accounting of injected and quarantined
+    #: losses.  Complete (all zeros) on fault-free and transient-only runs.
+    coverage: CoverageReport = field(default_factory=CoverageReport)
     #: Telemetry captured while this study ran (None when not requested).
     #: Excluded from comparisons: timings are not part of the artifact.
     telemetry: Telemetry | None = field(default=None, repr=False, compare=False)
@@ -217,6 +232,9 @@ def run_study(
     config = config or StudyConfig()
     obs = ensure_telemetry(telemetry)
     root = make_rng(config.seed)
+    faults = config.faults
+    resilience = config.resilience
+    coverage = CoverageReport()
 
     with obs.span("study", seed=config.seed, rehydrated=precomputed is not None):
         with obs.span("topology"):
@@ -242,7 +260,13 @@ def run_study(
                         config.scan,
                         seed=spawn_rng(root, f"scan-{epoch}"),
                         telemetry=telemetry,
+                        faults=faults,
                     )
+                coverage.record(
+                    "scan.records",
+                    scans[epoch].records_dropped,
+                    len(history.state(epoch).servers),
+                )
 
         inventories: dict[str, OffnetInventory] = {}
         with obs.span("detect"):
@@ -267,6 +291,7 @@ def run_study(
             # advances the root generator, and later stages (population,
             # PTR) must see exactly the streams a fresh run would.
             pings_rng = spawn_rng(root, "pings")
+            n_campaign_shards = -(-len(target_ips) // config.parallel.campaign_chunk)
             if precomputed is None:
                 matrix = measure_offnets(
                     internet,
@@ -277,6 +302,8 @@ def run_study(
                     seed=pings_rng,
                     telemetry=telemetry,
                     parallel=config.parallel,
+                    faults=faults,
+                    resilience=resilience,
                 )
             else:
                 require(
@@ -290,8 +317,26 @@ def run_study(
                     f"precomputed matrix shape {rtt_ms.shape} does not match "
                     f"({len(vantage_points)}, {len(target_ips)})",
                 )
-                matrix = LatencyMatrix(vps=vantage_points, ips=list(target_ips), rtt_ms=rtt_ms)
+                # Injected ping drops are a pure function of the plan, so
+                # the rehydrated matrix carries the same loss accounting a
+                # fresh run would.  Shard losses are always zero here: the
+                # store refuses to persist shard-degraded studies.
+                dropped = injected_ping_drops(faults, len(target_ips))
+                unmeasured = (
+                    frozenset(int(target_ips[i]) for i in np.flatnonzero(dropped))
+                    if dropped is not None
+                    else frozenset()
+                )
+                matrix = LatencyMatrix(
+                    vps=vantage_points,
+                    ips=list(target_ips),
+                    rtt_ms=rtt_ms,
+                    unmeasured_ips=unmeasured,
+                    shards_total=n_campaign_shards,
+                )
                 obs.count("study.rehydrated_measurements", rtt_ms.size)
+            coverage.record("mlab.pings", len(matrix.unmeasured_ips), len(matrix.ips))
+            coverage.record("campaign.shards", matrix.shards_lost, matrix.shards_total)
 
         # Scale the per-ISP coverage threshold to the vantage-point count
         # (the paper's 100-of-163 is ~61 %).
@@ -326,12 +371,26 @@ def run_study(
                 ]
                 plan = ShardPlan.of(pairs, chunk_size=config.parallel.clustering_chunk)
                 shard_results = run_sharded(
-                    _cluster_shard, plan, config.parallel, telemetry=telemetry, label="clustering"
+                    _cluster_shard,
+                    plan,
+                    config.parallel,
+                    telemetry=telemetry,
+                    label="clustering",
+                    faults=faults,
+                    resilience=resilience,
                 )
                 clusterings = {xi: {} for xi in config.xis}
+                clustering_shards_lost = 0
                 for shard_result in shard_results:
+                    if isinstance(shard_result, ShardLoss):
+                        # The shard's (isp, xi) cells are simply absent from
+                        # the clusterings; downstream tables skip them and
+                        # the loss is surfaced in coverage.
+                        clustering_shards_lost += 1
+                        continue
                     for xi, asn, clustering in shard_result:
                         clusterings[xi][asn] = clustering
+                coverage.record("clustering.shards", clustering_shards_lost, plan.n_shards)
             else:
                 require(
                     sorted(precomputed.clusterings) == sorted(config.xis),
@@ -346,13 +405,28 @@ def run_study(
                         "than this config's filtered campaign",
                     )
                 clusterings = {xi: dict(per_isp) for xi, per_isp in precomputed.clusterings.items()}
+                n_pairs = len(config.xis) * len(campaign.analyzable_isp_asns)
+                coverage.record(
+                    "clustering.shards", 0, -(-n_pairs // config.parallel.clustering_chunk)
+                )
 
         with obs.span("population"):
             population = build_population_dataset(
                 internet, config.population_noise_sigma, seed=spawn_rng(root, "population")
             )
         with obs.span("ptr"):
-            ptr = build_ptr_dataset(state_2023, internet.world, config.ptr, seed=spawn_rng(root, "ptr"))
+            ptr = build_ptr_dataset(
+                state_2023, internet.world, config.ptr, seed=spawn_rng(root, "ptr"), faults=faults
+            )
+        coverage.record("rdns.lookups", ptr.lookups_failed, len(state_2023.servers))
+
+        if not coverage.complete:
+            obs.gauge("resilience.coverage_lost_shards", coverage.shards_lost)
+            obs.log(
+                "study degraded by injected or quarantined losses",
+                shards_lost=coverage.shards_lost,
+                sites={site: lost for site, (lost, _) in coverage.entries.items() if lost},
+            )
 
     return Study(
         config=config,
@@ -366,5 +440,6 @@ def run_study(
         clusterings=clusterings,
         population=population,
         ptr=ptr,
+        coverage=coverage,
         telemetry=telemetry,
     )

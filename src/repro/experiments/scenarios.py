@@ -12,7 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.core.pipeline import Study, StudyConfig, run_study
+from repro.faults import FaultPlan
 from repro.obs import Telemetry, get_logger, global_metrics
+from repro.resilience import ResilienceConfig
 from repro.parallel import ParallelConfig
 from repro.store import StudyStore, config_fingerprint
 from repro.topology.generator import InternetConfig
@@ -30,14 +32,27 @@ class StudyScenario:
     capacity_sample: int | None
 
     def run(
-        self, telemetry: Telemetry | None = None, parallel: ParallelConfig | None = None
+        self,
+        telemetry: Telemetry | None = None,
+        parallel: ParallelConfig | None = None,
+        faults: "FaultPlan | None" = None,
+        resilience: "ResilienceConfig | None" = None,
     ) -> Study:
         """Run the pipeline for this scenario (uncached).
 
         ``parallel`` overrides the scenario's execution backend/workers; it
-        never changes the artifacts (see :mod:`repro.parallel`).
+        never changes the artifacts (see :mod:`repro.parallel`).  ``faults``
+        and ``resilience`` wire a deterministic fault plan and the retry /
+        supervision layer into the run (see :mod:`repro.faults`).
         """
-        config = self.config if parallel is None else replace(self.config, parallel=parallel)
+        overrides = {}
+        if parallel is not None:
+            overrides["parallel"] = parallel
+        if faults is not None:
+            overrides["faults"] = faults
+        if resilience is not None:
+            overrides["resilience"] = resilience
+        config = replace(self.config, **overrides) if overrides else self.config
         return run_study(config, telemetry=telemetry)
 
 

@@ -1,0 +1,37 @@
+"""Deterministic fault injection for chaos-testing the pipeline.
+
+See :mod:`repro.faults.plan` for the model: a :class:`FaultPlan` decides,
+as a pure function of ``(seed, site, invocation index, attempt)``, whether
+an injection point misbehaves — and :mod:`repro.resilience` for the layer
+that absorbs those faults (retries, shard supervision, error budgets).
+"""
+
+from repro.faults.plan import (
+    CRASH_EXIT_CODE,
+    KINDS,
+    KNOWN_SITES,
+    FatalFaultError,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    TransientFaultError,
+    WorkerCrashError,
+    load_fault_plan,
+    raise_injected,
+    stable_index,
+)
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "KINDS",
+    "KNOWN_SITES",
+    "FatalFaultError",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "TransientFaultError",
+    "WorkerCrashError",
+    "load_fault_plan",
+    "raise_injected",
+    "stable_index",
+]

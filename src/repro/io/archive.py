@@ -63,6 +63,11 @@ class ArchiveManifest:
     n_detections: int
     #: filename -> sha256 hex digest; empty for pre-digest archives.
     digests: tuple[tuple[str, str], ...] = ()
+    #: (site, lost, total) coverage triples, sorted by site; empty means a
+    #: complete (or pre-coverage) archive.  Mirrors the study's
+    #: :class:`~repro.resilience.CoverageReport`, so a released dataset
+    #: declares what fraction of its measurement surface survived.
+    coverage: tuple[tuple[str, int, int], ...] = ()
 
     def to_json(self) -> dict:
         """JSON-serialisable form."""
@@ -73,6 +78,9 @@ class ArchiveManifest:
             "n_vantage_points": self.n_vantage_points,
             "n_detections": self.n_detections,
             "digests": {name: digest for name, digest in self.digests},
+            "coverage": {
+                site: {"lost": lost, "total": total} for site, lost, total in self.coverage
+            },
         }
 
     @classmethod
@@ -85,6 +93,10 @@ class ArchiveManifest:
             n_vantage_points=int(data["n_vantage_points"]),
             n_detections=int(data["n_detections"]),
             digests=tuple(sorted(data.get("digests", {}).items())),
+            coverage=tuple(
+                (site, int(entry["lost"]), int(entry["total"]))
+                for site, entry in sorted(data.get("coverage", {}).items())
+            ),
         )
 
 
@@ -107,12 +119,14 @@ def verify_archive(directory: str | Path, manifest: ArchiveManifest | None = Non
     for name, expected in manifest.digests:
         path = directory / name
         if not path.exists():
-            raise ArchiveCorruptError(f"archive file missing: {path}")
+            raise ArchiveCorruptError(
+                f"archive file missing: {path} (manifest expects sha256 {expected})"
+            )
         actual = file_sha256(path)
         if actual != expected:
             raise ArchiveCorruptError(
-                f"archive file corrupt: {path} (sha256 {actual[:12]}..., "
-                f"manifest says {expected[:12]}...)"
+                f"archive file corrupt: {path} (actual sha256 {actual}, "
+                f"manifest says {expected})"
             )
 
 
@@ -192,6 +206,10 @@ def save_archive(study: Study, directory: str | Path) -> Path:
         n_vantage_points=len(study.vantage_points),
         n_detections=len(study.latest_inventory),
         digests=digests,
+        coverage=tuple(
+            (site, lost, total)
+            for site, (lost, total) in sorted(study.coverage.entries.items())
+        ),
     )
     (directory / _MANIFEST_NAME).write_text(json.dumps(manifest.to_json(), indent=2))
     return directory

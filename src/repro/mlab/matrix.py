@@ -19,11 +19,13 @@ import numpy as np
 
 from repro._util import make_rng, require, require_fraction, spawn_rng
 from repro.deployment.placement import DeploymentState
+from repro.faults import FaultPlan
 from repro.mlab.latency import base_rtt_matrix, vp_pair_floor_rtt_ms
 from repro.mlab.pings import PingConfig, ping_rtts
 from repro.mlab.vantage import VantagePoint
 from repro.obs import Telemetry, ensure_telemetry
 from repro.parallel import ParallelConfig, Shard, ShardPlan, run_sharded
+from repro.resilience import ResilienceConfig, ShardLoss
 from repro.topology.facilities import Facility
 from repro.topology.generator import Internet
 
@@ -70,6 +72,13 @@ class LatencyMatrix:
     rtt_ms: np.ndarray
     #: Ground truth for tests: IPs measured with split-location behaviour.
     split_location_ips: frozenset[int] = frozenset()
+    #: IPs whose measurements were lost to injected faults or quarantined
+    #: shards (NaN columns by construction); empty on clean runs.
+    unmeasured_ips: frozenset[int] = frozenset()
+    #: Campaign shards quarantined after exhausting their retry budget.
+    shards_lost: int = 0
+    #: Campaign shards the fan-out planned (for coverage denominators).
+    shards_total: int = 0
     _column_of: dict[int, int] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -124,6 +133,9 @@ class _CampaignShardInputs:
     lossy: np.ndarray  # bool per target IP (ISP rate-limits ICMP)
     ping: PingConfig
     lossy_success_rate: float
+    #: bool per target IP: measurements lost to an injected ``mlab.ping``
+    #: fault (None when no such faults are planned — the common case).
+    dropped: np.ndarray | None = None
 
 
 def _measure_shard(
@@ -143,6 +155,7 @@ def _measure_shard(
     split = inputs.split[cols]
     lossy = inputs.lossy[cols]
     n_vps = inputs.base.shape[0]
+    drop_mask = inputs.dropped[cols] if inputs.dropped is not None else None
     rtt = np.empty((n_vps, k))
     for i in range(n_vps):
         base_row = inputs.base[i, target_facility].copy()
@@ -154,9 +167,24 @@ def _measure_shard(
         if lossy.any():
             rate_limited = lossy & (rng.random(k) >= inputs.lossy_success_rate)
             base_row[rate_limited] = np.nan
-        rtt[i] = ping_rtts(base_row, inputs.ping, rng)
+        rtt[i] = ping_rtts(base_row, inputs.ping, rng, drop_mask=drop_mask)
     obs.count("campaign.shard_measurements", n_vps * k)
     return rtt
+
+
+def injected_ping_drops(faults: FaultPlan | None, n_ips: int) -> np.ndarray | None:
+    """Bool mask of target indices whose ``mlab.ping`` measurements are lost.
+
+    Pure function of the plan — the rehydration path in
+    :func:`repro.core.pipeline.run_study` recomputes it to rebuild coverage
+    without re-measuring.  None when the plan injects no ping drops.
+    """
+    if faults is None or "mlab.ping" not in faults.sites():
+        return None
+    mask = np.fromiter(
+        (faults.fires_ever("mlab.ping", index) for index in range(n_ips)), dtype=bool, count=n_ips
+    )
+    return mask if mask.any() else None
 
 
 def measure_offnets(
@@ -168,6 +196,8 @@ def measure_offnets(
     seed: int | np.random.Generator = 0,
     telemetry: Telemetry | None = None,
     parallel: ParallelConfig | None = None,
+    faults: FaultPlan | None = None,
+    resilience: ResilienceConfig | None = None,
 ) -> LatencyMatrix:
     """Ping every IP in ``target_ips`` from every vantage point.
 
@@ -180,6 +210,13 @@ def measure_offnets(
     controls the backend); each shard draws from its own RNG stream spawned
     before dispatch, so the matrix is byte-identical for every backend and
     worker count at a fixed ``campaign_chunk``.
+
+    ``faults`` injects deterministic failures: ``mlab.ping`` drops turn a
+    target's column NaN (after the RNG draws, so neighbours are
+    untouched), and shard-site faults exercise the supervised executor.
+    With ``resilience``, a shard that exhausts its retries is quarantined
+    and its columns become NaN — accounted in ``unmeasured_ips`` and
+    ``shards_lost`` on the returned matrix.
     """
     config = config or LatencyCampaignConfig()
     parallel = parallel or ParallelConfig()
@@ -221,6 +258,7 @@ def measure_offnets(
         if candidates:
             alternate_facility[idx] = candidates[int(rng_behaviour.integers(0, len(candidates)))]
 
+    dropped = injected_ping_drops(faults, n_ips)
     inputs = _CampaignShardInputs(
         base=base,
         target_facility=target_facility,
@@ -230,6 +268,7 @@ def measure_offnets(
         lossy=lossy_ip,
         ping=config.ping,
         lossy_success_rate=config.lossy_success_rate,
+        dropped=dropped,
     )
     plan = ShardPlan.of(range(n_ips), chunk_size=parallel.campaign_chunk)
     rngs = plan.shard_rngs(rng_pings, "campaign")
@@ -239,8 +278,26 @@ def measure_offnets(
         parallel,
         telemetry=telemetry,
         label="campaign",
+        faults=faults,
+        resilience=resilience,
     )
-    rtt = np.concatenate(columns, axis=1) if columns else np.empty((n_vps, 0))
+    shards = plan.shards()
+    unmeasured: set[int] = set()
+    if dropped is not None:
+        unmeasured.update(int(target_ips[i]) for i in np.flatnonzero(dropped))
+    shards_lost = 0
+    filled_columns: list[np.ndarray] = []
+    for shard, column in zip(shards, columns):
+        if isinstance(column, ShardLoss):
+            # A quarantined shard's measurements are simply missing: its
+            # columns degrade to NaN, exactly like unresponsive targets,
+            # and the loss is surfaced in coverage rather than hidden.
+            shards_lost += 1
+            unmeasured.update(int(target_ips[i]) for i in shard.items)
+            filled_columns.append(np.full((n_vps, len(shard)), np.nan))
+        else:
+            filled_columns.append(column)
+    rtt = np.concatenate(filled_columns, axis=1) if filled_columns else np.empty((n_vps, 0))
 
     obs.count("campaign.vantage_points", n_vps)
     obs.count("campaign.target_ips", n_ips)
@@ -248,12 +305,17 @@ def measure_offnets(
     obs.count("campaign.unresponsive_targets", int(unresponsive.sum()))
     obs.count("campaign.split_location_targets", int(split.sum()))
     obs.count("campaign.lossy_isps", len(lossy_asns))
+    if dropped is not None:
+        obs.count("faults.ping_drops", int(dropped.sum()))
     obs.log("latency campaign measured", vps=n_vps, target_ips=n_ips)
     return LatencyMatrix(
         vps=vps,
         ips=list(target_ips),
         rtt_ms=rtt,
         split_location_ips=frozenset(int(ip) for ip, flag in zip(target_ips, split) if flag),
+        unmeasured_ips=frozenset(unmeasured),
+        shards_lost=shards_lost,
+        shards_total=len(shards),
     )
 
 

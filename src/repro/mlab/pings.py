@@ -50,12 +50,19 @@ def ping_rtts(
     base_rtts_ms: np.ndarray,
     config: PingConfig,
     rng: np.random.Generator,
+    drop_mask: np.ndarray | None = None,
 ) -> np.ndarray:
     """Measure each target once: second-smallest of ``pings_per_target`` pings.
 
     ``base_rtts_ms`` has shape ``(n,)``; entries that are NaN (unreachable
     targets) stay NaN.  Returns shape ``(n,)`` with NaN where fewer than
     ``min_responses`` probes answered.
+
+    ``drop_mask`` (optional, bool shape ``(n,)``) marks targets whose
+    measurements are lost to injected faults (the ``mlab.ping`` site).  It
+    is applied *after* every RNG draw, so a dropped target consumes exactly
+    the randomness an undropped one would — injection never shifts the
+    probe streams of its neighbours.
     """
     base = np.asarray(base_rtts_ms, dtype=float)
     n = base.shape[0]
@@ -80,4 +87,6 @@ def ping_rtts(
         measured = samples_sorted[:, 1]
     measured[responses < config.min_responses] = np.nan
     measured[np.isnan(base)] = np.nan
+    if drop_mask is not None:
+        measured[drop_mask] = np.nan
     return measured

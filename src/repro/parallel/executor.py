@@ -13,21 +13,60 @@ extend, and the worker's span forest is adopted under the stage's fan-out
 span, in shard order.  Nothing is recorded twice: in process mode the
 parent records only the fan-out span and the merge, never the per-shard
 work the workers already accounted for.
+
+Both backends are *supervised* when given a
+:class:`~repro.resilience.ResilienceConfig` and/or a
+:class:`~repro.faults.FaultPlan`:
+
+* a shard that fails with a retryable error (transient injected fault,
+  dead worker, broken pool, per-shard timeout) is retried/requeued up to
+  the policy's attempt limit;
+* the process backend detects dead workers (``BrokenProcessPool``) and
+  hung workers (``ParallelConfig.shard_timeout_s``), abandons the
+  poisoned pool, re-dispatches the survivors, and runs a shard whose
+  pool attempts are exhausted *in-process* before quarantining it;
+* a quarantined shard yields a :class:`~repro.resilience.ShardLoss`
+  sentinel in the result list, and :func:`run_sharded` aborts with
+  :class:`~repro.resilience.ShardQuarantinedError` if the losses exceed
+  the stage's :class:`~repro.resilience.ErrorBudget`.
+
+With no faults and no resilience config (the default), every supervised
+code path collapses to the plain fast path — fault injection is zero-cost
+when disabled.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Any, Callable
 
 from repro._util import require
+from repro.faults import (
+    CRASH_EXIT_CODE,
+    FaultPlan,
+    WorkerCrashError,
+    raise_injected,
+)
 from repro.obs import MetricsRegistry, Telemetry, ensure_telemetry
 from repro.obs.export import telemetry_to_json
 from repro.obs.logging import NULL_LOGGER
 from repro.obs.trace import Span, Tracer
+from repro.resilience import (
+    ErrorBudget,
+    ResilienceConfig,
+    ShardLoss,
+    ShardQuarantinedError,
+    ShardTimeoutError,
+    is_retryable,
+    jitter_rng,
+)
 
 from repro.parallel.plan import Shard, ShardPlan
 
@@ -51,8 +90,9 @@ class ParallelConfig:
     """How sharded pipeline stages execute.
 
     Chunk sizes shape the :class:`ShardPlan` and therefore the artifacts'
-    RNG stream layout; ``backend`` and ``workers`` only decide *where*
-    shards run, so changing them never changes results.
+    RNG stream layout; ``backend``, ``workers``, and ``shard_timeout_s``
+    only decide *where* shards run and how long a worker may hold one, so
+    changing them never changes results.
     """
 
     backend: str = "serial"
@@ -61,66 +101,294 @@ class ParallelConfig:
     campaign_chunk: int = DEFAULT_CAMPAIGN_CHUNK
     #: (isp_asn, xi) pairs per clustering shard.
     clustering_chunk: int = DEFAULT_CLUSTERING_CHUNK
+    #: Per-shard execution timeout; ``None`` (default) never times out.
+    #: On the process backend a shard past its deadline is treated as a
+    #: hung worker; retry/fallback behaviour then follows the stage's
+    #: :class:`~repro.resilience.ResilienceConfig` (or the timeout error
+    #: propagates when none is configured).
+    shard_timeout_s: float | None = None
 
     def __post_init__(self) -> None:
         require(self.backend in BACKENDS, f"backend must be one of {BACKENDS}, got {self.backend!r}")
         require(self.workers >= 1, "workers must be >= 1")
         require(self.campaign_chunk >= 1, "campaign_chunk must be >= 1")
         require(self.clustering_chunk >= 1, "clustering_chunk must be >= 1")
+        if self.shard_timeout_s is not None:
+            require(self.shard_timeout_s > 0, "shard_timeout_s must be > 0 (or None)")
+
+
+def _shard_sites(label: str) -> tuple[str, str]:
+    """Site aliases a shard fault can be addressed by."""
+    return ("parallel.shard", f"{label}.shard")
+
+
+def _trip_local_fault(
+    faults: FaultPlan | None,
+    label: str,
+    shard_index: int,
+    attempt: int,
+    shard_timeout_s: float | None,
+) -> None:
+    """Apply a shard-site fault in the parent process (serial/fallback path).
+
+    Crashes become :class:`WorkerCrashError` (the serial emulation of a
+    dead worker) and hangs become :class:`ShardTimeoutError` when a
+    timeout would have caught them, so serial and process backends make
+    identical retry decisions from the same plan.
+    """
+    if faults is None:
+        return
+    spec = faults.decide_any(_shard_sites(label), shard_index, attempt)
+    if spec is None:
+        return
+    if spec.kind == "error":
+        raise_injected(spec, spec.site, shard_index)
+    elif spec.kind == "crash":
+        raise WorkerCrashError(f"injected worker crash at shard {shard_index}")
+    elif spec.kind == "hang":
+        if shard_timeout_s is not None and spec.hang_s > shard_timeout_s:
+            raise ShardTimeoutError(
+                f"shard {shard_index} exceeded its {shard_timeout_s}s timeout (injected hang)"
+            )
+        time.sleep(spec.hang_s)
+
+
+def _trip_worker_fault(faults: FaultPlan | None, label: str, shard_index: int, attempt: int) -> None:
+    """Apply a shard-site fault inside a worker process (the real thing)."""
+    if faults is None:
+        return
+    spec = faults.decide_any(_shard_sites(label), shard_index, attempt)
+    if spec is None:
+        return
+    if spec.kind == "error":
+        raise_injected(spec, spec.site, shard_index)
+    elif spec.kind == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    elif spec.kind == "hang":
+        time.sleep(spec.hang_s)
 
 
 class SerialExecutor:
-    """Runs shards in-process, in order; the reference backend."""
+    """Runs shards in-process, in order; the reference backend.
+
+    With a resilience config, a shard whose attempts are exhausted is
+    quarantined into a :class:`ShardLoss` instead of aborting the stage.
+    """
 
     name = "serial"
+
+    def __init__(
+        self,
+        faults: FaultPlan | None = None,
+        resilience: ResilienceConfig | None = None,
+        shard_timeout_s: float | None = None,
+    ) -> None:
+        self.faults = faults
+        self.resilience = resilience
+        self.shard_timeout_s = shard_timeout_s
 
     def map_shards(
         self, task: ShardTask, shards: list[Shard], telemetry: Telemetry | None, label: str
     ) -> list[Any]:
         obs = ensure_telemetry(telemetry)
-        results = []
-        for shard in shards:
-            with obs.span(f"{label}.shard", shard=shard.index, n_items=len(shard)) as span:
-                results.append(task(shard, telemetry))
-            obs.observe(SHARD_DURATION_METRIC, span.duration_ms)
-        return results
+        return [self._run_one(task, shard, telemetry, obs, label) for shard in shards]
+
+    def _run_one(
+        self, task: ShardTask, shard: Shard, telemetry: Telemetry | None, obs: Telemetry, label: str
+    ) -> Any:
+        policy = self.resilience.retry if self.resilience is not None else None
+        attempt = 0
+        while True:
+            try:
+                _trip_local_fault(self.faults, label, shard.index, attempt, self.shard_timeout_s)
+                with obs.span(f"{label}.shard", shard=shard.index, n_items=len(shard)) as span:
+                    value = task(shard, telemetry)
+                obs.observe(SHARD_DURATION_METRIC, span.duration_ms)
+                return value
+            except Exception as error:  # noqa: BLE001 — classified below
+                if policy is not None and is_retryable(error) and policy.retries_left(attempt):
+                    obs.count("resilience.retries")
+                    delay = policy.delay_s(attempt, jitter_rng(label, shard.index))
+                    if delay > 0:
+                        time.sleep(delay)
+                    attempt += 1
+                    continue
+                if self.resilience is not None:
+                    obs.count("resilience.quarantined_shards")
+                    return ShardLoss(
+                        index=shard.index,
+                        error=f"{type(error).__name__}: {error}",
+                        attempts=attempt + 1,
+                    )
+                raise
 
 
 class ProcessExecutor:
-    """Runs shards on a :class:`~concurrent.futures.ProcessPoolExecutor`."""
+    """Runs shards on a supervised :class:`ProcessPoolExecutor`.
+
+    Supervision is a polling loop over in-flight futures: completed
+    shards are harvested in completion order (results re-ordered by
+    shard index at the end), a broken pool or a shard past its deadline
+    tears the pool down and re-dispatches the survivors, and exhausted
+    shards fall back to in-process execution before quarantine.
+    """
 
     name = "process"
 
-    def __init__(self, workers: int) -> None:
+    #: Poll interval while any shard has a deadline to watch.
+    _POLL_S = 0.05
+
+    def __init__(
+        self,
+        workers: int,
+        faults: FaultPlan | None = None,
+        resilience: ResilienceConfig | None = None,
+        shard_timeout_s: float | None = None,
+    ) -> None:
         require(workers >= 1, "workers must be >= 1")
         self.workers = workers
+        self.faults = faults
+        self.resilience = resilience
+        self.shard_timeout_s = shard_timeout_s
 
     def map_shards(
         self, task: ShardTask, shards: list[Shard], telemetry: Telemetry | None, label: str
     ) -> list[Any]:
         capture = telemetry is not None and telemetry.enabled
+        obs = ensure_telemetry(telemetry)
         context = multiprocessing.get_context(preferred_start_method())
-        with ProcessPoolExecutor(
-            max_workers=min(self.workers, len(shards)), mp_context=context
-        ) as pool:
-            futures = [pool.submit(_invoke_shard, task, shard, label, capture) for shard in shards]
-            outcomes = [future.result() for future in futures]
-        results = []
-        for _shard, (value, snapshot) in zip(shards, outcomes):
-            if snapshot is not None and telemetry is not None:
-                _merge_worker_snapshot(telemetry, snapshot)
-            results.append(value)
-        return results
+        max_workers = min(self.workers, len(shards))
+        results: dict[int, Any] = {}
+        snapshots: dict[int, dict[str, Any]] = {}
+        queue: deque[tuple[Shard, int]] = deque((shard, 0) for shard in shards)
+        active: dict[Future, tuple[Shard, int, float | None]] = {}
+        pool = ProcessPoolExecutor(max_workers=max_workers, mp_context=context)
+        try:
+            while queue or active:
+                while queue and len(active) < max_workers:
+                    shard, attempt = queue.popleft()
+                    future = pool.submit(
+                        _invoke_shard, task, shard, label, capture, self.faults, attempt
+                    )
+                    deadline = (
+                        time.monotonic() + self.shard_timeout_s
+                        if self.shard_timeout_s is not None
+                        else None
+                    )
+                    active[future] = (shard, attempt, deadline)
+                poll = self._POLL_S if self.shard_timeout_s is not None else None
+                done, _pending = wait(list(active), timeout=poll, return_when=FIRST_COMPLETED)
+                pool_broken = False
+                for future in done:
+                    shard, attempt, _deadline = active.pop(future)
+                    try:
+                        value, snapshot = future.result()
+                    except BrokenProcessPool as error:
+                        pool_broken = True
+                        self._dispose(task, shard, attempt, error, queue, results, telemetry, obs, label)
+                    except Exception as error:  # noqa: BLE001 — classified in _dispose
+                        self._dispose(task, shard, attempt, error, queue, results, telemetry, obs, label)
+                    else:
+                        results[shard.index] = value
+                        if snapshot is not None:
+                            snapshots[shard.index] = snapshot
+                now = time.monotonic()
+                hung = {
+                    future
+                    for future, (_shard, _attempt, deadline) in active.items()
+                    if deadline is not None and now > deadline
+                }
+                if pool_broken or hung:
+                    # A broken pool has already failed every in-flight
+                    # future; a hung worker permanently occupies a slot.
+                    # Either way this pool is unusable: abandon it and
+                    # re-dispatch the survivors on a fresh one.
+                    if pool_broken:
+                        obs.count("resilience.worker_crashes")
+                    obs.count("resilience.timeouts", len(hung))
+                    survivors = list(active.items())
+                    active.clear()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(max_workers=max_workers, mp_context=context)
+                    for future, (shard, attempt, _deadline) in survivors:
+                        if future in hung:
+                            error: Exception = ShardTimeoutError(
+                                f"shard {shard.index} exceeded its {self.shard_timeout_s}s timeout"
+                            )
+                        else:
+                            error = WorkerCrashError("worker pool torn down mid-shard")
+                        self._dispose(task, shard, attempt, error, queue, results, telemetry, obs, label)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if telemetry is not None:
+            for shard in shards:
+                snapshot = snapshots.get(shard.index)
+                if snapshot is not None:
+                    _merge_worker_snapshot(telemetry, snapshot)
+        return [results[shard.index] for shard in shards]
+
+    def _dispose(
+        self,
+        task: ShardTask,
+        shard: Shard,
+        attempt: int,
+        error: Exception,
+        queue: deque,
+        results: dict[int, Any],
+        telemetry: Telemetry | None,
+        obs: Telemetry,
+        label: str,
+    ) -> None:
+        """Decide a failed shard attempt's fate: requeue, fallback, or loss."""
+        policy = self.resilience.retry if self.resilience is not None else None
+        if policy is not None and is_retryable(error) and policy.retries_left(attempt):
+            obs.count("resilience.requeues")
+            delay = policy.delay_s(attempt, jitter_rng(label, shard.index))
+            if delay > 0:
+                time.sleep(delay)
+            queue.append((shard, attempt + 1))
+            return
+        if self.resilience is not None and self.resilience.fallback_in_process:
+            obs.count("resilience.fallbacks")
+            try:
+                _trip_local_fault(self.faults, label, shard.index, attempt + 1, self.shard_timeout_s)
+                with obs.span(f"{label}.shard", shard=shard.index, n_items=len(shard)) as span:
+                    value = task(shard, telemetry)
+                obs.observe(SHARD_DURATION_METRIC, span.duration_ms)
+                results[shard.index] = value
+                return
+            except Exception as fallback_error:  # noqa: BLE001 — quarantined below
+                error = fallback_error
+        if self.resilience is not None:
+            obs.count("resilience.quarantined_shards")
+            results[shard.index] = ShardLoss(
+                index=shard.index,
+                error=f"{type(error).__name__}: {error}",
+                attempts=attempt + 2,
+            )
+            return
+        raise error
 
 
 Executor = SerialExecutor | ProcessExecutor
 
 
-def make_executor(config: ParallelConfig) -> Executor:
+def make_executor(
+    config: ParallelConfig,
+    faults: FaultPlan | None = None,
+    resilience: ResilienceConfig | None = None,
+) -> Executor:
     """The executor for ``config`` (``serial`` unless told otherwise)."""
     if config.backend == "process":
-        return ProcessExecutor(config.workers)
-    return SerialExecutor()
+        return ProcessExecutor(
+            config.workers,
+            faults=faults,
+            resilience=resilience,
+            shard_timeout_s=config.shard_timeout_s,
+        )
+    return SerialExecutor(
+        faults=faults, resilience=resilience, shard_timeout_s=config.shard_timeout_s
+    )
 
 
 def run_sharded(
@@ -130,19 +398,27 @@ def run_sharded(
     *,
     telemetry: Telemetry | None = None,
     label: str = "parallel",
+    faults: FaultPlan | None = None,
+    resilience: ResilienceConfig | None = None,
 ) -> list[Any]:
     """Execute ``task`` over every shard of ``plan``; ordered results.
 
     The fan-out is traced as ``<label>.fanout`` (attributes: backend,
     workers, shard/item counts) and every shard lands one observation in
     :data:`SHARD_DURATION_METRIC`, whichever backend ran it.
+
+    With ``resilience``, a shard that exhausts its attempts is replaced
+    by a :class:`~repro.resilience.ShardLoss` sentinel in the returned
+    list; when the losses exceed ``resilience.budget`` the stage aborts
+    with :class:`~repro.resilience.ShardQuarantinedError` instead.
+    Without ``resilience`` (the default) the first failure propagates.
     """
     config = config or ParallelConfig()
     shards = plan.shards()
     if not shards:
         return []
     obs = ensure_telemetry(telemetry)
-    executor = make_executor(config)
+    executor = make_executor(config, faults=faults, resilience=resilience)
     with obs.span(
         f"{label}.fanout",
         backend=executor.name,
@@ -151,7 +427,17 @@ def run_sharded(
         n_items=plan.n_items,
     ):
         results = executor.map_shards(task, shards, telemetry, label)
-    obs.count(f"{label}.shards_executed", len(shards))
+    losses = [result for result in results if isinstance(result, ShardLoss)]
+    if losses:
+        budget = resilience.budget if resilience is not None else ErrorBudget()
+        obs.count("resilience.shards_lost", len(losses))
+        obs.gauge(f"resilience.{label}.budget_used_fraction", len(losses) / len(shards))
+        if not budget.allows(len(losses), len(shards)):
+            raise ShardQuarantinedError(
+                f"stage {label!r} lost {len(losses)}/{len(shards)} shards, over its error "
+                f"budget of {budget.shard_loss_fraction:.0%}; first loss: {losses[0].error}"
+            )
+    obs.count(f"{label}.shards_executed", len(shards) - len(losses))
     return results
 
 
@@ -159,9 +445,15 @@ def run_sharded(
 
 
 def _invoke_shard(
-    task: ShardTask, shard: Shard, label: str, capture: bool
+    task: ShardTask,
+    shard: Shard,
+    label: str,
+    capture: bool,
+    faults: FaultPlan | None = None,
+    attempt: int = 0,
 ) -> tuple[Any, dict[str, Any] | None]:
     """Run one shard in a worker process; optionally capture its telemetry."""
+    _trip_worker_fault(faults, label, shard.index, attempt)
     if not capture:
         return task(shard, None), None
     worker = Telemetry(tracer=Tracer(), metrics=MetricsRegistry(), logger=NULL_LOGGER)

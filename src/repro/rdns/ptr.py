@@ -15,6 +15,7 @@ import numpy as np
 
 from repro._util import make_rng, require_fraction
 from repro.deployment.placement import DeploymentState, OffnetServer
+from repro.faults import FaultPlan
 from repro.topology.geo import World
 
 
@@ -44,6 +45,8 @@ class PtrDataset:
     records: dict[int, str]
     #: IPs whose hostname names a stale/incorrect location (ground truth).
     stale_ips: frozenset[int] = frozenset()
+    #: Lookups lost to injected ``rdns.lookup`` faults (0 normally).
+    lookups_failed: int = 0
 
     def hostname_of(self, ip: int) -> str | None:
         """The PTR record for ``ip``, or None."""
@@ -67,18 +70,27 @@ def build_ptr_dataset(
     world: World,
     config: PtrConfig | None = None,
     seed: int | np.random.Generator = 0,
+    faults: FaultPlan | None = None,
 ) -> PtrDataset:
-    """Synthesize PTR records for every offnet server in ``state``."""
+    """Synthesize PTR records for every offnet server in ``state``.
+
+    ``faults`` wires the ``rdns.lookup`` injection site: a server whose
+    index fires a ``drop`` fault loses its PTR lookup — no record is
+    synthesized.  The drop is applied after the server's RNG draws, so
+    injection never shifts the streams of the surviving records.
+    """
     config = config or PtrConfig()
     rng = make_rng(seed)
     cities = sorted(world.cities, key=lambda c: c.iata)
     records: dict[int, str] = {}
     stale: set[int] = set()
+    lookups_failed = 0
     for index, server in enumerate(state.servers):
         if rng.random() >= config.coverage:
             continue
         with_hint = rng.random() < config.geohint_fraction
         city_iata = server.facility.city.iata
+        is_stale = False
         if with_hint and rng.random() < config.stale_fraction:
             # A stale record names another city the ISP operates in (the
             # server moved within the ISP); if the ISP is single-city, fall
@@ -88,6 +100,11 @@ def build_ptr_dataset(
                 candidates = [c for c in cities if c.iata != city_iata]
             other = candidates[int(rng.integers(0, len(candidates)))]
             city_iata = other.iata
+            is_stale = True
+        if faults is not None and faults.fires_ever("rdns.lookup", index):
+            lookups_failed += 1
+            continue
+        if is_stale:
             stale.add(server.ip)
         records[server.ip] = _hostname_for(server, city_iata, with_hint, index)
-    return PtrDataset(records=records, stale_ips=frozenset(stale))
+    return PtrDataset(records=records, stale_ips=frozenset(stale), lookups_failed=lookups_failed)

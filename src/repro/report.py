@@ -174,6 +174,11 @@ def _cf(study: Study) -> str:
     return run_dispersal_counterfactual(study).render()
 
 
+@_register("cov", "Coverage: measurement surface lost to faults and quarantines")
+def _cov(study: Study) -> str:
+    return study.coverage.render()
+
+
 @_register("obs", "Telemetry: stage timings, metrics, and the filter funnel")
 def _obs(study: Study) -> str:
     from repro.obs import render_filter_funnel, render_metrics_table, render_span_tree

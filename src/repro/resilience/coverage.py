@@ -1,0 +1,92 @@
+"""Coverage accounting: what fraction of the measurement surface survived.
+
+The paper's pipeline is lossy by design — unresponsive IPs are filtered,
+under-measured ISPs are discarded — and §3.2 reports results *alongside*
+the coverage they rest on.  :class:`CoverageReport` makes that explicit
+for every run: each site records ``(lost, total)`` where *lost* counts
+data removed by injected faults or quarantined shards (never by the
+ordinary quality filters, which are part of the methodology and already
+surfaced in the filter funnel).
+
+A fault-free or transient-only-faulted run reports zero losses at every
+site, so its coverage section (and the archive manifest that embeds it)
+is byte-identical to a clean run's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro._util import format_table
+
+#: Sites whose losses mean whole shards of work were quarantined.
+SHARD_SITES = ("campaign.shards", "clustering.shards")
+
+
+@dataclass
+class CoverageReport:
+    """Per-site ``(lost, total)`` loss accounting for one study run."""
+
+    #: site -> [lost, total], insertion-ordered by stage.
+    entries: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    def record(self, site: str, lost: int, total: int) -> None:
+        """Add ``(lost, total)`` for ``site`` (accumulates on repeat)."""
+        previous_lost, previous_total = self.entries.get(site, (0, 0))
+        self.entries[site] = (previous_lost + int(lost), previous_total + int(total))
+
+    def lost(self, site: str) -> int:
+        """Units lost at ``site`` (0 if never recorded)."""
+        return self.entries.get(site, (0, 0))[0]
+
+    def total(self, site: str) -> int:
+        """Units attempted at ``site`` (0 if never recorded)."""
+        return self.entries.get(site, (0, 0))[1]
+
+    def fraction_lost(self, site: str) -> float:
+        """Lost fraction at ``site`` (0.0 when nothing was attempted)."""
+        lost, total = self.entries.get(site, (0, 0))
+        return lost / total if total else 0.0
+
+    @property
+    def complete(self) -> bool:
+        """Whether nothing anywhere was lost."""
+        return all(lost == 0 for lost, _ in self.entries.values())
+
+    @property
+    def shards_lost(self) -> int:
+        """Quarantined shards across every sharded stage."""
+        return sum(self.lost(site) for site in SHARD_SITES)
+
+    def to_json(self) -> dict[str, Any]:
+        """Canonical JSON form: ``{site: {"lost": l, "total": t}}``, sorted."""
+        return {
+            site: {"lost": lost, "total": total}
+            for site, (lost, total) in sorted(self.entries.items())
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "CoverageReport":
+        """Rebuild from :meth:`to_json` output."""
+        report = cls()
+        for site in sorted(data):
+            entry = data[site]
+            report.entries[site] = (int(entry["lost"]), int(entry["total"]))
+        return report
+
+    def render(self) -> str:
+        """An aligned table, one row per site, plus the headline verdict."""
+        if not self.entries:
+            return "coverage: no instrumented stages ran"
+        rows = [
+            [site, total - lost, total, f"{100.0 * (lost / total if total else 0.0):.2f}%"]
+            for site, (lost, total) in self.entries.items()
+        ]
+        table = format_table(["site", "kept", "total", "lost"], rows)
+        verdict = (
+            "coverage: complete (no injected or quarantined losses)"
+            if self.complete
+            else f"coverage: DEGRADED ({self.shards_lost} shards quarantined)"
+        )
+        return f"{verdict}\n{table}"

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro._util import make_rng, require, require_fraction, spawn_rng
 from repro.deployment.placement import DeploymentState
+from repro.faults import FaultPlan
 from repro.obs import Telemetry, ensure_telemetry
 from repro.scan.certificates import (
     Certificate,
@@ -65,6 +66,8 @@ class ScanResult:
 
     epoch: str
     records: list[ScanRecord]
+    #: Offnet records lost to injected ``scan.record`` faults (0 normally).
+    records_dropped: int = 0
     _by_ip: dict[int, ScanRecord] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -87,8 +90,15 @@ def run_scan(
     config: ScanConfig | None = None,
     seed: int | np.random.Generator = 0,
     telemetry: Telemetry | None = None,
+    faults: FaultPlan | None = None,
 ) -> ScanResult:
-    """Scan the generated Internet at ``state``'s epoch."""
+    """Scan the generated Internet at ``state``'s epoch.
+
+    ``faults`` wires the ``scan.record`` injection site: an offnet server
+    whose index fires a ``drop`` fault silently vanishes from the snapshot.
+    The drop is applied *after* the server's response and certificate draws,
+    so injection never shifts the RNG streams of the surviving records.
+    """
     config = config or ScanConfig()
     obs = ensure_telemetry(telemetry)
     root = make_rng(seed)
@@ -99,11 +109,16 @@ def run_scan(
 
     # Offnet servers (the signal).
     nonresponders = 0
-    for server in state.servers:
+    records_dropped = 0
+    for index, server in enumerate(state.servers):
         if rng_response.random() < config.offnet_nonresponse_rate:
             nonresponders += 1
             continue
-        records.append(ScanRecord(server.ip, certificate_for_server(server, state.epoch, rng_certs)))
+        record = ScanRecord(server.ip, certificate_for_server(server, state.epoch, rng_certs))
+        if faults is not None and faults.fires_ever("scan.record", index):
+            records_dropped += 1
+            continue
+        records.append(record)
 
     # ISP infrastructure hosts (noise) on the first addresses of each ISP.
     for isp in internet.isps:
@@ -143,10 +158,12 @@ def run_scan(
     obs.count("scan.offnet_servers", len(state.servers))
     obs.count("scan.offnet_nonresponders", nonresponders)
     obs.count("scan.records", len(records))
+    if records_dropped:
+        obs.count("faults.scan_records_dropped", records_dropped)
     obs.log(
         "scan complete",
         epoch=state.epoch,
         records=len(records),
         offnet_nonresponders=nonresponders,
     )
-    return ScanResult(epoch=state.epoch, records=records)
+    return ScanResult(epoch=state.epoch, records=records, records_dropped=records_dropped)

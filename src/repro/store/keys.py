@@ -8,12 +8,16 @@ Two layers of identity:
   this keys the process-memory front cache so a study object always
   reports exactly the config it was asked for.
 * :func:`study_key` — the on-disk content address.  It hashes only the
-  *artifact-relevant* knobs: the parallel backend and worker count are
-  normalised away because the differential harness
-  (``tests/test_parallel_equivalence.py``) proves they never change the
-  artifacts, while chunk sizes stay in the key because they shape the
-  shard RNG streams.  The package version and a store schema tag are
-  folded in, so a code upgrade can never serve stale artifacts.
+  *artifact-relevant* knobs: the parallel backend, worker count, and
+  shard timeout are normalised away because the differential harnesses
+  (``tests/test_parallel_equivalence.py``, ``tests/test_chaos.py``) prove
+  they never change the artifacts, while chunk sizes stay in the key
+  because they shape the shard RNG streams.  The resilience config is
+  execution-only and normalised away entirely; a fault plan keeps only
+  its *permanent data* specs (transient faults are retried away without
+  an artifact trace, and ``store.load`` faults never touch the pipeline's
+  outputs).  The package version and a store schema tag are folded in,
+  so a code upgrade can never serve stale artifacts.
 
 Both hashes are computed over canonical JSON (sorted keys, no whitespace
 variance) of the dataclass tree, so they are stable across processes,
@@ -31,7 +35,7 @@ from repro import __version__
 from repro.core.pipeline import StudyConfig
 
 #: Bump when the store layout or key derivation changes incompatibly.
-STORE_SCHEMA = "repro-store-v1"
+STORE_SCHEMA = "repro-store-v2"
 
 
 def _jsonable(value: Any) -> Any:
@@ -66,10 +70,35 @@ def config_fingerprint(config: StudyConfig) -> str:
     return _sha256(canonical_config_json(config))
 
 
+def _artifact_relevant_faults(faults: dict | None) -> dict | None:
+    """The fault-plan dict reduced to specs that can change artifacts.
+
+    Transient specs are retried away (the chaos harness proves the exports
+    stay byte-identical) and ``store.load`` faults only ever cause
+    quarantine-and-recompute, so neither belongs in a content address.
+    Permanent data faults (drops, permanent shard faults) stay: they
+    genuinely change what the pipeline produces.
+    """
+    if faults is None:
+        return None
+    kept = [
+        spec
+        for spec in faults["specs"]
+        if spec["site"] != "store.load" and spec["fail_attempts"] is None
+    ]
+    if not kept:
+        return None
+    return dict(faults, specs=kept)
+
+
 def _artifact_view(config: StudyConfig) -> dict:
     """The config dict with artifact-irrelevant execution knobs normalised."""
     view = _jsonable(config)
-    view["parallel"] = dict(view["parallel"], backend="serial", workers=1)
+    view["parallel"] = dict(
+        view["parallel"], backend="serial", workers=1, shard_timeout_s=None
+    )
+    view["resilience"] = None
+    view["faults"] = _artifact_relevant_faults(view["faults"])
     return view
 
 

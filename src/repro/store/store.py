@@ -32,18 +32,37 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import time
 import uuid
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro import __version__
 from repro.core.pipeline import PrecomputedArtifacts, Study, StudyConfig, run_study
+from repro.faults import FaultPlan, InjectedFault, raise_injected, stable_index
 from repro.io.archive import ArchiveCorruptError, load_archive, save_archive
 from repro.obs import MetricsRegistry, Telemetry, global_metrics
+from repro.resilience import RetryPolicy, call_with_retry
 from repro.store.keys import STORE_SCHEMA, canonical_config_json, study_key
 
 _INDEX_NAME = "index.json"
 _ENTRY_NAME = "store_entry.json"
+
+
+def _poison_entry(path: Path) -> None:
+    """Flip the leading bytes of the entry's first data file (chaos only).
+
+    The damage is exactly what a bad disk would do: the file still exists
+    but its sha256 no longer matches the manifest, so the next verified
+    load raises :class:`ArchiveCorruptError` and the entry is quarantined.
+    """
+    for file in sorted(path.iterdir()):
+        if not file.is_file() or file.name in (_ENTRY_NAME, "manifest.json"):
+            continue
+        data = file.read_bytes()
+        poisoned = bytes(byte ^ 0xFF for byte in data[:16]) + data[16:]
+        file.write_bytes(poisoned if poisoned else b"\x00")
+        return
 
 
 @dataclass(frozen=True)
@@ -63,8 +82,17 @@ class StudyStore:
 
     ``max_entries`` / ``max_bytes`` bound the store; when set, every
     :meth:`put` enforces them by evicting least-recently-used entries
-    (:meth:`gc`).  ``metrics`` receives the ``store.*`` counters
-    (defaults to the process-wide registry).
+    (:meth:`gc`).  ``max_quarantine_entries`` / ``max_quarantine_age_s``
+    bound the ``quarantine/`` directory the same way (quarantined entries
+    are only kept for post-mortems — they are never read back).
+    ``metrics`` receives the ``store.*`` counters (defaults to the
+    process-wide registry).
+
+    ``retry`` (a :class:`~repro.resilience.RetryPolicy`) makes
+    :meth:`get` re-attempt loads that fail with retryable errors;
+    ``faults`` wires the ``store.load`` injection site for chaos tests
+    (transient/fatal load errors, or on-disk corruption that must trip
+    the digest check and quarantine the entry).
     """
 
     def __init__(
@@ -73,11 +101,19 @@ class StudyStore:
         max_entries: int | None = None,
         max_bytes: int | None = None,
         metrics: MetricsRegistry | None = None,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        max_quarantine_entries: int | None = None,
+        max_quarantine_age_s: float | None = None,
     ) -> None:
         self.root = Path(root)
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self.metrics = metrics if metrics is not None else global_metrics()
+        self.faults = faults
+        self.retry = retry
+        self.max_quarantine_entries = max_quarantine_entries
+        self.max_quarantine_age_s = max_quarantine_age_s
 
     # -- paths -----------------------------------------------------------------
 
@@ -119,14 +155,33 @@ class StudyStore:
         if not self.contains_key(key):
             self.metrics.count("store.misses")
             return None
+
+        def _load(attempt: int):
+            self._trip_load_fault(key, path, attempt)
+            return load_archive(path, verify=True)
+
         try:
-            loaded = load_archive(path, verify=True)
+            if self.retry is not None:
+                loaded = call_with_retry(
+                    _load,
+                    self.retry,
+                    on_retry=lambda _attempt, _error: self.metrics.count("store.retries"),
+                )
+            else:
+                loaded = _load(0)
             precomputed = PrecomputedArtifacts(
                 rtt_ms=loaded.rtt_ms,
                 target_ips=tuple(loaded.target_ips),
                 clusterings=loaded.clusterings,
             )
             study = run_study(config, telemetry=telemetry, precomputed=precomputed)
+        except InjectedFault:
+            # An injected load failure the retries (if any) could not
+            # clear: the entry itself is fine, so degrade to a miss and
+            # recompute rather than quarantining good bytes.
+            self.metrics.count("store.load_failures")
+            self.metrics.count("store.misses")
+            return None
         except (ArchiveCorruptError, ValueError, KeyError, OSError) as error:
             self._quarantine(key, path, error)
             self.metrics.count("store.corruptions")
@@ -144,8 +199,17 @@ class StudyStore:
         The archive is written under ``tmp/`` and renamed into place in
         one step, so concurrent writers (sweep workers) and crashes can
         never publish a partial entry.
+
+        A study degraded by quarantined shards is *not* persisted (its
+        artifacts are not what the config would normally produce — the
+        losses are transient execution accidents, not properties of the
+        config); the key is returned without a write so a later, healthy
+        run can fill the slot.
         """
         key = self.key_for(study.config)
+        if study.coverage.shards_lost > 0:
+            self.metrics.count("store.degraded_skipped")
+            return key
         final = self.entry_path(key)
         if self.contains_key(key):
             self._touch(key)
@@ -172,21 +236,38 @@ class StudyStore:
         self._touch(key, size=size)
         self.metrics.count("store.writes")
         self.metrics.count("store.bytes_written", size)
-        if self.max_entries is not None or self.max_bytes is not None:
-            self.gc(self.max_entries, self.max_bytes)
+        if any(
+            bound is not None
+            for bound in (
+                self.max_entries,
+                self.max_bytes,
+                self.max_quarantine_entries,
+                self.max_quarantine_age_s,
+            )
+        ):
+            self.gc()
         return key
 
     # -- maintenance -----------------------------------------------------------
 
-    def gc(self, max_entries: int | None = None, max_bytes: int | None = None) -> list[str]:
+    def gc(
+        self,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+        max_quarantine_entries: int | None = None,
+        max_quarantine_age_s: float | None = None,
+    ) -> list[str]:
         """Evict least-recently-used entries until within the given bounds.
 
-        ``None`` bounds fall back to the store's configured limits; both
-        ``None`` means no eviction.  Returns the evicted keys, oldest
-        first.
+        ``None`` bounds fall back to the store's configured limits; all
+        ``None`` means no eviction.  Quarantined entries are pruned by the
+        quarantine bounds (oldest first by count, plus anything older than
+        the age bound — they exist only for post-mortems).  Returns the
+        evicted *object* keys, oldest first.
         """
         max_entries = max_entries if max_entries is not None else self.max_entries
         max_bytes = max_bytes if max_bytes is not None else self.max_bytes
+        self._prune_quarantine(max_quarantine_entries, max_quarantine_age_s)
         if max_entries is None and max_bytes is None:
             return []
         index = self._load_index()
@@ -221,6 +302,52 @@ class StudyStore:
         return [key for key, _ in sorted(index["entries"].items(), key=lambda kv: kv[1]["seq"])]
 
     # -- internals -------------------------------------------------------------
+
+    def _trip_load_fault(self, key: str, path: Path, attempt: int) -> None:
+        """Apply a planned ``store.load`` fault to this load attempt.
+
+        ``error`` specs raise (transient ones clear after their
+        ``fail_attempts``); ``corrupt`` specs poison the entry's bytes on
+        disk so the digest check trips naturally and the ordinary
+        quarantine path takes over.
+        """
+        if self.faults is None:
+            return
+        spec = self.faults.decide("store.load", stable_index(key), attempt)
+        if spec is None:
+            return
+        if spec.kind == "corrupt":
+            _poison_entry(path)
+        elif spec.kind == "error":
+            raise_injected(spec, "store.load", stable_index(key))
+
+    def _prune_quarantine(
+        self, max_entries: int | None = None, max_age_s: float | None = None
+    ) -> None:
+        """Delete quarantined entries past the configured count/age bounds."""
+        max_entries = (
+            max_entries if max_entries is not None else self.max_quarantine_entries
+        )
+        max_age_s = max_age_s if max_age_s is not None else self.max_quarantine_age_s
+        if max_entries is None and max_age_s is None:
+            return
+        quarantine = self.root / "quarantine"
+        if not quarantine.exists():
+            return
+        entries = sorted(
+            (entry for entry in quarantine.iterdir() if entry.is_dir()),
+            key=lambda entry: (entry.stat().st_mtime, entry.name),
+        )
+        now = time.time()
+        doomed: list[Path] = []
+        if max_age_s is not None:
+            doomed.extend(e for e in entries if now - e.stat().st_mtime > max_age_s)
+        if max_entries is not None and len(entries) - len(doomed) > max_entries:
+            survivors = [e for e in entries if e not in doomed]
+            doomed.extend(survivors[: len(survivors) - max_entries])
+        for entry in doomed:
+            shutil.rmtree(entry, ignore_errors=True)
+            self.metrics.count("store.quarantine_pruned")
 
     def _quarantine(self, key: str, path: Path, error: Exception) -> None:
         """Move a bad entry aside so the next run recomputes it."""

@@ -28,14 +28,16 @@ import numpy as np
 
 from repro._util import format_table, require
 from repro.core.pipeline import run_study
+from repro.faults import FaultPlan, WorkerCrashError, raise_injected
 from repro.obs import Telemetry, ensure_telemetry
 from repro.parallel import ParallelConfig, Shard, ShardPlan, run_sharded
+from repro.resilience import ResilienceConfig, ShardLoss, call_with_retry
 from repro.store import StudyStore
 from repro.sweep.grid import ParameterGrid
 from repro.sweep.metrics import MetricSpec, evaluate_metrics
 
 #: Format tag stamped into exported campaign reports.
-REPORT_FORMAT = "repro-sweep-v1"
+REPORT_FORMAT = "repro-sweep-v2"
 
 
 @dataclass(frozen=True)
@@ -45,10 +47,13 @@ class CellResult:
     index: int
     cell_id: str
     overrides: tuple[tuple[str, Any], ...]
-    #: metric name -> value.
+    #: metric name -> value (empty when the cell failed).
     values: dict[str, float]
     #: Whether the cell came from the store (provenance, not artifact).
     from_store: bool = False
+    #: ``"ok"``, or ``"failed"`` when the cell exhausted its retries and
+    #: the campaign's error budget allowed continuing without it.
+    status: str = "ok"
 
 
 @dataclass
@@ -67,9 +72,14 @@ class CampaignReport:
     cache_hits: int = 0
     cache_misses: int = 0
 
+    @property
+    def n_failed(self) -> int:
+        """Cells that exhausted their retries and were recorded as failed."""
+        return sum(1 for cell in self.cells if cell.status != "ok")
+
     def series(self, name: str) -> list[float]:
-        """One metric's values across cells, in cell order."""
-        return [cell.values[name] for cell in self.cells]
+        """One metric's values across *successful* cells, in cell order."""
+        return [cell.values[name] for cell in self.cells if name in cell.values]
 
     def out_of_band(self, name: str) -> int:
         """How many cells violated the metric's acceptance band."""
@@ -86,6 +96,10 @@ class CampaignReport:
         out: dict[str, dict[str, float]] = {}
         for spec in self.specs:
             series = self.series(spec.name)
+            if not series:
+                # Every cell failed: there is no distribution to summarise.
+                out[spec.name] = {"mean": 0.0, "std": 0.0, "min": 0.0, "max": 0.0, "violations": 0}
+                continue
             out[spec.name] = {
                 "mean": float(np.mean(series)),
                 "std": float(np.std(series)),
@@ -99,7 +113,13 @@ class CampaignReport:
         """Per-cell table plus the sensitivity-band table."""
         metric_names = [spec.name for spec in self.specs]
         cell_rows = [
-            [cell.cell_id, *(f"{cell.values[name]:.3f}" for name in metric_names)]
+            [
+                cell.cell_id,
+                *(
+                    f"{cell.values[name]:.3f}" if name in cell.values else "FAILED"
+                    for name in metric_names
+                ),
+            ]
             for cell in self.cells
         ]
         cell_table = format_table(["cell", *metric_names], cell_rows)
@@ -127,10 +147,12 @@ class CampaignReport:
             "format": REPORT_FORMAT,
             "axes": list(self.axis_names),
             "n_cells": len(self.cells),
+            "n_failed": self.n_failed,
             "cells": [
                 {
                     "cell_id": cell.cell_id,
                     "overrides": {axis: value for axis, value in cell.overrides},
+                    "status": cell.status,
                     "values": {name: cell.values[name] for name in sorted(cell.values)},
                 }
                 for cell in self.cells
@@ -146,10 +168,25 @@ class CampaignReport:
         return path
 
 
+def _trip_cell_fault(faults: FaultPlan | None, cell_index: int, attempt: int) -> None:
+    """Apply a planned ``sweep.cell`` fault to this cell attempt."""
+    if faults is None:
+        return
+    spec = faults.decide("sweep.cell", cell_index, attempt)
+    if spec is None:
+        return
+    if spec.kind == "error":
+        raise_injected(spec, "sweep.cell", cell_index)
+    elif spec.kind == "crash":
+        raise WorkerCrashError(f"injected worker crash at sweep cell {cell_index}")
+
+
 def _run_cells_shard(
     store_root: str | None,
     specs: tuple[MetricSpec, ...],
     cell_hook: "Callable[[CellResult], None] | None",
+    faults: FaultPlan | None,
+    resilience: ResilienceConfig | None,
     shard: Shard,
     telemetry: Telemetry | None,
 ) -> list[CellResult]:
@@ -159,23 +196,60 @@ def _run_cells_shard(
     so the set of durable cells only ever grows — that is the whole
     resume protocol.  ``cell_hook`` fires after the checkpoint (serial
     backend: the abort-mid-campaign tests hook here).
+
+    With ``resilience``, each cell gets its own retry loop (the
+    ``sweep.cell`` fault site is attempt-aware, so transient faults clear
+    on retry); a cell that exhausts its attempts is recorded as
+    ``status="failed"`` instead of sinking the campaign.
     """
-    store = StudyStore(store_root) if store_root is not None else None
+    obs = ensure_telemetry(telemetry)
+    store = (
+        StudyStore(
+            store_root,
+            faults=faults,
+            retry=resilience.retry if resilience is not None else None,
+        )
+        if store_root is not None
+        else None
+    )
     results: list[CellResult] = []
     for cell in shard.items:
-        study = store.get(cell.config, telemetry=telemetry) if store is not None else None
-        from_store = study is not None
-        if study is None:
-            study = run_study(cell.config, telemetry=telemetry)
-            if store is not None:
-                store.put(study)
-        result = CellResult(
-            index=cell.index,
-            cell_id=cell.cell_id,
-            overrides=cell.overrides,
-            values=evaluate_metrics(study, specs),
-            from_store=from_store,
-        )
+
+        def _attempt_cell(attempt: int, cell=cell) -> CellResult:
+            _trip_cell_fault(faults, cell.index, attempt)
+            study = store.get(cell.config, telemetry=telemetry) if store is not None else None
+            from_store = study is not None
+            if study is None:
+                study = run_study(cell.config, telemetry=telemetry)
+                if store is not None:
+                    store.put(study)
+            return CellResult(
+                index=cell.index,
+                cell_id=cell.cell_id,
+                overrides=cell.overrides,
+                values=evaluate_metrics(study, specs),
+                from_store=from_store,
+            )
+
+        if resilience is None:
+            result = _attempt_cell(0)
+        else:
+            try:
+                result = call_with_retry(
+                    _attempt_cell,
+                    resilience.retry,
+                    on_retry=lambda _attempt, _error: obs.count("resilience.retries"),
+                )
+            except Exception as error:  # noqa: BLE001 — recorded, not fatal
+                obs.count("sweep.cells_failed")
+                result = CellResult(
+                    index=cell.index,
+                    cell_id=cell.cell_id,
+                    overrides=cell.overrides,
+                    values={},
+                    status="failed",
+                )
+                obs.log("sweep cell failed", cell=cell.cell_id, error=f"{type(error).__name__}: {error}")
         results.append(result)
         if cell_hook is not None:
             cell_hook(result)
@@ -190,6 +264,8 @@ def run_campaign(
     telemetry: Telemetry | None = None,
     max_cells: int | None = None,
     cell_hook: "Callable[[CellResult], None] | None" = None,
+    faults: FaultPlan | None = None,
+    resilience: ResilienceConfig | None = None,
 ) -> CampaignReport:
     """Run (or resume) the campaign for ``grid``; one report row per cell.
 
@@ -200,6 +276,12 @@ def run_campaign(
     smoke runs and for exercising resume).  ``parallel`` dispatches one
     cell per shard through the configured backend; with a process
     backend, ``cell_hook`` must be picklable.
+
+    ``faults`` wires the ``sweep.cell``, ``sweep.shard``, and
+    ``store.load`` injection sites into the campaign.  With
+    ``resilience``, failed cells and quarantined shards degrade to
+    ``status="failed"`` rows (within the error budget) instead of
+    aborting the whole campaign.
     """
     require(bool(metrics), "need at least one metric spec")
     cells = grid.cells()
@@ -213,13 +295,31 @@ def run_campaign(
     plan = ShardPlan.of(cells, chunk_size=1)
     with obs.span("sweep", n_cells=len(cells), stored=store is not None):
         shard_results = run_sharded(
-            partial(_run_cells_shard, store_root, tuple(metrics), cell_hook),
+            partial(_run_cells_shard, store_root, tuple(metrics), cell_hook, faults, resilience),
             plan,
             parallel,
             telemetry=telemetry,
             label="sweep",
+            faults=faults,
+            resilience=resilience,
         )
-    results = [result for shard in shard_results for result in shard]
+    results: list[CellResult] = []
+    for shard, shard_result in zip(plan.shards(), shard_results):
+        if isinstance(shard_result, ShardLoss):
+            # One cell per shard: a quarantined shard is a failed cell.
+            for cell in shard.items:
+                obs.count("sweep.cells_failed")
+                results.append(
+                    CellResult(
+                        index=cell.index,
+                        cell_id=cell.cell_id,
+                        overrides=cell.overrides,
+                        values={},
+                        status="failed",
+                    )
+                )
+            continue
+        results.extend(shard_result)
 
     report = CampaignReport(
         axis_names=grid.axis_names,

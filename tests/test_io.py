@@ -127,10 +127,36 @@ class TestIntegrity:
         with pytest.raises(ArchiveCorruptError, match="clusterings.json"):
             load_archive(copy_dir)
 
+    def test_corrupt_error_names_file_and_both_digests(self, copy_dir, loaded):
+        """The error must carry everything a post-mortem needs: the path,
+        the digest the bytes actually hash to, and the manifest's claim."""
+        victim = copy_dir / "clusterings.json"
+        raw = bytearray(victim.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        expected = dict(loaded.manifest.digests)["clusterings.json"]
+        actual = file_sha256(victim)
+        with pytest.raises(ArchiveCorruptError) as excinfo:
+            load_archive(copy_dir)
+        message = str(excinfo.value)
+        assert str(victim) in message
+        assert f"actual sha256 {actual}" in message
+        assert f"manifest says {expected}" in message
+
     def test_missing_file_raises_corrupt_error(self, copy_dir):
         (copy_dir / "ptr.csv").unlink()
         with pytest.raises(ArchiveCorruptError, match="ptr.csv"):
             load_archive(copy_dir)
+
+    def test_missing_file_error_names_path_and_expected_digest(self, copy_dir, loaded):
+        expected = dict(loaded.manifest.digests)["ptr.csv"]
+        (copy_dir / "ptr.csv").unlink()
+        with pytest.raises(ArchiveCorruptError) as excinfo:
+            load_archive(copy_dir)
+        message = str(excinfo.value)
+        assert "archive file missing" in message
+        assert str(copy_dir / "ptr.csv") in message
+        assert f"expects sha256 {expected}" in message
 
     def test_verify_false_skips_digest_check(self, copy_dir, small_study):
         # Reformat results.json: same content, different bytes -> digest

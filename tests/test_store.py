@@ -131,6 +131,182 @@ class TestCorruption:
         store.put(tiny_study)
         assert store.get(_tiny_config()) is not None
 
+    def test_injected_corruption_trips_the_digest_check(self, tmp_path, tiny_study):
+        """A ``store.load`` corrupt fault poisons the entry's bytes on disk,
+        so the ordinary verify-quarantine-recompute path takes over."""
+        from repro.faults import FaultPlan, FaultSpec
+
+        faults = FaultPlan(
+            seed=1, specs=(FaultSpec(site="store.load", kind="corrupt", rate=1.0),)
+        )
+        store = StudyStore(tmp_path / "store", metrics=MetricsRegistry(), faults=faults)
+        key = store.put(tiny_study)
+        assert store.get(_tiny_config()) is None
+        assert store.metrics.counter("store.corruptions") == 1
+        assert not store.contains_key(key)
+        assert len(list((store.root / "quarantine").iterdir())) == 1
+
+    def test_injected_transient_load_error_is_retried(self, tmp_path, tiny_study):
+        from repro.faults import FaultPlan, FaultSpec
+        from repro.resilience import RetryPolicy
+
+        faults = FaultPlan(
+            seed=1,
+            specs=(FaultSpec(site="store.load", kind="error", rate=1.0, fail_attempts=1),),
+        )
+        store = StudyStore(
+            tmp_path / "store",
+            metrics=MetricsRegistry(),
+            faults=faults,
+            retry=RetryPolicy(max_attempts=2),
+        )
+        store.put(tiny_study)
+        assert store.get(_tiny_config()) is not None
+        assert store.metrics.counter("store.retries") == 1
+        assert store.metrics.counter("store.corruptions") == 0
+
+    def test_exhausted_load_error_degrades_to_miss_without_quarantine(
+        self, tmp_path, tiny_study
+    ):
+        """An injected load error is an execution failure, not bad bytes:
+        the entry must survive for the next (healthy) reader."""
+        from repro.faults import FaultPlan, FaultSpec
+
+        faults = FaultPlan(
+            seed=1, specs=(FaultSpec(site="store.load", kind="error", rate=1.0),)
+        )
+        store = StudyStore(tmp_path / "store", metrics=MetricsRegistry(), faults=faults)
+        key = store.put(tiny_study)
+        assert store.get(_tiny_config()) is None
+        assert store.metrics.counter("store.load_failures") == 1
+        assert store.contains_key(key)  # not quarantined
+        healthy = StudyStore(tmp_path / "store", metrics=MetricsRegistry())
+        assert healthy.get(_tiny_config()) is not None
+
+
+class TestDegradedStudies:
+    def test_degraded_study_is_never_persisted(self, tmp_path):
+        """A study that lost shards is an execution accident, not the
+        config's artifact: put() must refuse it so rehydration never
+        serves degraded data under a clean key."""
+        from repro.faults import FaultPlan, FaultSpec
+        from repro.resilience import ErrorBudget, ResilienceConfig, RetryPolicy
+
+        faults = FaultPlan(
+            seed=13, specs=(FaultSpec(site="campaign.shard", kind="crash", rate=0.2),)
+        )
+        degraded = run_study(
+            _tiny_config(
+                faults=faults,
+                resilience=ResilienceConfig(
+                    retry=RetryPolicy(max_attempts=2),
+                    fallback_in_process=False,
+                    budget=ErrorBudget(shard_loss_fraction=1.0),
+                ),
+            )
+        )
+        assert degraded.coverage.shards_lost > 0
+        store = StudyStore(tmp_path / "store", metrics=MetricsRegistry())
+        key = store.put(degraded)
+        assert not store.contains_key(key)
+        assert store.stats().entries == 0
+        assert store.metrics.counter("store.degraded_skipped") == 1
+
+
+class TestQuarantineGc:
+    def _quarantine_n(self, store, tiny_study, n):
+        for _ in range(n):
+            key = store.put(tiny_study)
+            (store.entry_path(key) / "isps.csv").write_text("garbage")
+            assert store.get(_tiny_config()) is None
+
+    def test_gc_prunes_quarantine_by_count(self, store, tiny_study):
+        self._quarantine_n(store, tiny_study, 3)
+        quarantine = store.root / "quarantine"
+        assert len(list(quarantine.iterdir())) == 3
+        store.gc(max_quarantine_entries=1)
+        assert len(list(quarantine.iterdir())) == 1
+        assert store.metrics.counter("store.quarantine_pruned") == 2
+
+    def test_gc_prunes_quarantine_by_age(self, store, tiny_study):
+        import os
+        import time
+
+        self._quarantine_n(store, tiny_study, 2)
+        quarantine = store.root / "quarantine"
+        entries = sorted(quarantine.iterdir())
+        stale = time.time() - 3600
+        os.utime(entries[0], (stale, stale))
+        store.gc(max_quarantine_age_s=60.0)
+        survivors = list(quarantine.iterdir())
+        assert survivors == [entries[1]]
+
+    def test_gc_prunes_oldest_first(self, store, tiny_study):
+        import os
+        import time
+
+        self._quarantine_n(store, tiny_study, 3)
+        quarantine = store.root / "quarantine"
+        entries = sorted(quarantine.iterdir(), key=lambda e: e.name)
+        # Pin distinct mtimes so the eviction order is unambiguous.
+        base = time.time() - 100
+        for offset, entry in enumerate(entries):
+            os.utime(entry, (base + offset, base + offset))
+        store.gc(max_quarantine_entries=2)
+        survivors = set(quarantine.iterdir())
+        assert survivors == set(entries[1:])
+
+    def test_put_enforces_configured_quarantine_bound(self, tmp_path, tiny_study):
+        store = StudyStore(
+            tmp_path / "store", metrics=MetricsRegistry(), max_quarantine_entries=1
+        )
+        self._quarantine_n(store, tiny_study, 2)
+        store.put(tiny_study)  # put() triggers gc() with the configured bound
+        assert len(list((store.root / "quarantine").iterdir())) == 1
+
+    def test_gc_without_quarantine_dir_is_a_noop(self, store, tiny_study):
+        store.put(tiny_study)
+        assert store.gc(max_quarantine_entries=1) == []
+        assert store.stats().entries == 1
+
+
+class TestFaultAwareKeys:
+    def test_transient_faults_normalise_out_of_the_key(self):
+        """Transient faults are retried away without an artifact trace, so
+        a chaos-tested study may serve (and fill) the clean cache slot."""
+        from repro.faults import FaultPlan, FaultSpec
+        from repro.resilience import ResilienceConfig
+
+        transient = FaultPlan(
+            seed=9,
+            specs=(FaultSpec(site="campaign.shard", kind="crash", rate=0.5, fail_attempts=1),),
+        )
+        chaotic = _tiny_config(faults=transient, resilience=ResilienceConfig())
+        assert study_key(chaotic) == study_key(_tiny_config())
+        assert config_fingerprint(chaotic) != config_fingerprint(_tiny_config())
+
+    def test_store_load_faults_normalise_out_of_the_key(self):
+        from repro.faults import FaultPlan, FaultSpec
+
+        plan = FaultPlan(seed=9, specs=(FaultSpec(site="store.load", kind="error"),))
+        assert study_key(_tiny_config(faults=plan)) == study_key(_tiny_config())
+
+    def test_permanent_data_faults_stay_in_the_key(self):
+        """Permanent drops genuinely change artifacts: a degraded-coverage
+        study must never collide with the clean content address."""
+        from repro.faults import FaultPlan, FaultSpec
+
+        plan = FaultPlan(seed=9, specs=(FaultSpec(site="mlab.ping", kind="drop", rate=0.1),))
+        assert study_key(_tiny_config(faults=plan)) != study_key(_tiny_config())
+
+    def test_shard_timeout_and_resilience_are_execution_only(self):
+        from repro.resilience import ResilienceConfig, RetryPolicy
+
+        timed = _tiny_config(parallel=ParallelConfig(shard_timeout_s=30.0))
+        hardened = _tiny_config(resilience=ResilienceConfig(retry=RetryPolicy(max_attempts=5)))
+        assert study_key(timed) == study_key(_tiny_config())
+        assert study_key(hardened) == study_key(_tiny_config())
+
 
 class TestGcAndIndex:
     def test_lru_eviction_order(self, tmp_path, tiny_study):

@@ -155,7 +155,7 @@ class TestCampaign:
 
     def test_report_json_is_deterministic_and_provenance_free(self, report, tmp_path):
         data = report.to_json()
-        assert data["format"] == "repro-sweep-v1"
+        assert data["format"] == "repro-sweep-v2"
         assert data["n_cells"] == 2
         text = json.dumps(data, sort_keys=True)
         assert "cache" not in text and "from_store" not in text

@@ -11,7 +11,9 @@ import json
 import pytest
 
 from repro.core.pipeline import StudyConfig
+from repro.faults import FaultPlan, FaultSpec, WorkerCrashError
 from repro.parallel import ParallelConfig, process_backend_available
+from repro.resilience import ErrorBudget, ResilienceConfig, RetryPolicy
 from repro.store import StudyStore
 from repro.sweep import MetricSpec, ParameterGrid, run_campaign
 from repro.topology.generator import InternetConfig
@@ -108,6 +110,71 @@ class TestResumeSerial:
         report = run_campaign(grid, METRICS)
         assert report.cache_hits == 0
         assert report.cache_misses == 2
+
+
+def _crash_plan(n_cells: int) -> FaultPlan:
+    """A plan whose sweep.shard crash spares cell 0 but kills a later one.
+
+    Searched deterministically over seeds, so the test never depends on a
+    magic constant staying lucky across hash changes.
+    """
+    spec = FaultSpec(site="sweep.shard", kind="crash", rate=0.5)
+    for seed in range(200):
+        plan = FaultPlan(seed=seed, specs=(spec,))
+        fires = [plan.fires_ever("sweep.shard", i) for i in range(n_cells)]
+        if not fires[0] and any(fires[1:]):
+            return plan
+    raise AssertionError("no seed under 200 produced the wanted fire pattern")
+
+
+class TestCrashResume:
+    def test_worker_crash_mid_campaign_then_clean_resume(self, tmp_path):
+        """Satellite case: a cell's worker crashes mid-shard (injected via
+        repro.faults, no resilience layer), the campaign dies, but every
+        completed cell is durable — and the resumed, fault-free campaign's
+        report is byte-identical to an uninterrupted reference."""
+        grid = _grid(3)
+        plan = _crash_plan(grid.n_cells)
+        store = StudyStore(tmp_path / "store")
+        with pytest.raises(WorkerCrashError):
+            run_campaign(grid, METRICS, store=store, faults=plan)
+        survived = store.stats().entries
+        assert 1 <= survived < grid.n_cells  # cell 0 landed, the crash cell did not
+
+        resumed = run_campaign(grid, METRICS, store=store)
+        assert resumed.cache_hits == survived
+        assert resumed.cache_misses == grid.n_cells - survived
+        assert resumed.n_failed == 0
+
+        reference = run_campaign(grid, METRICS, store=StudyStore(tmp_path / "fresh-store"))
+        assert _report_bytes(resumed) == _report_bytes(reference)
+
+    def test_permanent_cell_fault_degrades_then_resume_heals(self, tmp_path):
+        """With the resilience layer and a permissive budget, a permanently
+        crashing cell becomes a ``status="failed"`` row instead of killing
+        the campaign; failed cells are never persisted, so a later clean
+        run computes them and restores the reference report."""
+        grid = _grid(3)
+        plan = _crash_plan(grid.n_cells)
+        resilience = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=2),
+            fallback_in_process=False,
+            budget=ErrorBudget(shard_loss_fraction=1.0),
+        )
+        store = StudyStore(tmp_path / "store")
+        degraded = run_campaign(grid, METRICS, store=store, faults=plan, resilience=resilience)
+        assert degraded.n_failed >= 1
+        assert len(degraded.cells) == grid.n_cells
+        failed = [cell for cell in degraded.cells if cell.status == "failed"]
+        assert all(cell.values == {} for cell in failed)
+        assert "FAILED" in degraded.render()
+        assert store.stats().entries == grid.n_cells - len(failed)
+
+        healed = run_campaign(grid, METRICS, store=store)
+        assert healed.n_failed == 0
+        assert healed.cache_misses == len(failed)
+        reference = run_campaign(grid, METRICS, store=StudyStore(tmp_path / "fresh-store"))
+        assert _report_bytes(healed) == _report_bytes(reference)
 
 
 @pytest.mark.parallel
