@@ -1,0 +1,175 @@
+"""Clustering hot-path bench: memoized distances, heap OPTICS, same bytes.
+
+One large synthetic ISP (scaled past paper scale: 500+ offnet IPs measured
+from 163 vantage points) clustered at both xi settings, three ways:
+
+* **reference** — the kept unoptimized implementations: the per-pair
+  ``trimmed_manhattan`` loop and the O(n²)-per-step reference OPTICS scan,
+  recomputed for every xi.  This is the differential-harness baseline the
+  acceptance criterion's >= 3x speedup is measured against.
+* **unshared** — the optimized kernels (triangle-mirrored distance matrix,
+  heap-frontier OPTICS) but no memoization: every xi recomputes both.
+* **optimized** — the shipped pipeline path: one :class:`ClusteringMemo`
+  serving all xi settings of the ISP.
+
+All three must produce identical labels; the snapshot lands in
+``BENCH_clustering.json``.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by the CI ``bench-smoke`` job)
+shrinks the workload, skips the snapshot write, and — the point of the job —
+fails if the optimized implementations are not actually active (env
+kill-switch set, memo not reusing, or heap OPTICS not the default).
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_bench_clustering.py -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro._util import format_table
+from repro.clustering.distance import (
+    pairwise_trimmed_manhattan_reference,
+)
+from repro.clustering.optics import active_optics_implementation, optics_order_reference
+from repro.clustering.sites import ClusteringConfig, ClusteringMemo, cluster_isp_offnets
+from repro.clustering.xi import extract_xi_clusters, split_clusters_on_spikes, xi_labels
+from repro.obs import Telemetry
+
+from benchmarks.conftest import emit
+
+SNAPSHOT_PATH = Path(__file__).parent / "BENCH_clustering.json"
+
+#: Acceptance bar: the shipped path must beat the reference implementations
+#: by at least this factor at the scaled workload.
+MIN_SPEEDUP = 3.0
+
+XIS = (0.1, 0.9)
+
+
+def _smoke() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+
+def _large_isp_columns(n_ips: int, n_vps: int = 163, n_sites: int = 25, seed: int = 11):
+    """Latency columns for one ISP hosting ``n_ips`` offnets in ``n_sites``
+    facilities — same generative shape as the study's latency model (shared
+    per-site base RTT plus small per-measurement noise, a few NaN holes)."""
+    rng = np.random.default_rng(seed)
+    site_base = rng.uniform(10.0, 150.0, size=(n_vps, n_sites))
+    site_of = rng.integers(0, n_sites, size=n_ips)
+    columns = site_base[:, site_of] + rng.normal(0.0, 0.05, size=(n_vps, n_ips))
+    columns[rng.random((n_vps, n_ips)) < 0.03] = np.nan
+    return columns, list(range(n_ips))
+
+
+def _reference_labels(columns: np.ndarray, config: ClusteringConfig) -> np.ndarray:
+    """The clustering tail driven by the two kept reference kernels."""
+    n = columns.shape[1]
+    distances = pairwise_trimmed_manhattan_reference(columns, config.trim_fraction)
+    result = optics_order_reference(distances, config.min_pts)
+    clusters = extract_xi_clusters(result.reachability, config.xi, config.min_pts)
+    clusters = split_clusters_on_spikes(
+        result.reachability, clusters, config.spike_factor, config.min_pts
+    )
+    labels = np.full(n, -1, dtype=int)
+    labels[result.ordering] = xi_labels(n, clusters)
+    return labels
+
+
+def _time(callable_, repeats: int) -> tuple[float, object]:
+    best, value = float("inf"), None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        value = callable_()
+        best = min(best, time.perf_counter() - started)
+    return best, value
+
+
+def test_bench_clustering_snapshot():
+    smoke = _smoke()
+    n_ips = 80 if smoke else 520
+    repeats = 1 if smoke else 3
+    columns, ips = _large_isp_columns(n_ips)
+
+    # The CI smoke guard: the optimized path must actually be in force.
+    assert active_optics_implementation() == "heap", (
+        "REPRO_OPTICS_REFERENCE is set: the benchmark (and the pipeline) "
+        "would silently run the unoptimized reference OPTICS"
+    )
+
+    def reference_pass():
+        return [_reference_labels(columns, ClusteringConfig(xi=xi)) for xi in XIS]
+
+    def unshared_pass():
+        return [
+            cluster_isp_offnets(columns, ips, ClusteringConfig(xi=xi)).labels for xi in XIS
+        ]
+
+    telemetry = Telemetry.capture()
+
+    def optimized_pass():
+        memo = ClusteringMemo()
+        return [
+            cluster_isp_offnets(
+                columns, ips, ClusteringConfig(xi=xi), telemetry=telemetry,
+                memo=memo, memo_key="isp",
+            ).labels
+            for xi in XIS
+        ]
+
+    optimized_s, optimized = _time(optimized_pass, repeats)
+    unshared_s, unshared = _time(unshared_pass, repeats)
+    reference_s, reference = _time(reference_pass, 1)
+
+    # Identical artifacts: every variant assigns every IP the same site.
+    for xi, ref, fast, memoized in zip(XIS, reference, unshared, optimized):
+        assert np.array_equal(ref, fast), f"unshared labels diverged at xi={xi}"
+        assert np.array_equal(ref, memoized), f"memoized labels diverged at xi={xi}"
+
+    # Smoke guard, continued: the memo must have reused, and nothing may
+    # have fallen back to the reference OPTICS loop.
+    metrics = telemetry.metrics
+    assert metrics.counter("cluster.distance_matrices_reused") >= len(XIS) - 1
+    assert metrics.counter("cluster.optics_reused") >= len(XIS) - 1
+    assert metrics.counter("cluster.optics_reference_runs") == 0
+
+    speedup_vs_reference = reference_s / optimized_s
+    speedup_vs_unshared = unshared_s / optimized_s
+    rows = [
+        ["reference (per-pair loop + scan OPTICS)", round(reference_s, 3), "baseline"],
+        ["unshared (fast kernels, no memo)", round(unshared_s, 3), f"{reference_s / unshared_s:.1f}x"],
+        ["optimized (memoized, shipped path)", round(optimized_s, 3), f"{speedup_vs_reference:.1f}x"],
+    ]
+    emit(
+        f"clustering hot path ({n_ips} IPs x 163 VPs, xis={XIS}, best of {repeats})",
+        format_table(["variant", "wall s", "vs reference"], rows),
+    )
+
+    if smoke:
+        return  # tiny workload: timings are noise, snapshot stays untouched
+
+    assert speedup_vs_reference >= MIN_SPEEDUP, (
+        f"optimized clustering is only {speedup_vs_reference:.2f}x the reference "
+        f"(need >= {MIN_SPEEDUP}x at {n_ips} IPs)"
+    )
+    snapshot = {
+        "bench": "clustering-hot-path",
+        "format": "repro-bench-v1",
+        "workload": {"n_ips": n_ips, "n_vps": 163, "n_sites": 25, "xis": list(XIS)},
+        "identical_labels": True,
+        "min_speedup": MIN_SPEEDUP,
+        "runs": {
+            "reference_s": round(reference_s, 3),
+            "unshared_s": round(unshared_s, 3),
+            "optimized_s": round(optimized_s, 3),
+        },
+        "speedup_vs_reference": round(speedup_vs_reference, 2),
+        "speedup_vs_unshared": round(speedup_vs_unshared, 2),
+    }
+    SNAPSHOT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")

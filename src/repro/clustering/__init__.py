@@ -7,19 +7,37 @@ vantage points with the largest discrepancy (Appendix A, following the
 IMC'13 Google-mapping paper).
 """
 
-from repro.clustering.distance import pairwise_trimmed_manhattan, trimmed_manhattan
-from repro.clustering.optics import OpticsResult, optics_order
-from repro.clustering.sites import ClusteringConfig, SiteClustering, cluster_isp_offnets
+from repro.clustering.distance import (
+    pairwise_trimmed_manhattan,
+    pairwise_trimmed_manhattan_reference,
+    trimmed_manhattan,
+)
+from repro.clustering.optics import (
+    OpticsResult,
+    active_optics_implementation,
+    optics_order,
+    optics_order_reference,
+)
+from repro.clustering.sites import (
+    ClusteringConfig,
+    ClusteringMemo,
+    SiteClustering,
+    cluster_isp_offnets,
+)
 from repro.clustering.xi import extract_xi_clusters, xi_labels
 
 __all__ = [
     "ClusteringConfig",
+    "ClusteringMemo",
     "OpticsResult",
     "SiteClustering",
+    "active_optics_implementation",
     "cluster_isp_offnets",
     "extract_xi_clusters",
     "optics_order",
+    "optics_order_reference",
     "pairwise_trimmed_manhattan",
+    "pairwise_trimmed_manhattan_reference",
     "trimmed_manhattan",
     "xi_labels",
 ]

@@ -5,16 +5,48 @@ distances), with an unbounded generating radius (eps = inf), which is the
 exact setting the colocation study needs: no a-priori number or size of
 clusters.  The output is the cluster-ordering with reachability and core
 distances, consumed by the xi extraction in :mod:`repro.clustering.xi`.
+
+Two interchangeable ordering loops live here:
+
+* the **heap** implementation (default): a lazy-deletion binary heap of
+  ``(reachability, point_id)`` candidates replaces the per-step
+  O(n) ``flatnonzero`` + ``argmin`` scan over unprocessed points, and the
+  reachability-at-selection is recorded directly at pop time, eliminating
+  the O(n²) replay pass entirely;
+* the **reference** implementation: the original per-step scan plus
+  :func:`_reorder_reachability` replay, kept verbatim for differential
+  and property testing (``tests/test_properties.py`` proves the two are
+  bit-equal on adversarial inputs).
+
+Both produce bit-identical :class:`OpticsResult` values: the heap pops in
+``(reachability, id)`` order, which is exactly the reference's
+"smallest reachability, ties by smallest id" selection rule, and every
+float written comes from the same ``np.maximum(core, row)`` expression.
 """
 
 from __future__ import annotations
 
+import heapq
+import os
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro._util import require
 from repro.obs import Telemetry, ensure_telemetry
+
+#: Environment kill-switch: set to any non-empty value to force the
+#: reference ordering loop.  Debugging aid only — the CI ``bench-smoke``
+#: job asserts the optimized path is active in the default environment.
+REFERENCE_ENV_VAR = "REPRO_OPTICS_REFERENCE"
+
+#: Valid ``implementation=`` arguments to :func:`optics_order`.
+OPTICS_IMPLEMENTATIONS = ("heap", "reference")
+
+
+def active_optics_implementation() -> str:
+    """The ordering loop :func:`optics_order` dispatches to by default."""
+    return "reference" if os.environ.get(REFERENCE_ENV_VAR) else "heap"
 
 
 @dataclass
@@ -36,7 +68,10 @@ class OpticsResult:
 
 
 def optics_order(
-    distances: np.ndarray, min_pts: int = 2, telemetry: Telemetry | None = None
+    distances: np.ndarray,
+    min_pts: int = 2,
+    telemetry: Telemetry | None = None,
+    implementation: str | None = None,
 ) -> OpticsResult:
     """Compute the OPTICS ordering of points given a distance matrix.
 
@@ -46,6 +81,10 @@ def optics_order(
     ``n_min = 2`` therefore means "a cluster can be as small as two
     addresses", i.e. the core distance is the nearest-neighbour distance.
 
+    ``implementation`` picks the ordering loop (``"heap"`` or
+    ``"reference"``); None uses :func:`active_optics_implementation`.
+    The choice never changes the result — only how fast it arrives.
+
     With ``telemetry``, the finite reachability values of the ordering feed
     the ``cluster.optics_reachability_ms`` histogram (metrics are recorded
     once per call, after the ordering loop — never inside it).
@@ -53,6 +92,11 @@ def optics_order(
     distances = np.asarray(distances, dtype=float)
     require(distances.ndim == 2 and distances.shape[0] == distances.shape[1], "need a square matrix")
     require(min_pts >= 2, "min_pts must be >= 2")
+    implementation = implementation or active_optics_implementation()
+    require(
+        implementation in OPTICS_IMPLEMENTATIONS,
+        f"implementation must be one of {OPTICS_IMPLEMENTATIONS}, got {implementation!r}",
+    )
     n = distances.shape[0]
     working = np.where(np.isnan(distances), np.inf, distances)
 
@@ -63,6 +107,86 @@ def optics_order(
         sorted_rows = np.sort(working, axis=1)  # column 0 is the self-distance 0
         core = sorted_rows[:, min_pts - 1]
 
+    if implementation == "heap":
+        ordering, reachability = _order_heap(working, core)
+    else:
+        ordering = _order_reference(working, core)
+        reachability = _reorder_reachability(working, core, ordering)
+
+    obs = ensure_telemetry(telemetry)
+    if obs.metrics.enabled:
+        obs.count("cluster.optics_runs")
+        obs.count("cluster.optics_points_ordered", n)
+        if implementation == "reference":
+            obs.count("cluster.optics_reference_runs")
+        for value in reachability[np.isfinite(reachability)]:
+            obs.observe("cluster.optics_reachability_ms", float(value))
+    return OpticsResult(
+        ordering=ordering,
+        reachability=reachability,
+        core_distance=core,
+    )
+
+
+def optics_order_reference(
+    distances: np.ndarray, min_pts: int = 2, telemetry: Telemetry | None = None
+) -> OpticsResult:
+    """The unoptimized ordering loop, for differential and property tests."""
+    return optics_order(distances, min_pts, telemetry=telemetry, implementation="reference")
+
+
+def _order_heap(working: np.ndarray, core: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Heap-frontier ordering loop: returns ``(ordering, reachability)``.
+
+    A lazy-deletion heap holds ``(reachability, point_id)`` candidates;
+    entries are pushed only on strict improvement, so reachabilities only
+    ever shrink and a popped entry is current iff its value still matches
+    ``reach_by_point``.  Popping in ``(reachability, id)`` order reproduces
+    the reference's "argmin, first occurrence wins" tie-break exactly, and
+    recording ``reach_by_point`` at pop time *is* the
+    reachability-at-selection the reference recovers by replaying.
+    """
+    n = working.shape[0]
+    ordering = np.empty(n, dtype=int)
+    reachability = np.full(n, np.inf)
+    reach_by_point = np.full(n, np.inf)
+    processed = np.zeros(n, dtype=bool)
+    heap: list[tuple[float, int]] = []
+    position = 0
+
+    for start in range(n):
+        if processed[start]:
+            continue
+        # Begin a new exploration at the unprocessed point with smallest id
+        # (deterministic); its reachability is still inf at this moment —
+        # a restart only happens when every unprocessed point is at inf.
+        current = start
+        while True:
+            processed[current] = True
+            ordering[position] = current
+            reachability[position] = reach_by_point[current]
+            position += 1
+            if np.isfinite(core[current]):
+                new_reach = np.maximum(core[current], working[current])
+                improved = np.flatnonzero(~processed & (new_reach < reach_by_point))
+                if improved.size:
+                    reach_by_point[improved] = new_reach[improved]
+                    for value, index in zip(new_reach[improved].tolist(), improved.tolist()):
+                        heapq.heappush(heap, (value, index))
+            current = -1
+            while heap:
+                value, index = heapq.heappop(heap)
+                if not processed[index] and value == reach_by_point[index]:
+                    current = index
+                    break
+            if current < 0:
+                break  # frontier exhausted: restart from the outer loop
+    return ordering, reachability
+
+
+def _order_reference(working: np.ndarray, core: np.ndarray) -> np.ndarray:
+    """The original O(n²)-per-restart ordering loop (reference)."""
+    n = working.shape[0]
     ordering = np.empty(n, dtype=int)
     reachability_by_point = np.full(n, np.inf)
     processed = np.zeros(n, dtype=bool)
@@ -95,19 +219,7 @@ def optics_order(
                 current = None  # disconnected: restart from the outer loop
             else:
                 current = int(best)
-
-    reachability = _reorder_reachability(working, core, ordering)
-    obs = ensure_telemetry(telemetry)
-    if obs.metrics.enabled:
-        obs.count("cluster.optics_runs")
-        obs.count("cluster.optics_points_ordered", n)
-        for value in reachability[np.isfinite(reachability)]:
-            obs.observe("cluster.optics_reachability_ms", float(value))
-    return OpticsResult(
-        ordering=ordering,
-        reachability=reachability,
-        core_distance=core,
-    )
+    return ordering
 
 
 def _reorder_reachability(working: np.ndarray, core: np.ndarray, ordering: np.ndarray) -> np.ndarray:

@@ -6,17 +6,24 @@ return the site assignment.  IPs not assigned to any cluster are treated as
 "not colocated" (Appendix A: "OPTICS will not assign an IP address to a
 cluster if no address is within a short distance, in which case we consider
 the offnet as not colocated").
+
+The study clusters every ISP at *several* xi settings, but neither the
+distance matrix (a function of the columns and ``trim_fraction``) nor the
+OPTICS ordering (additionally of ``min_pts``) depends on xi —
+:class:`ClusteringMemo` caches both so a caller holding all of an ISP's xi
+settings pays for them once.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro._util import require, require_fraction
 from repro.clustering.distance import pairwise_trimmed_manhattan
-from repro.clustering.optics import optics_order
+from repro.clustering.optics import OpticsResult, optics_order
 from repro.clustering.xi import extract_xi_clusters, split_clusters_on_spikes, xi_labels
 from repro.obs import Telemetry, ensure_telemetry
 
@@ -40,6 +47,69 @@ class ClusteringConfig:
         require(self.spike_factor > 1.0, "spike_factor must be > 1")
 
 
+class ClusteringMemo:
+    """Intra-run cache of the xi-independent clustering intermediates.
+
+    Keys are caller-chosen (the pipeline uses the ISP ASN); the memo trusts
+    the caller to pass the same columns for the same key, which is why
+    :func:`cluster_isp_offnets` refuses a memo without an explicit
+    ``memo_key``.  Scope the memo to one run (the pipeline creates one per
+    clustering shard) — it holds strong references to the cached matrices.
+    """
+
+    __slots__ = ("_distances", "_optics")
+
+    def __init__(self) -> None:
+        self._distances: dict[tuple, np.ndarray] = {}
+        self._optics: dict[tuple, OpticsResult] = {}
+
+    def distances(
+        self,
+        key: object,
+        columns: np.ndarray,
+        trim_fraction: float,
+        telemetry: Telemetry | None = None,
+    ) -> np.ndarray:
+        """The trimmed-Manhattan matrix for ``columns``, cached per (key, trim)."""
+        obs = ensure_telemetry(telemetry)
+        cache_key = (key, trim_fraction)
+        cached = self._distances.get(cache_key)
+        if cached is not None:
+            obs.count("cluster.distance_matrices_reused")
+            return cached
+        timing = obs.metrics.enabled
+        started = time.perf_counter() if timing else 0.0
+        matrix = pairwise_trimmed_manhattan(columns, trim_fraction)
+        if timing:
+            obs.observe("cluster.distance_ms", 1000.0 * (time.perf_counter() - started))
+        obs.count("cluster.distance_matrices_computed")
+        self._distances[cache_key] = matrix
+        return matrix
+
+    def optics(
+        self,
+        key: object,
+        distances: np.ndarray,
+        trim_fraction: float,
+        min_pts: int,
+        telemetry: Telemetry | None = None,
+    ) -> OpticsResult:
+        """The OPTICS ordering for ``distances``, cached per (key, trim, min_pts)."""
+        obs = ensure_telemetry(telemetry)
+        cache_key = (key, trim_fraction, min_pts)
+        cached = self._optics.get(cache_key)
+        if cached is not None:
+            obs.count("cluster.optics_reused")
+            return cached
+        timing = obs.metrics.enabled
+        started = time.perf_counter() if timing else 0.0
+        result = optics_order(distances, min_pts, telemetry=telemetry)
+        if timing:
+            obs.observe("cluster.optics_ms", 1000.0 * (time.perf_counter() - started))
+        self._optics[cache_key] = result
+        return result
+
+
 @dataclass
 class SiteClustering:
     """The inferred sites of one ISP's offnets."""
@@ -49,11 +119,15 @@ class SiteClustering:
     labels: np.ndarray
     config: ClusteringConfig
     _clusters: dict[int, list[int]] = field(init=False, repr=False)
+    _position_of: dict[int, int] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         require(self.labels.shape == (len(self.ips),), "labels must align with ips")
         self._clusters = {}
-        for ip, label in zip(self.ips, self.labels):
+        self._position_of = {}
+        for position, (ip, label) in enumerate(zip(self.ips, self.labels)):
+            # setdefault keeps the first occurrence, like list.index did.
+            self._position_of.setdefault(ip, position)
             if label >= 0:
                 self._clusters.setdefault(int(label), []).append(ip)
 
@@ -68,8 +142,19 @@ class SiteClustering:
         return sorted(ip for ip, label in zip(self.ips, self.labels) if label < 0)
 
     def label_of(self, ip: int) -> int:
-        """Cluster label of ``ip`` (-1 if unclustered)."""
-        return int(self.labels[self.ips.index(ip)])
+        """Cluster label of ``ip`` (-1 if unclustered).
+
+        Raises :class:`KeyError` naming the IP when it was not a clustering
+        target.
+        """
+        try:
+            position = self._position_of[ip]
+        except KeyError:
+            raise KeyError(
+                f"IP {ip} is not a target of this clustering "
+                f"({len(self.ips)} clustered IPs; see SiteClustering.ips)"
+            ) from None
+        return int(self.labels[position])
 
     @property
     def site_count(self) -> int:
@@ -86,24 +171,39 @@ def cluster_isp_offnets(
     ips: list[int],
     config: ClusteringConfig | None = None,
     telemetry: Telemetry | None = None,
+    memo: ClusteringMemo | None = None,
+    memo_key: object | None = None,
 ) -> SiteClustering:
     """Cluster one ISP's offnet IPs from their latency columns.
 
     ``columns`` has shape ``(n_vps, len(ips))``.  Handles the degenerate
     single-IP case (one cluster of one? no — one *unclustered* IP, matching
     OPTICS semantics with min_pts = 2).
+
+    Pass a :class:`ClusteringMemo` (with a ``memo_key`` identifying the
+    column set — the pipeline uses the ISP ASN) to share the distance
+    matrix and OPTICS ordering across calls that differ only in ``xi``; the
+    xi extraction itself is re-run per call.  Without a memo the
+    intermediates are computed fresh, exactly as before.
     """
     config = config or ClusteringConfig()
     obs = ensure_telemetry(telemetry)
     require(columns.shape[1] == len(ips), "columns must align with ips")
+    require(memo is None or memo_key is not None, "a memo requires an explicit memo_key")
     n = len(ips)
     if n == 0:
         return SiteClustering(ips=[], labels=np.empty(0, dtype=int), config=config)
     if n == 1:
         obs.count("cluster.singleton_isps")
         return SiteClustering(ips=list(ips), labels=np.array([-1]), config=config)
-    distances = pairwise_trimmed_manhattan(columns, config.trim_fraction)
-    result = optics_order(distances, config.min_pts, telemetry=telemetry)
+    if memo is None:
+        # A throwaway memo unifies the timed/counted code path; nothing is
+        # ever reused through it.
+        memo, memo_key = ClusteringMemo(), "unshared"
+    distances = memo.distances(memo_key, columns, config.trim_fraction, telemetry=telemetry)
+    result = memo.optics(memo_key, distances, config.trim_fraction, config.min_pts, telemetry=telemetry)
+    timing = obs.metrics.enabled
+    started = time.perf_counter() if timing else 0.0
     clusters = extract_xi_clusters(result.reachability, config.xi, config.min_pts)
     clusters = split_clusters_on_spikes(
         result.reachability, clusters, config.spike_factor, config.min_pts
@@ -111,11 +211,19 @@ def cluster_isp_offnets(
     position_labels = xi_labels(n, clusters)
     labels = np.full(n, -1, dtype=int)
     labels[result.ordering] = position_labels
+    if timing:
+        obs.observe("cluster.xi_extract_ms", 1000.0 * (time.perf_counter() - started))
     clustering = SiteClustering(ips=list(ips), labels=labels, config=config)
     obs.count("cluster.clusters_found", len(clustering.clusters))
     obs.count("cluster.noise_ips", len(clustering.noise_ips))
     obs.observe("cluster.sites_per_isp", clustering.site_count)
     return clustering
+
+
+def _pairs_within(counts: np.ndarray) -> int:
+    """Sum of C(count, 2) over a vector of group sizes."""
+    counts = counts.astype(np.int64)
+    return int((counts * (counts - 1) // 2).sum())
 
 
 def pair_confusion_counts(
@@ -125,7 +233,42 @@ def pair_confusion_counts(
 
     Noise labels (-1) are treated as singleton clusters unique to each point.
     Returns ``(both_together, a_only, b_only, both_apart)`` over all pairs.
+
+    Counting math instead of the O(n²) pair loop (kept as
+    :func:`pair_confusion_counts_reference`): "together in a" pairs are
+    ΣC(size, 2) over a's non-noise clusters, "together in both" the same sum
+    over the joint (a, b) label intersection cells, and the remaining
+    buckets follow by inclusion-exclusion over C(n, 2).
     """
+    require(labels_a.shape == labels_b.shape, "labelings must align")
+    labels_a = np.asarray(labels_a)
+    labels_b = np.asarray(labels_b)
+    n = int(labels_a.shape[0])
+    total = n * (n - 1) // 2
+
+    clustered_a = labels_a >= 0
+    clustered_b = labels_b >= 0
+    together_a = _pairs_within(np.unique(labels_a[clustered_a], return_counts=True)[1])
+    together_b = _pairs_within(np.unique(labels_b[clustered_b], return_counts=True)[1])
+
+    both_clustered = clustered_a & clustered_b
+    # Dense joint codes: a pair is together in both labelings iff both
+    # points share the same (label_a, label_b) cell and neither is noise.
+    codes_a = np.unique(labels_a[both_clustered], return_inverse=True)[1]
+    codes_b = np.unique(labels_b[both_clustered], return_inverse=True)[1]
+    joint = codes_a * (codes_b.max() + 1 if codes_b.size else 1) + codes_b
+    both_together = _pairs_within(np.unique(joint, return_counts=True)[1])
+
+    a_only = together_a - both_together
+    b_only = together_b - both_together
+    both_apart = total - together_a - together_b + both_together
+    return both_together, a_only, b_only, both_apart
+
+
+def pair_confusion_counts_reference(
+    labels_a: np.ndarray, labels_b: np.ndarray
+) -> tuple[int, int, int, int]:
+    """The O(n²) pair loop, kept as the regression-test oracle."""
     require(labels_a.shape == labels_b.shape, "labelings must align")
     n = labels_a.shape[0]
     both_together = a_only = b_only = both_apart = 0

@@ -16,7 +16,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro._util import make_rng, require, spawn_rng
-from repro.clustering.sites import ClusteringConfig, SiteClustering, cluster_isp_offnets
+from repro.clustering.sites import (
+    ClusteringConfig,
+    ClusteringMemo,
+    SiteClustering,
+    cluster_isp_offnets,
+)
 from repro.core.colocation import ColocationTable, build_colocation_table
 from repro.core.concentration import ConcentrationResult, single_facility_concentration
 from repro.core.country import CountryHostingResult, country_hosting_fractions
@@ -200,12 +205,21 @@ def _cluster_shard(
     OPTICS draws no randomness, so shard placement cannot affect labels;
     per-ISP spans and timings are recorded here so serial and process
     backends produce the same telemetry shape.
+
+    Each shard carries its own :class:`ClusteringMemo`: the pair list is
+    ISP-major, so an ISP's xi settings land in the same shard (whenever the
+    chunk size is a multiple of ``len(xis)``) and its distance matrix and
+    OPTICS ordering are computed once — identically on the serial backend
+    and inside every process worker.
     """
     obs = ensure_telemetry(telemetry)
+    memo = ClusteringMemo()
     results: list[tuple[float, int, SiteClustering]] = []
     for clustering_config, asn, ips, columns in shard.items:
         with obs.span("cluster.isp", asn=asn, xi=clustering_config.xi, n_ips=len(ips)) as isp_span:
-            clustering = cluster_isp_offnets(columns, list(ips), clustering_config, telemetry=telemetry)
+            clustering = cluster_isp_offnets(
+                columns, list(ips), clustering_config, telemetry=telemetry, memo=memo, memo_key=asn
+            )
         obs.observe("cluster.isp_duration_ms", isp_span.duration_ms)
         results.append((clustering_config.xi, asn, clustering))
     return results
@@ -363,12 +377,18 @@ def run_study(
             if precomputed is None:
                 # Work units are (isp_asn, xi) pairs; each carries its own latency
                 # columns so process workers never pickle the whole study.
-                pairs = [
-                    (ClusteringConfig(xi=xi), asn, campaign.ips_by_isp[asn],
-                     matrix.submatrix(campaign.ips_by_isp[asn]))
-                    for xi in config.xis
-                    for asn in campaign.analyzable_isp_asns
-                ]
+                # ISP-major order keeps an ISP's xi settings adjacent — with
+                # the default chunk of 4 and 2 xis every shard holds whole
+                # ISPs, so the per-shard ClusteringMemo computes each ISP's
+                # distance matrix and OPTICS ordering exactly once.  The
+                # pair *count* (and so the shard count in the coverage
+                # ledger) is unchanged from the xi-major layout.
+                pairs = []
+                for asn in campaign.analyzable_isp_asns:
+                    isp_ips = campaign.ips_by_isp[asn]
+                    isp_columns = matrix.submatrix(isp_ips)
+                    for xi in config.xis:
+                        pairs.append((ClusteringConfig(xi=xi), asn, isp_ips, isp_columns))
                 plan = ShardPlan.of(pairs, chunk_size=config.parallel.clustering_chunk)
                 shard_results = run_sharded(
                     _cluster_shard,

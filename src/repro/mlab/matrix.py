@@ -12,6 +12,7 @@ ISP's offnets).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from functools import partial
 
@@ -20,7 +21,7 @@ import numpy as np
 from repro._util import make_rng, require, require_fraction, spawn_rng
 from repro.deployment.placement import DeploymentState
 from repro.faults import FaultPlan
-from repro.mlab.latency import base_rtt_matrix, vp_pair_floor_rtt_ms
+from repro.mlab.latency import base_rtt_matrix, vp_pair_floor_matrix
 from repro.mlab.pings import PingConfig, ping_rtts
 from repro.mlab.vantage import VantagePoint
 from repro.obs import Telemetry, ensure_telemetry
@@ -346,6 +347,10 @@ def _implausible_for_single_location(
     all vantage pairs (the two probe paths, chained, must cover the
     inter-vantage distance).  We check the strongest constraints: the
     closest vantage point against all others.
+
+    Per-IP reference for :func:`_implausible_mask`, which batches the same
+    decision over every column at once; ``tests/test_mlab.py`` proves the
+    two agree column-for-column.
     """
     valid = np.flatnonzero(~np.isnan(rtts))
     if valid.size < 2:
@@ -353,6 +358,30 @@ def _implausible_for_single_location(
     closest = valid[np.argmin(rtts[valid])]
     sums = rtts[closest] + rtts[valid]
     return bool((sums + slack_ms < floor[closest, valid]).any())
+
+
+def _implausible_mask(
+    rtt_ms: np.ndarray, valid: np.ndarray, n_valid: np.ndarray, floor: np.ndarray, slack_ms: float
+) -> np.ndarray:
+    """Batched :func:`_implausible_for_single_location` over every column.
+
+    ``valid`` is ``~isnan(rtt_ms)`` and ``n_valid`` its column sums (the
+    caller already has both).  Invalid entries are filled with inf so they
+    can neither be the closest vantage point nor violate a floor; columns
+    with fewer than two valid entries are never implausible, matching the
+    reference.  ``argmin`` returns the first minimum, the same tie-break as
+    the reference's ``valid[np.argmin(rtts[valid])]``.
+    """
+    n_ips = rtt_ms.shape[1]
+    if n_ips == 0:
+        return np.zeros(0, dtype=bool)
+    filled = np.where(valid, rtt_ms, np.inf)
+    closest = np.argmin(filled, axis=0)
+    closest_rtt = filled[closest, np.arange(n_ips)]
+    chained = closest_rtt[None, :] + filled  # inf where either side is missing
+    pair_floor = floor[:, closest]  # floor is symmetric: row i is floor(closest_j, i)
+    violates = chained + slack_ms < pair_floor
+    return violates.any(axis=0) & (n_valid >= 2)
 
 
 def apply_quality_filters(
@@ -365,42 +394,48 @@ def apply_quality_filters(
 
     With ``telemetry``, records the full attrition funnel
     (``filters.ips_considered`` → ``filters.ips_analyzable``; see
-    :data:`repro.obs.FUNNEL_COUNTERS`).
+    :data:`repro.obs.FUNNEL_COUNTERS`) plus ``filters.*_ms`` stage timings.
     """
     config = config or LatencyCampaignConfig()
     obs = ensure_telemetry(telemetry)
-    n_vps = len(matrix.vps)
-    floor = np.zeros((n_vps, n_vps))
-    for i in range(n_vps):
-        for j in range(i + 1, n_vps):
-            floor[i, j] = floor[j, i] = vp_pair_floor_rtt_ms(matrix.vps[i], matrix.vps[j])
+    timing = obs.metrics.enabled
+    started = time.perf_counter() if timing else 0.0
+    floor = vp_pair_floor_matrix(matrix.vps, telemetry=telemetry)
+    if timing:
+        obs.observe("filters.floor_matrix_ms", 1000.0 * (time.perf_counter() - started))
 
-    unresponsive: list[int] = []
-    implausible: list[int] = []
-    kept: list[int] = []
-    for ip in matrix.ips:
-        column = matrix.column(ip)
-        if np.isnan(column).all():
-            unresponsive.append(ip)
-        elif _implausible_for_single_location(column, matrix.vps, floor, config.plausibility_slack_ms):
-            implausible.append(ip)
-        else:
-            kept.append(ip)
+    started = time.perf_counter() if timing else 0.0
+    valid = ~np.isnan(matrix.rtt_ms)
+    n_valid = valid.sum(axis=0)
+    unresponsive_mask = n_valid == 0
+    implausible_mask = _implausible_mask(
+        matrix.rtt_ms, valid, n_valid, floor, config.plausibility_slack_ms
+    )
+    kept_mask = ~unresponsive_mask & ~implausible_mask
+    unresponsive = [ip for ip, flag in zip(matrix.ips, unresponsive_mask) if flag]
+    implausible = [ip for ip, flag in zip(matrix.ips, implausible_mask) if flag]
+    kept = [ip for ip, flag in zip(matrix.ips, kept_mask) if flag]
+    if timing:
+        obs.observe("filters.plausibility_ms", 1000.0 * (time.perf_counter() - started))
 
     # Per-ISP coverage: vantage points with successful measurements to ALL
     # of the ISP's kept offnet IPs.
+    started = time.perf_counter() if timing else 0.0
     by_isp: dict[int, list[int]] = {}
-    for ip in kept:
+    columns_by_isp: dict[int, list[int]] = {}
+    for column, ip in zip(np.flatnonzero(kept_mask), kept):
         by_isp.setdefault(ip_to_isp[ip], []).append(ip)
+        columns_by_isp.setdefault(ip_to_isp[ip], []).append(int(column))
     ips_by_isp: dict[int, list[int]] = {}
     discarded: list[int] = []
     for asn in sorted(by_isp):
-        columns = matrix.submatrix(by_isp[asn])
-        fully_successful_vps = int((~np.isnan(columns)).all(axis=1).sum())
+        fully_successful_vps = int(valid[:, columns_by_isp[asn]].all(axis=1).sum())
         if fully_successful_vps >= config.min_vps_per_isp:
             ips_by_isp[asn] = sorted(by_isp[asn])
         else:
             discarded.append(asn)
+    if timing:
+        obs.observe("filters.coverage_ms", 1000.0 * (time.perf_counter() - started))
 
     n_analyzable_ips = sum(len(ips) for ips in ips_by_isp.values())
     obs.count("filters.ips_considered", len(matrix.ips))

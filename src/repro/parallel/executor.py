@@ -99,7 +99,10 @@ class ParallelConfig:
     workers: int = 1
     #: Offnet IPs per campaign shard.
     campaign_chunk: int = DEFAULT_CAMPAIGN_CHUNK
-    #: (isp_asn, xi) pairs per clustering shard.
+    #: (isp_asn, xi) pairs per clustering shard.  The pipeline emits pairs
+    #: ISP-major, so any multiple of ``len(xis)`` keeps each ISP's xi
+    #: settings in one shard and lets its distance matrix / OPTICS ordering
+    #: be memoized (other values stay correct, just without the reuse).
     clustering_chunk: int = DEFAULT_CLUSTERING_CHUNK
     #: Per-shard execution timeout; ``None`` (default) never times out.
     #: On the process backend a shard past its deadline is treated as a

@@ -4,14 +4,21 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.clustering.distance import pairwise_trimmed_manhattan, trimmed_manhattan
+from repro.clustering.distance import (
+    pairwise_trimmed_manhattan,
+    pairwise_trimmed_manhattan_reference,
+    trimmed_manhattan,
+)
 from repro.clustering.optics import optics_order
 from repro.clustering.sites import (
     ClusteringConfig,
+    ClusteringMemo,
     cluster_isp_offnets,
     pair_confusion_counts,
+    pair_confusion_counts_reference,
     rand_index,
 )
+from repro.obs import Telemetry
 from repro.clustering.xi import XiCluster, extract_xi_clusters, xi_labels
 
 
@@ -223,6 +230,77 @@ class TestSiteDriver:
     def test_misaligned_inputs_rejected(self):
         with pytest.raises(ValueError):
             cluster_isp_offnets(np.zeros((5, 3)), [1, 2])
+
+    def test_label_of_unknown_ip_names_the_ip(self):
+        columns = two_blob_columns(n_a=4, n_b=4)
+        clustering = cluster_isp_offnets(columns, list(range(8)), ClusteringConfig(xi=0.5))
+        with pytest.raises(KeyError, match="IP 404 is not a target"):
+            clustering.label_of(404)
+
+
+class TestClusteringMemo:
+    def test_memo_requires_a_key(self):
+        with pytest.raises(ValueError, match="memo_key"):
+            cluster_isp_offnets(
+                two_blob_columns(), list(range(12)), memo=ClusteringMemo()
+            )
+
+    def test_memoized_runs_match_unshared_runs(self):
+        """The memo changes only *when* work happens, never the labels."""
+        columns = two_blob_columns(n_a=6, n_b=6)
+        ips = list(range(12))
+        memo = ClusteringMemo()
+        for xi in (0.1, 0.5, 0.9):
+            config = ClusteringConfig(xi=xi)
+            shared = cluster_isp_offnets(columns, ips, config, memo=memo, memo_key="isp")
+            unshared = cluster_isp_offnets(columns, ips, config)
+            assert np.array_equal(shared.labels, unshared.labels)
+
+    def test_intermediates_computed_once_per_key(self):
+        columns = two_blob_columns(n_a=5, n_b=5)
+        ips = list(range(10))
+        memo = ClusteringMemo()
+        telemetry = Telemetry.capture()
+        for xi in (0.1, 0.9):
+            cluster_isp_offnets(
+                columns, ips, ClusteringConfig(xi=xi), telemetry=telemetry,
+                memo=memo, memo_key="isp",
+            )
+        metrics = telemetry.metrics
+        assert metrics.counter("cluster.distance_matrices_computed") == 1
+        assert metrics.counter("cluster.distance_matrices_reused") == 1
+        assert metrics.counter("cluster.optics_runs") == 1
+        assert metrics.counter("cluster.optics_reused") == 1
+
+    def test_different_trim_fractions_do_not_collide(self):
+        columns = two_blob_columns(n_a=4, n_b=4)
+        memo = ClusteringMemo()
+        a = memo.distances("isp", columns, 0.0)
+        b = memo.distances("isp", columns, 0.4)
+        assert a is not b
+        assert memo.distances("isp", columns, 0.0) is a
+
+
+class TestPairConfusionVectorized:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_reference_on_random_labelings(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 40))
+        a = rng.integers(-1, 4, size=n)
+        b = rng.integers(-1, 4, size=n)
+        assert pair_confusion_counts(a, b) == pair_confusion_counts_reference(a, b)
+
+    def test_all_noise(self):
+        labels = np.array([-1, -1, -1])
+        assert pair_confusion_counts(labels, labels) == pair_confusion_counts_reference(
+            labels, labels
+        )
+
+    def test_counts_cover_every_pair(self):
+        rng = np.random.default_rng(7)
+        a = rng.integers(-1, 3, size=25)
+        b = rng.integers(-1, 3, size=25)
+        assert sum(pair_confusion_counts(a, b)) == 25 * 24 // 2
 
 
 class TestRandIndex:

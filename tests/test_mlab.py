@@ -10,13 +10,17 @@ from repro.mlab.latency import (
     base_rtt_ms,
     base_rtt_matrix,
     path_inflation,
+    vp_pair_floor_matrix,
     vp_pair_floor_rtt_ms,
 )
 from repro.mlab.matrix import (
     LatencyCampaignConfig,
+    _implausible_for_single_location,
+    _implausible_mask,
     apply_quality_filters,
     measure_offnets,
 )
+from repro.obs import Telemetry
 from repro.mlab.pings import PingConfig, ping_rtts
 from repro.mlab.vantage import build_vantage_points
 
@@ -195,3 +199,75 @@ class TestCampaign:
     def test_config_validation(self):
         with pytest.raises(ValueError):
             LatencyCampaignConfig(lossy_isp_fraction=2.0)
+
+
+class TestFloorMatrix:
+    def test_matches_scalar_pairs(self, vps):
+        """Vectorised haversine vs the scalar libm path: identical to well
+        below the 0.5 ms plausibility slack (SIMD trig differs by ~1 ulp)."""
+        floor = vp_pair_floor_matrix(vps)
+        for i in range(0, len(vps), 7):
+            for j in range(0, len(vps), 7):
+                scalar = vp_pair_floor_rtt_ms(vps[i], vps[j])
+                assert floor[i, j] == pytest.approx(scalar, rel=1e-12, abs=1e-9)
+
+    def test_symmetric_with_zero_diagonal(self, vps):
+        floor = vp_pair_floor_matrix(vps)
+        assert np.array_equal(floor, floor.T)
+        assert (np.diag(floor) == 0.0).all()
+
+    def test_cached_per_vantage_set(self, vps):
+        telemetry = Telemetry.capture()
+        first = vp_pair_floor_matrix(vps, telemetry=telemetry)
+        second = vp_pair_floor_matrix(vps, telemetry=telemetry)
+        assert second is first
+        assert telemetry.metrics.counter("filters.floor_cache_hits") >= 1
+        assert not first.flags.writeable
+
+    def test_distinct_vantage_sets_get_distinct_floors(self, vps):
+        floor_all = vp_pair_floor_matrix(vps)
+        floor_subset = vp_pair_floor_matrix(vps[:5])
+        assert floor_subset.shape == (5, 5)
+        assert floor_all.shape == (len(vps), len(vps))
+
+
+class TestBatchedPlausibility:
+    def test_mask_matches_per_ip_reference(self, campaign, vps):
+        """The whole-matrix filter agrees with the per-column reference on
+        every campaign column (which includes unresponsive, lossy, and
+        split-location pathologies)."""
+        matrix, _ = campaign
+        floor = vp_pair_floor_matrix(vps)
+        slack = LatencyCampaignConfig().plausibility_slack_ms
+        valid = ~np.isnan(matrix.rtt_ms)
+        mask = _implausible_mask(matrix.rtt_ms, valid, valid.sum(axis=0), floor, slack)
+        for column_index, ip in enumerate(matrix.ips):
+            expected = _implausible_for_single_location(matrix.column(ip), vps, floor, slack)
+            assert mask[column_index] == expected
+
+    def test_mask_flags_a_synthetic_violation(self, vps):
+        """A column pretending to be 0 ms from two far-apart vantage points
+        cannot come from one location."""
+        floor = vp_pair_floor_matrix(vps)
+        far = np.unravel_index(np.argmax(floor), floor.shape)
+        rtts = np.full((len(vps), 1), np.nan)
+        rtts[far[0], 0] = 0.1
+        rtts[far[1], 0] = 0.1
+        valid = ~np.isnan(rtts)
+        mask = _implausible_mask(rtts, valid, valid.sum(axis=0), floor, slack_ms=0.5)
+        assert mask[0]
+        reference = _implausible_for_single_location(rtts[:, 0], vps, floor, 0.5)
+        assert reference
+
+    def test_single_valid_entry_is_never_implausible(self, vps):
+        rtts = np.full((len(vps), 2), np.nan)
+        rtts[0, 0] = 5.0
+        valid = ~np.isnan(rtts)
+        mask = _implausible_mask(rtts, valid, valid.sum(axis=0), floor=vp_pair_floor_matrix(vps), slack_ms=0.5)
+        assert not mask.any()
+
+    def test_empty_matrix(self, vps):
+        rtts = np.empty((len(vps), 0))
+        valid = ~np.isnan(rtts)
+        mask = _implausible_mask(rtts, valid, valid.sum(axis=0), vp_pair_floor_matrix(vps), 0.5)
+        assert mask.shape == (0,)

@@ -350,11 +350,29 @@ class TestPipelineInstrumentation:
         assert summary.minimum >= 0.0
 
     def test_per_isp_timings(self, traced_pair):
+        """Every (isp, xi) cell lands one duration sample; OPTICS runs once
+        per ISP (the memo serves the other xi settings from cache)."""
         _, _, telemetry = traced_pair
-        durations = telemetry.metrics.histogram("cluster.isp_duration_ms")
-        assert durations.count == telemetry.metrics.counter("cluster.optics_runs") + int(
-            telemetry.metrics.counter("cluster.singleton_isps")
+        metrics = telemetry.metrics
+        durations = metrics.histogram("cluster.isp_duration_ms")
+        assert durations.count == (
+            metrics.counter("cluster.optics_runs")
+            + metrics.counter("cluster.optics_reused")
+            + int(metrics.counter("cluster.singleton_isps"))
         )
+
+    def test_memoization_reuses_per_isp_intermediates(self, traced_pair):
+        """With two xi settings, every multi-IP ISP computes its distance
+        matrix and OPTICS ordering once and reuses both once."""
+        _, _, telemetry = traced_pair
+        metrics = telemetry.metrics
+        computed = metrics.counter("cluster.distance_matrices_computed")
+        assert computed > 0
+        assert metrics.counter("cluster.distance_matrices_reused") == computed
+        assert metrics.counter("cluster.optics_reused") == metrics.counter("cluster.optics_runs")
+        assert metrics.counter("cluster.optics_reference_runs") == 0
+        assert metrics.histogram("cluster.distance_ms").count == computed
+        assert metrics.histogram("filters.plausibility_ms").count == 1
 
 
 class TestCachedStudyMetrics:

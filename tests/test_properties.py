@@ -10,9 +10,19 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.clustering.distance import pairwise_trimmed_manhattan, trimmed_manhattan
+from repro.clustering.distance import (
+    pairwise_trimmed_manhattan,
+    pairwise_trimmed_manhattan_reference,
+    trimmed_manhattan,
+)
 from repro.clustering.optics import optics_order
-from repro.clustering.sites import ClusteringConfig, cluster_isp_offnets, rand_index
+from repro.clustering.sites import (
+    ClusteringConfig,
+    cluster_isp_offnets,
+    pair_confusion_counts,
+    pair_confusion_counts_reference,
+    rand_index,
+)
 from repro.clustering.xi import XiCluster, extract_xi_clusters, split_clusters_on_spikes, xi_labels
 
 
@@ -44,6 +54,86 @@ class TestDistanceEquivalence:
                 else:
                     assert fast[i, j] == pytest.approx(reference, abs=1e-9)
                 assert fast[i, j] == fast[j, i] or (np.isnan(fast[i, j]) and np.isnan(fast[j, i]))
+
+
+@st.composite
+def symmetric_distances(draw):
+    """Random symmetric distance matrices stressing the OPTICS edge cases.
+
+    Quantized values force reachability *ties* (the heap's lexicographic
+    pop must match the reference argmin's first-occurrence tie-break), NaN
+    holes exercise unconnectable pairs, and zeroing whole off-diagonal
+    blocks creates disconnected components (outer-loop restarts).
+    """
+    n = draw(st.integers(2, 16))
+    seed = draw(st.integers(0, 2**31 - 1))
+    n_values = draw(st.integers(1, 6))  # tiny value alphabet => many ties
+    nan_rate = draw(st.floats(0.0, 0.5))
+    split = draw(st.integers(0, n))  # NaN wall => disconnected components
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(0.5, 20.0, size=n_values)
+    upper = values[rng.integers(0, n_values, size=(n, n))]
+    upper[rng.random((n, n)) < nan_rate] = np.nan
+    matrix = np.triu(upper, k=1)
+    matrix = matrix + matrix.T
+    if 0 < split < n:
+        matrix[:split, split:] = np.nan
+        matrix[split:, :split] = np.nan
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+class TestOpticsImplementationEquivalence:
+    """The heap frontier must be bit-equal to the reference scan — the
+    determinism contract the clustering artifacts rest on."""
+
+    @given(symmetric_distances(), st.integers(2, 4))
+    @settings(max_examples=80, deadline=None)
+    def test_heap_is_bit_equal_to_reference(self, distances, min_pts):
+        heap = optics_order(distances, min_pts, implementation="heap")
+        reference = optics_order(distances, min_pts, implementation="reference")
+        assert np.array_equal(heap.ordering, reference.ordering)
+        # Exact float equality, including the inf exploration starts.
+        assert np.array_equal(heap.reachability, reference.reachability)
+        assert np.array_equal(heap.core_distance, reference.core_distance)
+
+    @given(latency_columns(), st.floats(0.05, 0.45))
+    @settings(max_examples=40, deadline=None)
+    def test_heap_is_bit_equal_on_real_distance_matrices(self, columns, trim):
+        distances = pairwise_trimmed_manhattan(columns, trim)
+        heap = optics_order(distances, implementation="heap")
+        reference = optics_order(distances, implementation="reference")
+        assert np.array_equal(heap.ordering, reference.ordering)
+        assert np.array_equal(heap.reachability, reference.reachability)
+
+    def test_env_kill_switch_selects_reference(self, monkeypatch):
+        from repro.clustering.optics import REFERENCE_ENV_VAR, active_optics_implementation
+
+        assert active_optics_implementation() == "heap"
+        monkeypatch.setenv(REFERENCE_ENV_VAR, "1")
+        assert active_optics_implementation() == "reference"
+
+
+class TestPairConfusionEquivalence:
+    @given(st.lists(st.integers(-1, 5), min_size=1, max_size=40), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_vectorised_matches_loop(self, raw, shuffle_seed):
+        a = np.array(raw)
+        b = np.random.default_rng(shuffle_seed).permutation(a)
+        assert pair_confusion_counts(a, b) == pair_confusion_counts_reference(a, b)
+
+
+class TestDistanceTriangleEquivalence:
+    @given(latency_columns(), st.floats(0.0, 0.45))
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_blocks_match_reference_loop(self, columns, trim):
+        """The mirrored-triangle matrix against the per-pair loop, whole
+        matrices at once (the element-wise case lives in
+        TestDistanceEquivalence)."""
+        fast = pairwise_trimmed_manhattan(columns, trim)
+        reference = pairwise_trimmed_manhattan_reference(columns, trim)
+        assert np.allclose(fast, reference, atol=1e-9, equal_nan=True)
+        assert np.array_equal(fast, fast.T, equal_nan=True)
 
 
 class TestOpticsInvariances:
