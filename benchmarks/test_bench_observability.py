@@ -1,32 +1,47 @@
-"""Observability bench: record the pipeline's stage-time/metrics snapshot.
+"""Observability bench: compact stage-aggregate snapshot + overhead gate.
 
-Runs the small scenario with telemetry enabled and writes the snapshot to
-``BENCH_observability.json`` next to this file, in the ``repro-bench-v1``
-trajectory format (span forest + counters/gauges/histograms).  Each PR that
-touches a pipeline stage regenerates the file, so the sequence of committed
-snapshots is a perf trajectory: diff ``spans[].duration_ms`` and the funnel
-counters across revisions to spot regressions.
+Two claims, one committed artifact:
+
+* **Trajectory snapshot** — runs the small scenario fully instrumented
+  (profiling + event stream + flight recorder) and writes the **compact**
+  aggregate snapshot (``schema: compact-aggregates-v1``) to
+  ``BENCH_observability.json``: per-stage rollups and histogram summaries
+  instead of the old multi-thousand-line span dump.  Each PR regenerates
+  the file; ``repro bench check`` compares fresh runs against it.
+
+* **Disabled-mode overhead** — telemetry off must cost (almost) nothing.
+  The PR 5 clustering baseline (``BENCH_clustering.json``,
+  ``runs.optimized_s``) was committed from this same container lineage;
+  re-running that exact workload with telemetry *disabled* must land
+  within :data:`OVERHEAD_TOLERANCE` of it.  A regression here means the
+  observability layer leaked cost into the uninstrumented hot path.
 
 Run with ``PYTHONPATH=src python -m pytest benchmarks/test_bench_observability.py -s``.
 """
 
 from __future__ import annotations
 
+import io
 import json
+import os
+import time
 from pathlib import Path
 
 from repro.experiments.scenarios import scenario_by_name
 from repro.obs import (
+    COMPACT_SCHEMA,
     Telemetry,
+    compact_snapshot,
     render_filter_funnel,
+    render_profile,
     render_span_tree,
-    telemetry_to_json,
-    write_metrics_json,
+    write_compact_snapshot,
 )
 
 from benchmarks.conftest import emit
 
 SNAPSHOT_PATH = Path(__file__).parent / "BENCH_observability.json"
+CLUSTERING_BASELINE_PATH = Path(__file__).parent / "BENCH_clustering.json"
 
 #: Every stage that must appear in the snapshot for it to be useful.
 PIPELINE_STAGES = (
@@ -39,29 +54,106 @@ PIPELINE_STAGES = (
     "clustering",
 )
 
+#: Disabled-mode fraction the bare hot path may exceed the PR 5 baseline by.
+#: Override with ``REPRO_BENCH_OVERHEAD_TOL`` (e.g. on noisy shared hosts).
+OVERHEAD_TOLERANCE = float(os.environ.get("REPRO_BENCH_OVERHEAD_TOL", "0.02"))
 
-def _flat_names(spans: list[dict]) -> set[str]:
-    names: set[str] = set()
-    for span in spans:
-        names.add(span["name"])
-        names.update(_flat_names(span["children"]))
-    return names
+#: Best-of repeats for the overhead timing.
+REPEATS = 3
 
 
-def test_bench_observability_snapshot():
-    telemetry = Telemetry.capture()
-    study = scenario_by_name("small").run(telemetry=telemetry)
-    assert study.telemetry is telemetry
+def _smoke() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_SMOKE"))
 
-    snapshot = telemetry_to_json(telemetry, name="observability-small")
-    names = _flat_names(snapshot["spans"])
+
+def _time_best(callable_, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _clustering_workload(n_ips: int):
+    """The exact PR 5 hot-path workload (see test_bench_clustering.py)."""
+    from benchmarks.test_bench_clustering import XIS, _large_isp_columns
+    from repro.clustering.sites import ClusteringConfig, ClusteringMemo, cluster_isp_offnets
+
+    columns, ips = _large_isp_columns(n_ips)
+
+    def bare_pass():
+        memo = ClusteringMemo()
+        return [
+            cluster_isp_offnets(
+                columns, ips, ClusteringConfig(xi=xi), memo=memo, memo_key="isp"
+            ).labels
+            for xi in XIS
+        ]
+
+    return bare_pass
+
+
+def test_bench_observability_snapshot(tmp_path):
+    smoke = _smoke()
+
+    # -- instrumented scenario run: the committed trajectory snapshot -----------
+    events_path = tmp_path / "events.jsonl"
+    with Telemetry.capture(
+        profile=True, stream=io.StringIO(), events=events_path
+    ) as telemetry:
+        study = scenario_by_name("small").run(telemetry=telemetry)
+        assert study.telemetry is telemetry
+        snapshot = compact_snapshot(telemetry, name="observability-small")
+
+    assert snapshot["schema"] == COMPACT_SCHEMA
     for stage in PIPELINE_STAGES:
-        assert stage in names, f"stage {stage!r} missing from the trace"
+        assert stage in snapshot["stages"], f"stage {stage!r} missing from the trace"
+        assert snapshot["stages"][stage]["cpu_ms"] >= 0.0  # profiled, not just timed
     assert snapshot["counters"]["filters.ips_considered"] > 0
     assert snapshot["counters"]["cluster.isps_analyzed"] > 0
-
-    write_metrics_json(telemetry, SNAPSHOT_PATH, name="observability-small")
-    assert json.loads(SNAPSHOT_PATH.read_text())["format"] == "repro-bench-v1"
+    assert snapshot["flight"]["shards"] > 0, "flight recorder saw no shards"
 
     emit("stage timings (small scenario)", render_span_tree(telemetry.tracer))
+    emit("resource profile (small scenario)", render_profile(telemetry))
     emit("filter funnel (small scenario)", render_filter_funnel(telemetry.metrics))
+    emit("executor flights (small scenario)", telemetry.flight.render())
+
+    # -- disabled-mode overhead vs the PR 5 clustering baseline ------------------
+    baseline = json.loads(CLUSTERING_BASELINE_PATH.read_text(encoding="utf-8"))
+    baseline_s = float(baseline["runs"]["optimized_s"])
+    n_ips = int(baseline["workload"]["n_ips"])
+    if smoke:
+        # CI smoke: assert the structure, skip the timing and snapshot write.
+        return
+    bare_pass = _clustering_workload(n_ips)
+    disabled_s = _time_best(bare_pass, REPEATS)
+    overhead = disabled_s / baseline_s - 1.0
+
+    emit(
+        f"disabled-mode overhead (clustering hot path, {n_ips} IPs, best of {REPEATS})",
+        f"PR 5 baseline {baseline_s:.3f} s -> bare now {disabled_s:.3f} s "
+        f"({overhead:+.1%}, tolerance +{OVERHEAD_TOLERANCE:.0%})",
+    )
+    assert disabled_s <= baseline_s * (1.0 + OVERHEAD_TOLERANCE), (
+        f"disabled-mode telemetry overhead {overhead:+.1%} exceeds "
+        f"{OVERHEAD_TOLERANCE:.0%} vs the committed PR 5 hot-path baseline "
+        f"({baseline_s:.3f} s); the null-object path is no longer free"
+    )
+
+    write_compact_snapshot(
+        telemetry,
+        SNAPSHOT_PATH,
+        name="observability-small",
+        extra={
+            "overhead": {
+                "baseline": "BENCH_clustering.json runs.optimized_s",
+                "baseline_s": baseline_s,
+                "disabled_s": round(disabled_s, 3),
+                "overhead_fraction": round(overhead, 4),
+                "tolerance": OVERHEAD_TOLERANCE,
+            }
+        },
+    )
+    written = json.loads(SNAPSHOT_PATH.read_text(encoding="utf-8"))
+    assert written["format"] == "repro-bench-v1" and written["schema"] == COMPACT_SCHEMA

@@ -66,6 +66,9 @@ def _time_run(backend: str, workers: int, export_dir: Path) -> dict:
         "clustering_s": round(clustering.duration_s, 3),
         "parallel_stages_s": round(campaign.duration_s + clustering.duration_s, 3),
         "archive_sha256": digest.hexdigest(),
+        # Flight-recorder forensics: per-worker utilization, queue-wait
+        # share, stragglers — the *why* behind the wall times above.
+        "flight": telemetry.flight.to_json(),
     }
 
 
@@ -77,6 +80,12 @@ def test_bench_parallel_snapshot(tmp_path):
         _time_run(backend, workers, tmp_path / f"{backend}-{workers}")
         for backend, workers in RUNS
     ]
+
+    # Every run must have flight-recorded its shards.
+    for run in runs:
+        assert run["flight"]["shards"] > 0, (
+            f"{run['backend']}/{run['workers']}w recorded no shard flights"
+        )
 
     # Differential cross-check: every backend/worker combination exported
     # the same bytes (the equivalence harness proves this per-file; here it

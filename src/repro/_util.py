@@ -10,7 +10,10 @@ module does not perturb the stream seen by another.
 from __future__ import annotations
 
 import math
+import os
+import uuid
 from collections.abc import Iterable, Sequence
+from pathlib import Path
 from typing import TypeVar
 
 import numpy as np
@@ -45,6 +48,28 @@ def spawn_rng(rng: np.random.Generator, label: str) -> np.random.Generator:
     label_entropy = [ord(ch) for ch in label]
     seed_material = rng.integers(0, 2**63 - 1)
     return np.random.default_rng([int(seed_material), *label_entropy])
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (unique temp file + rename).
+
+    The same publish-by-rename idiom :mod:`repro.store` uses for artifact
+    archives: readers (a concurrent ``repro tail``, a crashed run's
+    post-mortem) only ever see the old file or the complete new one, never
+    a torn half-write.  The temp name carries pid + random suffix so
+    concurrent writers to the same path cannot collide; ``os.replace``
+    keeps last-writer-wins semantics on POSIX and Windows alike.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    staging = path.parent / f".{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
+    try:
+        staging.write_text(text, encoding="utf-8")
+        os.replace(staging, path)
+    except BaseException:
+        staging.unlink(missing_ok=True)
+        raise
+    return path
 
 
 def require(condition: bool, message: str) -> None:

@@ -1,0 +1,190 @@
+"""Benchmark-baseline checking: ``repro bench check``.
+
+The ``benchmarks/BENCH_*.json`` files committed with each PR form a perf
+trajectory (see ``benchmarks/README`` conventions): every revision
+regenerates them on the machine running the suite, so consecutive files
+are same-machine comparable.  This module closes the loop — it runs the
+compact study scenario fresh, aggregates its stage timings into the same
+compact snapshot shape (:func:`repro.obs.export.compact_snapshot`), and
+compares them against a committed baseline:
+
+* **stage wall times** must stay within ``tolerance ×`` the baseline
+  (stages under :data:`MIN_STAGE_MS` are skipped as timer noise);
+* **deterministic counters** (funnel counts, shard counts, topology
+  sizes) must match the baseline *exactly* — a drift here is not noise
+  but a behaviour change that slipped past the tests.
+
+The CI ``bench-check`` job runs this as a smoke gate; locally it is
+``PYTHONPATH=src python -m repro bench check``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro._util import format_table, require
+
+#: A fresh stage may take at most this multiple of its baseline wall time.
+DEFAULT_TOLERANCE = 2.5
+
+#: Stages with a baseline total below this are timer noise and are skipped.
+MIN_STAGE_MS = 5.0
+
+#: Counter prefixes whose values are timing- or environment-dependent and
+#: therefore excluded from the exact comparison.
+NONDETERMINISTIC_COUNTER_PREFIXES = ("resilience.",)
+
+
+@dataclass(frozen=True)
+class StageCheck:
+    """One stage's fresh-vs-baseline wall-time comparison."""
+
+    name: str
+    baseline_ms: float
+    fresh_ms: float
+    tolerance: float
+    skipped: bool = False
+
+    @property
+    def ratio(self) -> float:
+        """Fresh over baseline wall time (0 when the baseline is zero)."""
+        return self.fresh_ms / self.baseline_ms if self.baseline_ms > 0 else 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether this stage is within tolerance (skipped stages pass)."""
+        return self.skipped or self.ratio <= self.tolerance
+
+
+@dataclass
+class BenchCheckResult:
+    """The full outcome of one ``repro bench check`` run."""
+
+    baseline_path: Path
+    tolerance: float
+    checks: list[StageCheck] = field(default_factory=list)
+    #: counter name -> (baseline, fresh) for every exact-compare mismatch.
+    counter_mismatches: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    @property
+    def regressions(self) -> list[StageCheck]:
+        """Stages over their tolerance band."""
+        return [check for check in self.checks if not check.ok]
+
+    @property
+    def passed(self) -> bool:
+        """Whether every stage and every deterministic counter held."""
+        return not self.regressions and not self.counter_mismatches
+
+    def render(self) -> str:
+        """The per-stage comparison table plus the verdict."""
+        rows = []
+        for check in self.checks:
+            if check.skipped:
+                verdict = "skip (noise)"
+            elif check.ok:
+                verdict = "ok"
+            else:
+                verdict = f"REGRESSION (> {check.tolerance:g}x)"
+            rows.append(
+                [
+                    check.name,
+                    f"{check.baseline_ms:.1f}",
+                    f"{check.fresh_ms:.1f}",
+                    f"{check.ratio:.2f}x" if check.baseline_ms > 0 else "-",
+                    verdict,
+                ]
+            )
+        lines = [format_table(["stage", "baseline ms", "fresh ms", "ratio", "verdict"], rows)]
+        for name, (baseline, fresh) in sorted(self.counter_mismatches.items()):
+            lines.append(f"COUNTER DRIFT {name}: baseline {baseline:g} != fresh {fresh:g}")
+        verdict = "bench check passed" if self.passed else (
+            f"bench check FAILED: {len(self.regressions)} stage regression(s), "
+            f"{len(self.counter_mismatches)} counter drift(s)"
+        )
+        lines.append(f"{verdict} (baseline: {self.baseline_path}, tolerance {self.tolerance:g}x)")
+        return "\n".join(lines)
+
+
+def fresh_compact_snapshot(scenario: str = "small") -> dict[str, Any]:
+    """Run ``scenario`` fresh with profiling and return its compact snapshot.
+
+    The same workload the observability bench commits as its baseline, so
+    the two snapshots are directly comparable.
+    """
+    from repro.experiments.scenarios import scenario_by_name
+    from repro.obs import Telemetry, compact_snapshot
+
+    with Telemetry.capture(profile=True) as telemetry:
+        scenario_by_name(scenario).run(telemetry=telemetry)
+        return compact_snapshot(telemetry, name=f"observability-{scenario}")
+
+
+def compare_snapshots(
+    baseline: dict[str, Any],
+    fresh: dict[str, Any],
+    baseline_path: Path,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> BenchCheckResult:
+    """Compare two compact snapshots stage by stage and counter by counter."""
+    require(tolerance > 1.0, "tolerance must be > 1.0 (a multiple of the baseline)")
+    baseline_stages = baseline.get("stages", {})
+    fresh_stages = fresh.get("stages", {})
+    result = BenchCheckResult(baseline_path=baseline_path, tolerance=tolerance)
+    for name, entry in baseline_stages.items():
+        fresh_entry = fresh_stages.get(name)
+        if fresh_entry is None:
+            # A stage that disappeared is a structural change, not a perf
+            # regression — the bench tests themselves gate structure.
+            continue
+        baseline_ms = float(entry.get("total_ms", 0.0))
+        result.checks.append(
+            StageCheck(
+                name=name,
+                baseline_ms=baseline_ms,
+                fresh_ms=float(fresh_entry.get("total_ms", 0.0)),
+                tolerance=tolerance,
+                skipped=baseline_ms < MIN_STAGE_MS,
+            )
+        )
+    fresh_counters = fresh.get("counters", {})
+    for name, value in baseline.get("counters", {}).items():
+        if name.startswith(NONDETERMINISTIC_COUNTER_PREFIXES):
+            continue
+        fresh_value = fresh_counters.get(name)
+        if fresh_value is None or float(fresh_value) != float(value):
+            result.counter_mismatches[name] = (
+                float(value),
+                float(fresh_value) if fresh_value is not None else float("nan"),
+            )
+    return result
+
+
+def check_bench(
+    baseline_path: str | Path,
+    tolerance: float = DEFAULT_TOLERANCE,
+    scenario: str = "small",
+    fresh: dict[str, Any] | None = None,
+) -> BenchCheckResult:
+    """Run the scenario fresh and compare it against the committed baseline.
+
+    ``fresh`` lets tests (and callers that already ran the workload) inject
+    a snapshot instead of re-running the pipeline.  Raises
+    :class:`ValueError` if the baseline file is missing or not a compact
+    snapshot.
+    """
+    import json
+
+    baseline_path = Path(baseline_path)
+    require(baseline_path.exists(), f"no benchmark baseline at {baseline_path}")
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    require(
+        "stages" in baseline,
+        f"{baseline_path} is not a compact benchmark snapshot (no 'stages'); "
+        "regenerate it with the benchmarks suite",
+    )
+    if fresh is None:
+        fresh = fresh_compact_snapshot(scenario)
+    return compare_snapshots(baseline, fresh, baseline_path, tolerance)

@@ -9,6 +9,10 @@ Commands:
 * ``export``   — run the pipeline and write a dataset archive to a directory.
 * ``sweep``    — run/resume, inspect, or garbage-collect sweep campaigns
   (``sweep run``, ``sweep status``, ``sweep gc``).
+* ``tail``     — render (or ``--follow``) a live run's JSONL event stream
+  written by ``--events-out``.
+* ``bench``    — benchmark-baseline utilities (``bench check`` compares a
+  fresh run's stage timings against a committed ``BENCH_*.json``).
 * ``info``     — library version and available scenarios/sections.
 
 ``study``, ``cascade``, and ``export`` accept ``--store-dir`` to back the
@@ -42,6 +46,11 @@ def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
         help="record stage spans and print the stage-time tree on stderr",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="also profile CPU time and peak RSS per stage (implies tracing)",
+    )
+    parser.add_argument(
         "--log-json",
         action="store_true",
         help="emit structured logs as JSON lines (instead of text) on stderr",
@@ -52,15 +61,36 @@ def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="write the telemetry snapshot (spans + metrics) as JSON to PATH",
     )
+    parser.add_argument(
+        "--events-out",
+        metavar="PATH",
+        default=None,
+        help="stream live progress events (JSONL) to PATH; tail with `repro tail PATH`",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write the span forest as a Chrome trace-event file (Perfetto-loadable)",
+    )
 
 
 def _telemetry_from_args(args: argparse.Namespace):
     """A live telemetry bundle when any observability flag is set, else None."""
-    if not (args.trace or args.log_json or args.metrics_out):
+    if not (
+        args.trace
+        or args.profile
+        or args.log_json
+        or args.metrics_out
+        or args.events_out
+        or args.trace_out
+    ):
         return None
     from repro.obs import Telemetry
 
-    return Telemetry.capture(json_logs=args.log_json)
+    return Telemetry.capture(
+        json_logs=args.log_json, profile=args.profile, events=args.events_out
+    )
 
 
 def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
@@ -189,20 +219,43 @@ def _load_study(name: str, telemetry=None, parallel=None, store=None, faults=Non
 
 
 def _emit_telemetry(args: argparse.Namespace, telemetry) -> None:
-    """Print / write the recorded telemetry as the flags request."""
+    """Print / write the recorded telemetry as the flags request.
+
+    Also undoes ``Telemetry.capture``'s process-global effects (restores
+    the shared-logger config, closes the event stream) — the CLI's runs
+    are over by the time this is called.
+    """
     if telemetry is None:
         return
-    from repro.obs import render_filter_funnel, render_span_tree, write_metrics_json
+    from repro.obs import (
+        render_filter_funnel,
+        render_profile,
+        render_span_tree,
+        write_chrome_trace,
+        write_metrics_json,
+    )
 
     if args.trace:
         print("\nstage timings\n-------------", file=sys.stderr)
         print(render_span_tree(telemetry.tracer), file=sys.stderr)
         funnel = render_filter_funnel(telemetry.metrics)
         print(f"\nfilter funnel\n-------------\n{funnel}", file=sys.stderr)
+    if args.profile:
+        print("\nresource profile\n----------------", file=sys.stderr)
+        print(render_profile(telemetry), file=sys.stderr)
+        if telemetry.flight.enabled and telemetry.flight.records:
+            print("\nexecutor flights\n----------------", file=sys.stderr)
+            print(telemetry.flight.render(), file=sys.stderr)
     if args.metrics_out:
         label = getattr(args, "scenario", None) or "sweep"
         path = write_metrics_json(telemetry, args.metrics_out, name=f"study-{label}")
         print(f"wrote telemetry to {path}", file=sys.stderr)
+    if args.trace_out:
+        path = write_chrome_trace(telemetry, args.trace_out)
+        print(f"wrote Chrome trace to {path} (load in Perfetto / chrome://tracing)", file=sys.stderr)
+    telemetry.restore()
+    if args.events_out:
+        print(f"event stream written to {args.events_out}", file=sys.stderr)
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
@@ -378,6 +431,52 @@ def _cmd_sweep_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tail(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        follow_events,
+        format_event,
+        read_events,
+        render_progress,
+        resolve_events_path,
+    )
+
+    try:
+        path = resolve_events_path(args.target)
+    except FileNotFoundError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    if not args.follow:
+        print(render_progress(read_events(path)))
+        return 0
+    events = []
+    try:
+        for event in follow_events(path, poll_interval_s=args.poll, timeout_s=args.timeout):
+            events.append(event)
+            print(format_event(event), flush=True)
+    except KeyboardInterrupt:
+        pass
+    print(render_progress(events))
+    return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    from repro.bench import DEFAULT_TOLERANCE, check_bench
+
+    tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    print(
+        f"bench check: fresh {args.scenario!r} run vs {args.baseline} "
+        f"(tolerance {tolerance:g}x)...",
+        file=sys.stderr,
+    )
+    try:
+        result = check_bench(args.baseline, tolerance=tolerance, scenario=args.scenario)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    print(result.render())
+    return 0 if result.passed else 1
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     print(f"repro {__version__}")
     print("scenarios: small, default, large")
@@ -483,6 +582,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict quarantined entries older than this many seconds",
     )
     sweep_gc.set_defaults(handler=_cmd_sweep_gc)
+
+    tail = subparsers.add_parser("tail", help="render (or follow) a run's live event stream")
+    tail.add_argument("target", help="an events.jsonl file, or a directory containing one")
+    tail.add_argument(
+        "--follow", action="store_true", help="keep reading and print events as they arrive"
+    )
+    tail.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS", help="--follow poll interval"
+    )
+    tail.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="--follow: stop after this long without a new event (default: wait forever)",
+    )
+    tail.set_defaults(handler=_cmd_tail)
+
+    bench = subparsers.add_parser("bench", help="benchmark-baseline utilities")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_check = bench_sub.add_parser(
+        "check", help="compare a fresh run's stage timings against a committed baseline"
+    )
+    bench_check.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default="benchmarks/BENCH_observability.json",
+        help="committed compact snapshot to compare against (default: %(default)s)",
+    )
+    bench_check.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="max fresh/baseline wall-time ratio per stage (default: repro.bench default)",
+    )
+    bench_check.add_argument(
+        "--scenario",
+        choices=("small", "default", "large"),
+        default="small",
+        help="scenario to run fresh (must match the baseline's workload)",
+    )
+    bench_check.set_defaults(handler=_cmd_bench_check)
 
     info = subparsers.add_parser("info", help="version and available options")
     info.set_defaults(handler=_cmd_info)

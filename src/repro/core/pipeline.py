@@ -38,7 +38,7 @@ from repro.mlab.matrix import (
     measure_offnets,
 )
 from repro.mlab.vantage import VantagePoint, build_vantage_points
-from repro.obs import Telemetry, ensure_telemetry
+from repro.obs import Telemetry, ensure_telemetry, record_throughput_gauges
 from repro.parallel import ParallelConfig, Shard, ShardPlan, run_sharded
 from repro.population.users import PopulationDataset, build_population_dataset
 from repro.rdns.ptr import PtrConfig, PtrDataset, build_ptr_dataset
@@ -251,8 +251,9 @@ def run_study(
     coverage = CoverageReport()
 
     with obs.span("study", seed=config.seed, rehydrated=precomputed is not None):
-        with obs.span("topology"):
+        with obs.span("topology") as topology_span:
             internet = generate_internet(config.internet)
+            topology_span.set(n_items=len(internet.isps))
         obs.count("topology.isps", len(internet.isps))
         obs.count("topology.ixps", len(internet.ixps))
         obs.log("topology generated", isps=len(internet.isps), ixps=len(internet.ixps))
@@ -267,7 +268,9 @@ def run_study(
         scans: dict[str, ScanResult] = {}
         with obs.span("scan"):
             for epoch in sorted(history.epochs):
-                with obs.span("scan.epoch", epoch=epoch):
+                with obs.span(
+                    "scan.epoch", epoch=epoch, n_items=len(history.state(epoch).servers)
+                ):
                     scans[epoch] = run_scan(
                         internet,
                         history.state(epoch),
@@ -285,11 +288,12 @@ def run_study(
         inventories: dict[str, OffnetInventory] = {}
         with obs.span("detect"):
             for epoch in sorted(history.epochs):
-                with obs.span("detect.epoch", epoch=epoch):
+                with obs.span("detect.epoch", epoch=epoch) as detect_span:
                     inventories[epoch] = detect_offnets(internet, scans[epoch], telemetry=telemetry)
+                    detect_span.set(n_items=len(inventories[epoch]))
         obs.log("offnets detected", **{epoch: len(inv) for epoch, inv in inventories.items()})
 
-        with obs.span("ping_campaign"):
+        with obs.span("ping_campaign") as campaign_span:
             vantage_points = build_vantage_points(
                 internet.world, config.n_vantage_points, seed=spawn_rng(root, "vps")
             )
@@ -349,6 +353,7 @@ def run_study(
                     shards_total=n_campaign_shards,
                 )
                 obs.count("study.rehydrated_measurements", rtt_ms.size)
+            campaign_span.set(n_items=int(matrix.rtt_ms.size))
             coverage.record("mlab.pings", len(matrix.unmeasured_ips), len(matrix.ips))
             coverage.record("campaign.shards", matrix.shards_lost, matrix.shards_total)
 
@@ -364,7 +369,7 @@ def run_study(
             min_vps_per_isp=effective_min_vps,
         )
         ip_to_isp = {d.ip: d.isp_asn for d in inventories["2023"].detections}
-        with obs.span("filters", min_vps_per_isp=effective_min_vps):
+        with obs.span("filters", min_vps_per_isp=effective_min_vps, n_items=len(matrix.ips)):
             campaign = apply_quality_filters(matrix, ip_to_isp, campaign_config, telemetry=telemetry)
         obs.log(
             "quality filters applied",
@@ -372,7 +377,9 @@ def run_study(
             dropped_isps=len(campaign.discarded_isp_asns),
         )
 
-        with obs.span("clustering"):
+        with obs.span(
+            "clustering", n_items=len(config.xis) * len(campaign.analyzable_isp_asns)
+        ):
             obs.count("cluster.isps_analyzed", len(campaign.analyzable_isp_asns))
             if precomputed is None:
                 # Work units are (isp_asn, xi) pairs; each carries its own latency
@@ -430,11 +437,11 @@ def run_study(
                     "clustering.shards", 0, -(-n_pairs // config.parallel.clustering_chunk)
                 )
 
-        with obs.span("population"):
+        with obs.span("population", n_items=len(internet.isps)):
             population = build_population_dataset(
                 internet, config.population_noise_sigma, seed=spawn_rng(root, "population")
             )
-        with obs.span("ptr"):
+        with obs.span("ptr", n_items=len(state_2023.servers)):
             ptr = build_ptr_dataset(
                 state_2023, internet.world, config.ptr, seed=spawn_rng(root, "ptr"), faults=faults
             )
@@ -447,6 +454,9 @@ def run_study(
                 shards_lost=coverage.shards_lost,
                 sites={site: lost for site, (lost, _) in coverage.entries.items() if lost},
             )
+
+    if obs.tracer.enabled and obs.tracer.profiler is not None:
+        record_throughput_gauges(obs)
 
     return Study(
         config=config,

@@ -1,33 +1,49 @@
 """Observability for the study pipeline: tracing, metrics, logging, export.
 
-The subsystem has four pieces:
+The subsystem's pieces:
 
 * :mod:`repro.obs.trace` — nested stage spans with wall-clock durations
-  (:class:`Tracer`); disabled mode is a shared no-op span with zero clock
-  calls.
+  and absolute start offsets (:class:`Tracer`); disabled mode is a shared
+  no-op span with zero clock calls.
+* :mod:`repro.obs.prof` — per-stage resource profiling
+  (:class:`StageProfiler`): CPU vs wall time, peak RSS, rows/sec.
 * :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
   gauges, and histograms named ``<stage>.<name>``.
+* :mod:`repro.obs.stream` — the live JSONL event stream
+  (:class:`EventStream`): stage transitions, progress with ETA,
+  heartbeats; ``repro tail`` renders it.
 * :mod:`repro.obs.logging` — :func:`get_logger`, the repo's single
   structured-logging entry point (text or JSON lines).
-* :mod:`repro.obs.export` — JSON snapshots in the ``BENCH_*.json``
-  trajectory format plus aligned-text renderings (stage tree, metrics
-  table, filter funnel).
+* :mod:`repro.obs.export` — full and compact JSON snapshots in the
+  ``BENCH_*.json`` trajectory format, Chrome trace-event export, and
+  aligned-text renderings (stage tree, metrics table, filter funnel,
+  resource profile).
+
+The executor flight recorder (per-worker utilization, queue-wait,
+stragglers) lives with the backends in :mod:`repro.parallel.flight` and
+rides on the same :class:`Telemetry` bundle.
 
 Instrumented pipeline functions accept ``telemetry: Telemetry | None``;
 ``None`` (the default) means the shared :data:`NULL_TELEMETRY` bundle, so
 uninstrumented callers pay one attribute lookup per stage and nothing per
-inner-loop element.  Recording never draws randomness: a traced run's
-artifacts are byte-identical to an untraced one.
+inner-loop element.  Recording never draws randomness: a traced, profiled,
+or streamed run's artifacts are byte-identical to an untraced one.
 """
 
 from repro.obs.export import (
     BENCH_FORMAT,
+    COMPACT_SCHEMA,
     FUNNEL_COUNTERS,
+    aggregate_stages,
+    chrome_trace_json,
+    compact_snapshot,
     render_filter_funnel,
     render_metrics_table,
     render_span_tree,
     telemetry_from_json,
     telemetry_to_json,
+    write_chrome_trace,
+    write_compact_snapshot,
     write_metrics_json,
 )
 from repro.obs.logging import (
@@ -39,6 +55,8 @@ from repro.obs.logging import (
     StructuredLogger,
     configure_logging,
     get_logger,
+    logging_config,
+    restore_logging,
 )
 from repro.obs.metrics import (
     GLOBAL_METRICS,
@@ -48,36 +66,81 @@ from repro.obs.metrics import (
     global_metrics,
     summarize,
 )
+from repro.obs.prof import (
+    StageProfile,
+    StageProfiler,
+    peak_rss_kb,
+    profile_stages,
+    record_throughput_gauges,
+    render_profile,
+)
+from repro.obs.stream import (
+    NULL_STREAM,
+    STREAM_FORMAT,
+    EventStream,
+    NullEventStream,
+    follow_events,
+    format_event,
+    latest_progress,
+    read_events,
+    render_progress,
+    resolve_events_path,
+)
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, ensure_telemetry
-from repro.obs.trace import NullTracer, Span, Tracer
+from repro.obs.trace import NullTracer, Span, Tracer, shift_spans
 
 __all__ = [
     "BENCH_FORMAT",
+    "COMPACT_SCHEMA",
     "DEBUG",
     "ERROR",
+    "EventStream",
     "FUNNEL_COUNTERS",
     "GLOBAL_METRICS",
     "HistogramSummary",
     "INFO",
     "MetricsRegistry",
+    "NULL_STREAM",
     "NULL_TELEMETRY",
+    "NullEventStream",
     "NullLogger",
     "NullMetrics",
     "NullTracer",
+    "STREAM_FORMAT",
     "Span",
+    "StageProfile",
+    "StageProfiler",
     "StructuredLogger",
     "Telemetry",
     "Tracer",
     "WARNING",
+    "aggregate_stages",
+    "chrome_trace_json",
+    "compact_snapshot",
     "configure_logging",
     "ensure_telemetry",
+    "follow_events",
+    "format_event",
     "get_logger",
     "global_metrics",
+    "latest_progress",
+    "logging_config",
+    "peak_rss_kb",
+    "profile_stages",
+    "read_events",
+    "record_throughput_gauges",
     "render_filter_funnel",
     "render_metrics_table",
+    "render_profile",
+    "render_progress",
     "render_span_tree",
+    "resolve_events_path",
+    "restore_logging",
+    "shift_spans",
     "summarize",
     "telemetry_from_json",
     "telemetry_to_json",
+    "write_chrome_trace",
+    "write_compact_snapshot",
     "write_metrics_json",
 ]

@@ -1,10 +1,24 @@
-"""Telemetry exporters: JSON snapshots and aligned-text renderings.
+"""Telemetry exporters: JSON snapshots, Chrome traces, text renderings.
 
 The JSON shape follows the benchmark-trajectory convention used by the
 ``BENCH_*.json`` files under ``benchmarks/``: a top-level ``bench`` name, a
 ``format`` tag, and the measurements — here the span forest plus the full
 metrics registry — so a sequence of PRs can diff stage timings and funnel
-counts over time.
+counts over time.  Two snapshot shapes exist:
+
+* :func:`telemetry_to_json` — the full dump (every span, raw histogram
+  values on request); the worker→parent merge wire format.
+* :func:`compact_snapshot` — the committed-baseline shape
+  (:data:`COMPACT_SCHEMA`): spans aggregated per stage name, histograms
+  as summaries only.  A few hundred lines instead of thousands, which is
+  what belongs in git and what ``repro bench check`` compares against.
+
+:func:`write_chrome_trace` exports the span forest in the Chrome
+trace-event format (complete ``"ph": "X"`` events with microsecond
+timestamps), loadable in Perfetto / ``chrome://tracing``; worker-tagged
+spans land on their own rows.  All file writers publish atomically
+(temp file + rename) so a concurrently-tailing reader never sees a torn
+snapshot.
 """
 
 from __future__ import annotations
@@ -13,13 +27,16 @@ import json
 from pathlib import Path
 from typing import Any
 
-from repro._util import format_table
+from repro._util import atomic_write_text, format_table
 from repro.obs.metrics import MetricsRegistry, NullMetrics
 from repro.obs.telemetry import Telemetry
 from repro.obs.trace import NullTracer, Span, Tracer
 
 #: Format tag stamped into every exported snapshot.
 BENCH_FORMAT = "repro-bench-v1"
+
+#: Schema tag for the aggregated (committed-baseline) snapshot shape.
+COMPACT_SCHEMA = "compact-aggregates-v1"
 
 #: The filter-attrition funnel, in pipeline order: (counter, description).
 FUNNEL_COUNTERS: tuple[tuple[str, str], ...] = (
@@ -47,11 +64,10 @@ def telemetry_to_json(
 def write_metrics_json(
     telemetry: Telemetry, path: str | Path, name: str = "study", include_values: bool = False
 ) -> Path:
-    """Write the snapshot to ``path`` and return it."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(telemetry_to_json(telemetry, name, include_values), indent=2) + "\n")
-    return path
+    """Write the snapshot to ``path`` (atomically) and return it."""
+    return atomic_write_text(
+        path, json.dumps(telemetry_to_json(telemetry, name, include_values), indent=2) + "\n"
+    )
 
 
 def telemetry_from_json(data: dict[str, Any]) -> Telemetry:
@@ -60,6 +76,122 @@ def telemetry_from_json(data: dict[str, Any]) -> Telemetry:
     tracer.roots = [Span.from_json(entry) for entry in data.get("spans", ())]
     metrics = MetricsRegistry.from_json(data)
     return Telemetry(tracer=tracer, metrics=metrics)
+
+
+# -- compact (committed-baseline) snapshots ---------------------------------------
+
+
+def aggregate_stages(telemetry: Telemetry) -> dict[str, dict[str, Any]]:
+    """Per-stage-name wall-time aggregates over the whole span forest.
+
+    Every recorded span participates (profiled or not), keyed by span name
+    in recording order: count, total/mean/max wall ms, plus summed CPU ms
+    and max peak RSS when the spans were profiled.
+    """
+    stages: dict[str, dict[str, Any]] = {}
+    for root in telemetry.tracer.roots:
+        for span in root.walk():
+            entry = stages.setdefault(
+                span.name, {"count": 0, "total_ms": 0.0, "max_ms": 0.0, "cpu_ms": 0.0, "rss_peak_kb": 0.0}
+            )
+            entry["count"] += 1
+            entry["total_ms"] += span.duration_ms
+            entry["max_ms"] = max(entry["max_ms"], span.duration_ms)
+            entry["cpu_ms"] += float(span.attributes.get("cpu_ms", 0.0))
+            entry["rss_peak_kb"] = max(
+                entry["rss_peak_kb"], float(span.attributes.get("rss_peak_kb", 0.0))
+            )
+    for entry in stages.values():
+        entry["total_ms"] = round(entry["total_ms"], 3)
+        entry["mean_ms"] = round(entry["total_ms"] / entry["count"], 3)
+        entry["max_ms"] = round(entry["max_ms"], 3)
+        entry["cpu_ms"] = round(entry["cpu_ms"], 3)
+    return stages
+
+
+def compact_snapshot(
+    telemetry: Telemetry, name: str = "study", extra: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """The aggregated snapshot: stage rollups + metric summaries, no raw dumps.
+
+    This is the shape committed as ``BENCH_*.json`` baselines: spans fold
+    into per-stage aggregates (:func:`aggregate_stages`), histograms keep
+    only their summaries, and an optional ``extra`` dict (run timings,
+    flight summaries) merges into the top level.
+    """
+    snapshot: dict[str, Any] = {
+        "bench": name,
+        "format": BENCH_FORMAT,
+        "schema": COMPACT_SCHEMA,
+        "stages": aggregate_stages(telemetry),
+        **telemetry.metrics.to_json(include_values=False),
+    }
+    if telemetry.flight.enabled and telemetry.flight.records:
+        snapshot["flight"] = telemetry.flight.to_json()
+    if extra:
+        snapshot.update(extra)
+    return snapshot
+
+
+def write_compact_snapshot(
+    telemetry: Telemetry,
+    path: str | Path,
+    name: str = "study",
+    extra: dict[str, Any] | None = None,
+) -> Path:
+    """Write the compact snapshot to ``path`` (atomically) and return it."""
+    return atomic_write_text(
+        path, json.dumps(compact_snapshot(telemetry, name, extra), indent=2) + "\n"
+    )
+
+
+# -- Chrome trace-event export ----------------------------------------------------
+
+
+def chrome_trace_json(telemetry: Telemetry, process_name: str = "repro") -> dict[str, Any]:
+    """The span forest as a Chrome trace-event document.
+
+    Every span becomes one complete event (``"ph": "X"``) with its start
+    offset and duration in microseconds; the absolute offsets recorded by
+    the tracer put parent and adopted-worker spans on one shared timeline.
+    Spans tagged with a ``worker`` attribute (merged back from worker
+    processes) get that worker as their ``tid``, so Perfetto renders one
+    row per worker under the main thread's row.
+    """
+    events: list[dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 0, "args": {"name": process_name}}
+    ]
+
+    def visit(span: Span, tid: str) -> None:
+        tid = str(span.attributes.get("worker", tid))
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": round(1000.0 * span.start_ms, 1),
+                "dur": round(1000.0 * span.duration_ms, 1),
+                "pid": 1,
+                "tid": tid,
+                "args": {
+                    key: value for key, value in span.attributes.items() if key != "worker"
+                },
+            }
+        )
+        for child in span.children:
+            visit(child, tid)
+
+    for root in telemetry.tracer.roots:
+        visit(root, "main")
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    telemetry: Telemetry, path: str | Path, process_name: str = "repro"
+) -> Path:
+    """Write the Chrome trace to ``path`` (atomically) and return it."""
+    return atomic_write_text(
+        path, json.dumps(chrome_trace_json(telemetry, process_name), indent=1) + "\n"
+    )
 
 
 # -- text renderings -------------------------------------------------------------

@@ -113,17 +113,39 @@ def configure_logging(
     level: int | str | None = None,
     json_mode: bool | None = None,
     stream: TextIO | None = None,
-) -> None:
+) -> dict:
     """Reconfigure all shared loggers (existing and future).
 
     Only the arguments given change; the rest keep their current defaults.
+    Returns the configuration in force *before* the call, suitable for
+    :func:`restore_logging` — callers that flip the process-global config
+    (``Telemetry.capture``) can hand the state back when they are done.
     """
+    previous = logging_config()
     if level is not None:
         _DEFAULTS["level"] = level_from_name(level)
     if json_mode is not None:
         _DEFAULTS["json_mode"] = json_mode
     if stream is not None:
         _DEFAULTS["stream"] = stream
+    for logger in _LOGGERS.values():
+        logger.level = _DEFAULTS["level"]  # type: ignore[assignment]
+        logger.json_mode = _DEFAULTS["json_mode"]  # type: ignore[assignment]
+        logger.stream = _DEFAULTS["stream"]  # type: ignore[assignment]
+    return previous
+
+
+def logging_config() -> dict:
+    """A snapshot of the current shared-logger configuration."""
+    return dict(_DEFAULTS)
+
+
+def restore_logging(snapshot: dict) -> None:
+    """Restore a configuration captured by :func:`logging_config` (or
+    returned by :func:`configure_logging`), including ``stream=None``
+    ("emit-time ``sys.stderr``"), which :func:`configure_logging` alone
+    cannot set back."""
+    _DEFAULTS.update(snapshot)
     for logger in _LOGGERS.values():
         logger.level = _DEFAULTS["level"]  # type: ignore[assignment]
         logger.json_mode = _DEFAULTS["json_mode"]  # type: ignore[assignment]

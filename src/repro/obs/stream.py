@@ -1,0 +1,272 @@
+"""Live telemetry: a JSONL event stream and its tailing/rendering side.
+
+An :class:`EventStream` is the run's heartbeat: a append-only JSONL file
+(one event object per line) carrying monotonic sequence numbers, elapsed
+times, stage transitions, per-label completion progress with ETA, and
+periodic heartbeats.  It exists so a *running* study or sweep campaign can
+be observed from another terminal (``repro tail events.jsonl``) — the
+post-hoc span tree answers "how long did it take", the stream answers
+"how far along is it *right now*".
+
+Durability discipline: every event is serialised to one line and written
+with a **single** ``write`` call followed by a flush, so a killed run
+leaves a file of complete JSON lines (the reader tolerates a torn final
+line, which can only occur if the OS itself was interrupted mid-write).
+The stream is observability-only — nothing in it feeds back into the
+pipeline, and emitting events never touches the RNG streams, so a
+streamed run's artifacts are byte-identical to a bare run's.
+
+:data:`NULL_STREAM` is the zero-cost disabled mode: every call is a no-op
+with no clock reads and no allocation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+#: Format tag stamped into the stream's opening event.
+STREAM_FORMAT = "repro-events-v1"
+
+#: Default minimum spacing between heartbeat events, seconds.
+HEARTBEAT_INTERVAL_S = 1.0
+
+#: Span depth up to which stage events are emitted (study + direct stages).
+STAGE_EVENT_DEPTH = 2
+
+
+class EventStream:
+    """Append-only JSONL sink with monotonic sequence numbers.
+
+    ``target`` is a path (opened, line-flushed) or any object with
+    ``write``/``flush`` (e.g. a ``StringIO`` in tests).  The clock is
+    injectable so tests can pin elapsed times and ETAs.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        target: str | Path | Any,
+        clock: Callable[[], float] = time.perf_counter,
+        heartbeat_interval_s: float = HEARTBEAT_INTERVAL_S,
+        stage_depth: int = STAGE_EVENT_DEPTH,
+    ) -> None:
+        if isinstance(target, (str, Path)):
+            path = Path(target)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = path.open("w", encoding="utf-8")
+            self.path: Path | None = path
+        else:
+            self._file = target
+            self.path = None
+        self._clock = clock
+        self._origin = clock()
+        self._seq = 0
+        self._closed = False
+        self._last_heartbeat_s = -heartbeat_interval_s
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.stage_depth = stage_depth
+        self.emit("stream_start", format=STREAM_FORMAT)
+
+    # -- emission ---------------------------------------------------------------
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Append one event line (single write + flush; see module docstring)."""
+        if self._closed:
+            return
+        record = {"seq": self._seq, "t_s": round(self._clock() - self._origin, 6), "event": event}
+        record.update(fields)
+        self._seq += 1
+        self._file.write(json.dumps(record, default=str) + "\n")
+        self._file.flush()
+
+    def progress(self, label: str, completed: int, total: int, **fields: Any) -> None:
+        """Emit a completion-progress event with percent and ETA.
+
+        The ETA extrapolates the observed per-unit rate over the remaining
+        units; it is ``None`` until the first unit completes.
+        """
+        elapsed = self._clock() - self._origin
+        percent = 100.0 * completed / total if total else 100.0
+        eta_s = elapsed * (total - completed) / completed if completed else None
+        self.emit(
+            "progress",
+            label=label,
+            completed=completed,
+            total=total,
+            percent=round(percent, 1),
+            eta_s=round(eta_s, 3) if eta_s is not None else None,
+            **fields,
+        )
+
+    def heartbeat(self, **fields: Any) -> None:
+        """Emit a heartbeat, rate-limited to one per ``heartbeat_interval_s``."""
+        now = self._clock() - self._origin
+        if now - self._last_heartbeat_s < self.heartbeat_interval_s:
+            return
+        self._last_heartbeat_s = now
+        self.emit("heartbeat", **fields)
+
+    def close(self) -> None:
+        """Emit the terminal event and close the underlying file (idempotent)."""
+        if self._closed:
+            return
+        self.emit("stream_end", events=self._seq)
+        self._closed = True
+        if self.path is not None:
+            self._file.close()
+
+
+class NullEventStream:
+    """Disabled stream: every call bottoms out immediately (no clock reads)."""
+
+    enabled = False
+    path = None
+    stage_depth = 0
+
+    def emit(self, event: str, **fields: Any) -> None:
+        pass
+
+    def progress(self, label: str, completed: int, total: int, **fields: Any) -> None:
+        pass
+
+    def heartbeat(self, **fields: Any) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_STREAM = NullEventStream()
+
+
+# -- reading and rendering --------------------------------------------------------
+
+
+def read_events(path: str | Path) -> list[dict[str, Any]]:
+    """Parse an events file into a list of event dicts.
+
+    A torn final line (killed run, interrupted write) is skipped; a torn
+    line anywhere else raises — it means the file is not an event stream.
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    events: list[dict[str, Any]] = []
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # torn final line: the run was killed mid-write
+            raise
+    return events
+
+
+def latest_progress(events: list[dict[str, Any]]) -> dict[str, dict[str, Any]]:
+    """The most recent progress event per label, in first-seen label order."""
+    latest: dict[str, dict[str, Any]] = {}
+    for event in events:
+        if event.get("event") == "progress":
+            latest[event["label"]] = event
+    return latest
+
+
+def render_progress(events: list[dict[str, Any]]) -> str:
+    """A human-readable snapshot of where the run is right now."""
+    if not events:
+        return "no events recorded"
+    lines: list[str] = []
+    ended = any(e.get("event") == "stream_end" for e in events)
+    stages = [e for e in events if e.get("event") in ("stage_start", "stage_end")]
+    if stages:
+        last = stages[-1]
+        verb = "finished" if last["event"] == "stage_end" else "running"
+        lines.append(f"stage: {verb} {last.get('stage')} (t={last.get('t_s', 0):.1f}s)")
+    for label, event in latest_progress(events).items():
+        eta = event.get("eta_s")
+        eta_text = f" eta {eta:.1f}s" if eta is not None else ""
+        lines.append(
+            f"{label}: {event['completed']}/{event['total']} "
+            f"({event['percent']:.1f}%){eta_text} elapsed {event.get('t_s', 0):.1f}s"
+        )
+    heartbeats = sum(1 for e in events if e.get("event") == "heartbeat")
+    if heartbeats:
+        lines.append(f"heartbeats: {heartbeats}")
+    lines.append("run complete" if ended else "run in progress")
+    return "\n".join(lines)
+
+
+def format_event(event: dict[str, Any]) -> str:
+    """One event as a one-line log entry (the ``repro tail --follow`` view)."""
+    kind = event.get("event", "?")
+    t_s = float(event.get("t_s", 0.0))
+    prefix = f"[{t_s:8.2f}s]"
+    if kind == "progress":
+        eta = event.get("eta_s")
+        eta_text = f" eta {eta:.1f}s" if eta is not None else ""
+        return (
+            f"{prefix} {event.get('label')}: {event.get('completed')}/{event.get('total')} "
+            f"({event.get('percent', 0):.1f}%){eta_text}"
+        )
+    if kind in ("stage_start", "stage_end"):
+        verb = "start" if kind == "stage_start" else "end  "
+        extra = f" ({event['duration_ms']:.1f} ms)" if "duration_ms" in event else ""
+        return f"{prefix} stage {verb} {event.get('stage')}{extra}"
+    skip = {"seq", "t_s", "event"}
+    fields = " ".join(f"{key}={value}" for key, value in event.items() if key not in skip)
+    return f"{prefix} {kind}{' ' + fields if fields else ''}"
+
+
+def resolve_events_path(target: str | Path) -> Path:
+    """``target`` itself, or ``events.jsonl`` inside it when it is a directory."""
+    path = Path(target)
+    if path.is_dir():
+        candidate = path / "events.jsonl"
+        if not candidate.exists():
+            raise FileNotFoundError(f"no events.jsonl inside directory {path}")
+        return candidate
+    if not path.exists():
+        raise FileNotFoundError(f"no such events file: {path}")
+    return path
+
+
+def follow_events(
+    path: str | Path,
+    poll_interval_s: float = 0.5,
+    timeout_s: float | None = None,
+) -> Iterator[dict[str, Any]]:
+    """Yield events as they are appended, until ``stream_end`` or timeout.
+
+    The reader keeps a byte offset and only parses complete lines, so it
+    can run concurrently with a live writer.  ``timeout_s`` bounds how
+    long it waits without seeing a *new* event (None = wait forever).
+    """
+    path = Path(path)
+    offset = 0
+    pending = ""
+    last_new = time.monotonic()
+    while True:
+        with path.open("r", encoding="utf-8") as handle:
+            handle.seek(offset)
+            chunk = handle.read()
+            offset = handle.tell()
+        pending += chunk
+        ended = False
+        while "\n" in pending:
+            line, pending = pending.split("\n", 1)
+            if not line.strip():
+                continue
+            event = json.loads(line)
+            last_new = time.monotonic()
+            yield event
+            if event.get("event") == "stream_end":
+                ended = True
+        if ended:
+            return
+        if timeout_s is not None and time.monotonic() - last_new > timeout_s:
+            return
+        time.sleep(poll_interval_s)

@@ -1,16 +1,29 @@
 """The telemetry bundle threaded through the pipeline.
 
-A :class:`Telemetry` groups one tracer, one metrics registry, and one
-logger, and exposes their recording surface directly (``span`` / ``count``
-/ ``gauge`` / ``observe`` / ``log``) so instrumented code deals with a
+A :class:`Telemetry` groups one tracer, one metrics registry, one logger,
+one event stream, and one executor flight recorder, and exposes their
+recording surface directly (``span`` / ``count`` / ``gauge`` / ``observe``
+/ ``log`` / ``emit`` / ``progress``) so instrumented code deals with a
 single object.  :meth:`Telemetry.disabled` returns a process-wide no-op
 singleton: every call on it bottoms out immediately with no clock reads,
 no allocation, and no RNG interaction — the zero-cost default.
+
+:meth:`Telemetry.capture` flips the process-global shared-logger
+configuration; the bundle remembers what it displaced and is a context
+manager, so the polite form is::
+
+    with Telemetry.capture(log_level="debug") as telemetry:
+        run_study(config, telemetry=telemetry)
+    # shared loggers restored, stream closed, profiler torn down
+
+Callers that keep the bundle open (the CLI does, to render reports after
+the run) can call :meth:`Telemetry.restore` explicitly instead.
 """
 
 from __future__ import annotations
 
-from typing import Any, TextIO
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, TextIO
 
 from repro.obs.logging import (
     INFO,
@@ -18,25 +31,48 @@ from repro.obs.logging import (
     StructuredLogger,
     configure_logging,
     level_from_name,
+    restore_logging,
 )
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.prof import StageProfiler
+from repro.obs.stream import NULL_STREAM, EventStream, NullEventStream
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel.flight import FlightRecorder, NullFlightRecorder
 
 
 class Telemetry:
-    """One study run's tracer + metrics + logger."""
+    """One study run's tracer + metrics + logger + stream + flight recorder."""
 
-    __slots__ = ("tracer", "metrics", "logger")
+    # ``repro.parallel.flight`` imports back into the pipeline packages, so
+    # the flight recorder is bound lazily (slot ``_flight`` + property
+    # ``flight``) to keep ``repro.obs`` importable on its own.
+    __slots__ = ("tracer", "metrics", "logger", "stream", "_flight", "_prior_logging")
 
     def __init__(
         self,
         tracer: Tracer | NullTracer | None = None,
         metrics: MetricsRegistry | NullMetrics | None = None,
         logger: StructuredLogger | None = None,
+        stream: EventStream | NullEventStream | None = None,
+        flight: "FlightRecorder | NullFlightRecorder | None" = None,
     ) -> None:
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.logger = logger if logger is not None else NULL_LOGGER
+        self.stream = stream if stream is not None else NULL_STREAM
+        self._flight = flight
+        self._prior_logging: dict | None = None
+
+    @property
+    def flight(self) -> "FlightRecorder | NullFlightRecorder":
+        """The executor flight recorder (the shared null one by default)."""
+        if self._flight is None:
+            from repro.parallel.flight import NULL_FLIGHT
+
+            self._flight = NULL_FLIGHT
+        return self._flight
 
     @property
     def enabled(self) -> bool:
@@ -54,20 +90,75 @@ class Telemetry:
         json_logs: bool = False,
         log_level: int | str = INFO,
         stream: TextIO | None = None,
+        profile: bool = False,
+        events: str | Path | EventStream | None = None,
+        trace_python_alloc: bool = False,
     ) -> "Telemetry":
         """A live bundle: real tracer, real registry, stderr logger.
 
+        ``profile=True`` attaches a :class:`~repro.obs.prof.StageProfiler`
+        so every span also records CPU time and peak RSS
+        (``trace_python_alloc=True`` adds tracemalloc deltas, slower).
+        ``events`` (a path or an open :class:`EventStream`) attaches a live
+        JSONL event stream fed by stage transitions and executor progress.
+        A live bundle always carries a real flight recorder — recording is
+        one list append per completed shard.
+
         Also flips the shared :func:`repro.obs.logging.get_logger` loggers
         to the requested level/mode so library-level components (scenario
-        cache, traceroute engine) log consistently with the run.  ``stream``
+        cache, traceroute engine) log consistently with the run; the
+        displaced configuration is remembered, and :meth:`restore` (or
+        exiting the bundle's ``with`` block) puts it back.  ``stream``
         only redirects this bundle's own logger; shared loggers keep
         writing to the process stderr.
         """
-        configure_logging(level=log_level, json_mode=json_logs)
+        from repro.parallel.flight import FlightRecorder
+
+        prior = configure_logging(level=log_level, json_mode=json_logs)
         logger = StructuredLogger(
             "repro.study", level=level_from_name(log_level), json_mode=json_logs, stream=stream
         )
-        return cls(tracer=Tracer(), metrics=MetricsRegistry(), logger=logger)
+        profiler = StageProfiler(trace_python_alloc=trace_python_alloc) if profile else None
+        if events is None:
+            event_stream: EventStream | NullEventStream = NULL_STREAM
+        elif isinstance(events, (str, Path)):
+            event_stream = EventStream(events)
+        else:
+            event_stream = events
+        telemetry = cls(
+            tracer=Tracer(
+                profiler=profiler,
+                stream=event_stream if event_stream.enabled else None,
+            ),
+            metrics=MetricsRegistry(),
+            logger=logger,
+            stream=event_stream,
+            flight=FlightRecorder(),
+        )
+        telemetry._prior_logging = prior
+        return telemetry
+
+    def restore(self) -> None:
+        """Undo :meth:`capture`'s process-global effects (idempotent).
+
+        Puts the shared-logger configuration back to what ``capture``
+        displaced, closes the event stream (emitting ``stream_end``), and
+        tears down the profiler's tracemalloc session if it owns one.
+        """
+        if self._prior_logging is not None:
+            restore_logging(self._prior_logging)
+            self._prior_logging = None
+        self.stream.close()
+        profiler = self.tracer.profiler
+        if profiler is not None:
+            profiler.close()
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.restore()
+        return False
 
     # -- recording surface (delegates) ------------------------------------------
 
@@ -91,6 +182,18 @@ class Telemetry:
         """Log an INFO event through the bundle's logger."""
         self.logger.info(event, **fields)
 
+    def emit(self, event: str, **fields: Any) -> None:
+        """Append an event to the live stream (no-op when not streaming)."""
+        self.stream.emit(event, **fields)
+
+    def progress(self, label: str, completed: int, total: int, **fields: Any) -> None:
+        """Stream a completion-progress event with percent and ETA."""
+        self.stream.progress(label, completed, total, **fields)
+
+    def heartbeat(self, **fields: Any) -> None:
+        """Stream a rate-limited liveness heartbeat."""
+        self.stream.heartbeat(**fields)
+
 
 class _NullTelemetry(Telemetry):
     """The do-nothing bundle; all members are the shared null objects."""
@@ -98,7 +201,9 @@ class _NullTelemetry(Telemetry):
     __slots__ = ()
 
     def __init__(self) -> None:
-        super().__init__(tracer=NULL_TRACER, metrics=NULL_METRICS, logger=NULL_LOGGER)
+        super().__init__(
+            tracer=NULL_TRACER, metrics=NULL_METRICS, logger=NULL_LOGGER, stream=NULL_STREAM
+        )
 
     def log(self, event: str, **fields: Any) -> None:
         pass

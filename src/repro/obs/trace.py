@@ -6,36 +6,74 @@ context manager, so instrumented code reads as::
     with tracer.span("scan", epoch="2023"):
         ...
 
-Tracing never touches the RNG streams — spans only read the wall clock —
-so a traced pipeline run produces byte-identical artifacts to an untraced
+Each span records its wall-clock duration **and** its start offset from
+the tracer's origin (the instant its first span opened), which is what
+lets a recorded forest be replayed on an absolute timeline — e.g. exported
+as Chrome trace events (:func:`repro.obs.export.write_chrome_trace`).
+
+Two optional attachments extend what a span records without changing the
+instrumented code:
+
+* a :class:`~repro.obs.prof.StageProfiler` (``tracer.profiler``) samples
+  CPU time and memory around every span and attaches the readings as span
+  attributes;
+* an :class:`~repro.obs.stream.EventStream` (``tracer.stream``) receives
+  ``stage_start`` / ``stage_end`` events for shallow spans (up to the
+  stream's ``stage_depth``), giving live runs a progress feed.
+
+Tracing never touches the RNG streams — spans only read clocks — so a
+traced pipeline run produces byte-identical artifacts to an untraced
 one.  When tracing is disabled the :class:`NullTracer` hands out a shared
 no-op span that makes **no clock calls at all**, keeping disabled-mode
-overhead to a single attribute lookup per instrumented block.
+overhead to a single attribute lookup per instrumented block; a live
+tracer without a profiler or stream pays one ``is None`` check per span
+for each.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (prof/stream import nothing back)
+    from repro.obs.prof import StageProfiler
+    from repro.obs.stream import EventStream
 
 
 class Span:
     """One timed stage: a name, attributes, a duration, and child spans."""
 
-    __slots__ = ("name", "attributes", "children", "duration_s", "_tracer", "_start_s")
+    __slots__ = (
+        "name",
+        "attributes",
+        "children",
+        "duration_s",
+        "start_s",
+        "_tracer",
+        "_start_s",
+        "_prof",
+    )
 
     def __init__(self, tracer: "Tracer", name: str, attributes: dict[str, Any]) -> None:
         self.name = name
         self.attributes = attributes
         self.children: list[Span] = []
         self.duration_s: float = 0.0
+        #: Start offset from the tracer's origin, seconds (0 until entered).
+        self.start_s: float = 0.0
         self._tracer = tracer
         self._start_s: float = 0.0
+        self._prof = None
 
     @property
     def duration_ms(self) -> float:
         """Wall-clock duration in milliseconds (0 until the span exits)."""
         return 1000.0 * self.duration_s
+
+    @property
+    def start_ms(self) -> float:
+        """Start offset from the tracer origin in milliseconds."""
+        return 1000.0 * self.start_s
 
     def set(self, **attributes: Any) -> "Span":
         """Attach (or overwrite) attributes on an open span."""
@@ -43,19 +81,37 @@ class Span:
         return self
 
     def __enter__(self) -> "Span":
-        self._tracer._push(self)
-        self._start_s = self._tracer._clock()
+        tracer = self._tracer
+        tracer._push(self)
+        profiler = tracer.profiler
+        if profiler is not None:
+            self._prof = profiler.begin()
+        stream = tracer.stream
+        if stream is not None and len(tracer._stack) <= stream.stage_depth:
+            stream.emit("stage_start", stage=self.name)
+        self._start_s = tracer._clock()
+        if tracer._origin is None:
+            tracer._set_origin(self._start_s)
+        self.start_s = self._start_s - tracer._origin
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        self.duration_s = self._tracer._clock() - self._start_s
-        self._tracer._pop(self)
+        tracer = self._tracer
+        self.duration_s = tracer._clock() - self._start_s
+        if self._prof is not None:
+            tracer.profiler.end(self._prof, self)
+            self._prof = None
+        stream = tracer.stream
+        if stream is not None and len(tracer._stack) <= stream.stage_depth:
+            stream.emit("stage_end", stage=self.name, duration_ms=round(self.duration_ms, 3))
+        tracer._pop(self)
         return False
 
     def to_json(self) -> dict[str, Any]:
-        """JSON-serialisable form (nested, durations in milliseconds)."""
+        """JSON-serialisable form (nested, times in milliseconds)."""
         return {
             "name": self.name,
+            "start_ms": self.start_ms,
             "duration_ms": self.duration_ms,
             "attributes": dict(self.attributes),
             "children": [child.to_json() for child in self.children],
@@ -66,6 +122,7 @@ class Span:
         """Rebuild a span tree exported with :meth:`to_json`."""
         span = cls(NULL_TRACER, data["name"], dict(data.get("attributes", {})))  # type: ignore[arg-type]
         span.duration_s = float(data.get("duration_ms", 0.0)) / 1000.0
+        span.start_s = float(data.get("start_ms", 0.0)) / 1000.0
         span.children = [cls.from_json(child) for child in data.get("children", ())]
         return span
 
@@ -79,15 +136,44 @@ class Span:
         return f"Span({self.name!r}, {self.duration_ms:.1f}ms, {len(self.children)} children)"
 
 
+def shift_spans(spans: Iterable[Span], delta_s: float) -> None:
+    """Shift whole span trees along the timeline by ``delta_s`` seconds.
+
+    Used when adopting spans recorded against another tracer's origin
+    (worker processes): the shift rebases them onto the adopter's
+    timeline.  Durations are untouched.
+    """
+    for root in spans:
+        for span in root.walk():
+            span.start_s += delta_s
+
+
 class Tracer:
     """Records nested spans; the clock is injectable for tests."""
 
     enabled = True
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        profiler: "StageProfiler | None" = None,
+        stream: "EventStream | None" = None,
+    ) -> None:
         self.roots: list[Span] = []
         self._stack: list[Span] = []
         self._clock = clock
+        #: Clock reading of the first span's start (None until one opens).
+        self._origin: float | None = None
+        #: Wall-clock time (``time.time``) at the origin instant; lets span
+        #: forests recorded by different processes be rebased onto one
+        #: timeline (see :func:`shift_spans`).
+        self.wall_origin: float | None = None
+        self.profiler = profiler
+        self.stream = stream
+
+    def _set_origin(self, clock_now: float) -> None:
+        self._origin = clock_now
+        self.wall_origin = time.time()
 
     def span(self, name: str, **attributes: Any) -> Span:
         """A new span, attached to the current parent when entered."""
@@ -110,7 +196,10 @@ class Tracer:
         Used to merge span forests recorded out-of-process (worker shards)
         back into the parent trace: the adopted spans keep their recorded
         durations and children, and attach to whatever span is open at the
-        merge point (or become roots if none is).
+        merge point (or become roots if none is).  Adoption is
+        order-stable: consecutive calls append, never reorder (see the
+        property tests in ``tests/test_obs.py``).  Spans recorded against
+        another origin should be rebased first (:func:`shift_spans`).
         """
         if self._stack:
             self._stack[-1].children.extend(spans)
@@ -136,6 +225,8 @@ class _NullSpan:
     __slots__ = ()
     duration_s = 0.0
     duration_ms = 0.0
+    start_s = 0.0
+    start_ms = 0.0
     name = ""
     attributes: dict[str, Any] = {}
     children: tuple = ()
@@ -158,6 +249,9 @@ class NullTracer:
 
     enabled = False
     roots: tuple = ()
+    profiler = None
+    stream = None
+    wall_origin = None
 
     def span(self, name: str, **attributes: Any) -> _NullSpan:
         return _NULL_SPAN

@@ -33,6 +33,13 @@ from repro.parallel.executor import (
     process_backend_available,
     run_sharded,
 )
+from repro.parallel.flight import (
+    NULL_FLIGHT,
+    STRAGGLER_FACTOR,
+    FlightRecorder,
+    NullFlightRecorder,
+    ShardFlight,
+)
 from repro.parallel.plan import Shard, ShardPlan
 
 __all__ = [
@@ -40,11 +47,16 @@ __all__ = [
     "DEFAULT_CAMPAIGN_CHUNK",
     "DEFAULT_CLUSTERING_CHUNK",
     "Executor",
+    "FlightRecorder",
+    "NULL_FLIGHT",
+    "NullFlightRecorder",
     "ParallelConfig",
     "ProcessExecutor",
     "SHARD_DURATION_METRIC",
+    "STRAGGLER_FACTOR",
     "SerialExecutor",
     "Shard",
+    "ShardFlight",
     "ShardPlan",
     "make_executor",
     "preferred_start_method",

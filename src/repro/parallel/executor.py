@@ -57,7 +57,7 @@ from repro.faults import (
 from repro.obs import MetricsRegistry, Telemetry, ensure_telemetry
 from repro.obs.export import telemetry_to_json
 from repro.obs.logging import NULL_LOGGER
-from repro.obs.trace import Span, Tracer
+from repro.obs.trace import Span, Tracer, shift_spans
 from repro.resilience import (
     ErrorBudget,
     ResilienceConfig,
@@ -194,7 +194,12 @@ class SerialExecutor:
         self, task: ShardTask, shards: list[Shard], telemetry: Telemetry | None, label: str
     ) -> list[Any]:
         obs = ensure_telemetry(telemetry)
-        return [self._run_one(task, shard, telemetry, obs, label) for shard in shards]
+        results: list[Any] = []
+        for shard in shards:
+            results.append(self._run_one(task, shard, telemetry, obs, label))
+            obs.progress(label, len(results), len(shards))
+            obs.heartbeat(label=label)
+        return results
 
     def _run_one(
         self, task: ShardTask, shard: Shard, telemetry: Telemetry | None, obs: Telemetry, label: str
@@ -207,6 +212,9 @@ class SerialExecutor:
                 with obs.span(f"{label}.shard", shard=shard.index, n_items=len(shard)) as span:
                     value = task(shard, telemetry)
                 obs.observe(SHARD_DURATION_METRIC, span.duration_ms)
+                _record_flight(
+                    obs, label, shard.index, "serial", 0.0, span.duration_s, attempt, span.start_s
+                )
                 return value
             except Exception as error:  # noqa: BLE001 — classified below
                 if policy is not None and is_retryable(error) and policy.retries_left(attempt):
@@ -241,6 +249,9 @@ class ProcessExecutor:
     #: Poll interval while any shard has a deadline to watch.
     _POLL_S = 0.05
 
+    #: Poll interval while an event stream wants heartbeats (no deadline).
+    _HEARTBEAT_POLL_S = 1.0
+
     def __init__(
         self,
         workers: int,
@@ -262,9 +273,9 @@ class ProcessExecutor:
         context = multiprocessing.get_context(preferred_start_method())
         max_workers = min(self.workers, len(shards))
         results: dict[int, Any] = {}
-        snapshots: dict[int, dict[str, Any]] = {}
+        snapshots: dict[int, tuple[dict[str, Any], float, int]] = {}
         queue: deque[tuple[Shard, int]] = deque((shard, 0) for shard in shards)
-        active: dict[Future, tuple[Shard, int, float | None]] = {}
+        active: dict[Future, tuple[Shard, int, float | None, float]] = {}
         pool = ProcessPoolExecutor(max_workers=max_workers, mp_context=context)
         try:
             while queue or active:
@@ -278,12 +289,19 @@ class ProcessExecutor:
                         if self.shard_timeout_s is not None
                         else None
                     )
-                    active[future] = (shard, attempt, deadline)
-                poll = self._POLL_S if self.shard_timeout_s is not None else None
+                    # Submission wall time feeds the flight recorder's
+                    # queue-wait (worker start wall − submit wall).
+                    active[future] = (shard, attempt, deadline, time.time() if capture else 0.0)
+                if self.shard_timeout_s is not None:
+                    poll: float | None = self._POLL_S
+                elif obs.stream.enabled:
+                    poll = self._HEARTBEAT_POLL_S
+                else:
+                    poll = None
                 done, _pending = wait(list(active), timeout=poll, return_when=FIRST_COMPLETED)
                 pool_broken = False
                 for future in done:
-                    shard, attempt, _deadline = active.pop(future)
+                    shard, attempt, _deadline, submit_wall = active.pop(future)
                     try:
                         value, snapshot = future.result()
                     except BrokenProcessPool as error:
@@ -294,11 +312,14 @@ class ProcessExecutor:
                     else:
                         results[shard.index] = value
                         if snapshot is not None:
-                            snapshots[shard.index] = snapshot
+                            snapshots[shard.index] = (snapshot, submit_wall, attempt)
+                if done:
+                    obs.progress(label, len(results), len(shards))
+                obs.heartbeat(label=label, in_flight=len(active))
                 now = time.monotonic()
                 hung = {
                     future
-                    for future, (_shard, _attempt, deadline) in active.items()
+                    for future, (_shard, _attempt, deadline, _submit) in active.items()
                     if deadline is not None and now > deadline
                 }
                 if pool_broken or hung:
@@ -313,7 +334,7 @@ class ProcessExecutor:
                     active.clear()
                     pool.shutdown(wait=False, cancel_futures=True)
                     pool = ProcessPoolExecutor(max_workers=max_workers, mp_context=context)
-                    for future, (shard, attempt, _deadline) in survivors:
+                    for future, (shard, attempt, _deadline, _submit) in survivors:
                         if future in hung:
                             error: Exception = ShardTimeoutError(
                                 f"shard {shard.index} exceeded its {self.shard_timeout_s}s timeout"
@@ -325,9 +346,17 @@ class ProcessExecutor:
             pool.shutdown(wait=False, cancel_futures=True)
         if telemetry is not None:
             for shard in shards:
-                snapshot = snapshots.get(shard.index)
-                if snapshot is not None:
-                    _merge_worker_snapshot(telemetry, snapshot)
+                entry = snapshots.get(shard.index)
+                if entry is not None:
+                    snapshot, submit_wall, attempt = entry
+                    _merge_worker_snapshot(
+                        telemetry,
+                        snapshot,
+                        label=label,
+                        shard_index=shard.index,
+                        submit_wall=submit_wall,
+                        attempt=attempt,
+                    )
         return [results[shard.index] for shard in shards]
 
     def _dispose(
@@ -358,6 +387,9 @@ class ProcessExecutor:
                 with obs.span(f"{label}.shard", shard=shard.index, n_items=len(shard)) as span:
                     value = task(shard, telemetry)
                 obs.observe(SHARD_DURATION_METRIC, span.duration_ms)
+                _record_flight(
+                    obs, label, shard.index, "fallback", 0.0, span.duration_s, attempt + 1, span.start_s
+                )
                 results[shard.index] = value
                 return
             except Exception as fallback_error:  # noqa: BLE001 — quarantined below
@@ -444,7 +476,34 @@ def run_sharded(
     return results
 
 
-# -- worker-side machinery ---------------------------------------------------------
+# -- flight recording and worker-side machinery ------------------------------------
+
+
+def _record_flight(
+    obs: Telemetry,
+    label: str,
+    shard_index: int,
+    worker: str,
+    queue_wait_s: float,
+    execute_s: float,
+    attempt: int,
+    started_s: float,
+) -> None:
+    """Log one completed shard with the flight recorder (plus histograms)."""
+    flight = obs.flight
+    if not flight.enabled:
+        return
+    flight.record(
+        label,
+        shard_index,
+        worker,
+        queue_wait_s=queue_wait_s,
+        execute_s=execute_s,
+        attempt=attempt,
+        started_s=started_s,
+    )
+    obs.observe("flight.queue_wait_ms", 1000.0 * queue_wait_s)
+    obs.observe("flight.execute_ms", 1000.0 * execute_s)
 
 
 def _invoke_shard(
@@ -455,7 +514,12 @@ def _invoke_shard(
     faults: FaultPlan | None = None,
     attempt: int = 0,
 ) -> tuple[Any, dict[str, Any] | None]:
-    """Run one shard in a worker process; optionally capture its telemetry."""
+    """Run one shard in a worker process; optionally capture its telemetry.
+
+    The captured snapshot carries a ``worker`` entry (pid, wall-clock span
+    start, execute seconds) so the parent can rebase the worker's spans
+    onto its own timeline and feed the flight recorder.
+    """
     _trip_worker_fault(faults, label, shard.index, attempt)
     if not capture:
         return task(shard, None), None
@@ -463,21 +527,69 @@ def _invoke_shard(
     with worker.span(f"{label}.shard", shard=shard.index, n_items=len(shard)) as span:
         value = task(shard, worker)
     worker.observe(SHARD_DURATION_METRIC, span.duration_ms)
-    return value, telemetry_to_json(worker, name=f"{label}.shard", include_values=True)
+    snapshot = telemetry_to_json(worker, name=f"{label}.shard", include_values=True)
+    snapshot["worker"] = {
+        "pid": os.getpid(),
+        "wall_origin": worker.tracer.wall_origin,
+        "execute_s": span.duration_s,
+    }
+    return value, snapshot
 
 
-def _merge_worker_snapshot(telemetry: Telemetry, snapshot: dict[str, Any]) -> None:
+def _merge_worker_snapshot(
+    telemetry: Telemetry,
+    snapshot: dict[str, Any],
+    label: str = "parallel",
+    shard_index: int = -1,
+    submit_wall: float | None = None,
+    attempt: int = 0,
+) -> None:
     """Fold one worker's snapshot into the parent bundle.
 
     Metrics merge through :meth:`MetricsRegistry.merge_json`; the worker's
     span forest is adopted by the currently-open parent span (the stage's
-    fan-out span), preserving recorded durations.
+    fan-out span), preserving recorded durations.  Worker spans were
+    recorded against the worker tracer's own origin, so they are rebased
+    onto the parent timeline first (wall-clock origin delta,
+    :func:`~repro.obs.trace.shift_spans`) and tagged with the worker id.
+    The same wall-clock bookkeeping feeds the flight recorder: queue wait
+    is worker start minus submission, both in parent wall time.
     """
     if telemetry.metrics.enabled:
         telemetry.metrics.merge_json(snapshot)
+    worker_info = snapshot.get("worker") or {}
+    worker_name = f"pid-{worker_info['pid']}" if "pid" in worker_info else "worker"
+    parent_wall = telemetry.tracer.wall_origin
+    worker_wall = worker_info.get("wall_origin")
     if telemetry.tracer.enabled:
         spans = [Span.from_json(entry) for entry in snapshot.get("spans", ())]
+        if parent_wall is not None and worker_wall is not None:
+            shift_spans(spans, worker_wall - parent_wall)
+        for span in spans:
+            span.attributes.setdefault("worker", worker_name)
         telemetry.tracer.adopt(spans)
+    execute_s = worker_info.get("execute_s")
+    if execute_s is not None:
+        queue_wait_s = (
+            max(0.0, worker_wall - submit_wall)
+            if submit_wall is not None and worker_wall is not None
+            else 0.0
+        )
+        started_s = (
+            worker_wall - parent_wall
+            if parent_wall is not None and worker_wall is not None
+            else 0.0
+        )
+        _record_flight(
+            telemetry,
+            label,
+            shard_index,
+            worker_name,
+            queue_wait_s,
+            float(execute_s),
+            attempt,
+            started_s,
+        )
 
 
 def _probe_worker() -> int:

@@ -179,9 +179,15 @@ def _cov(study: Study) -> str:
     return study.coverage.render()
 
 
-@_register("obs", "Telemetry: stage timings, metrics, and the filter funnel")
+@_register("obs", "Telemetry: stage timings, resources, flights, metrics")
 def _obs(study: Study) -> str:
-    from repro.obs import render_filter_funnel, render_metrics_table, render_span_tree
+    from repro.obs import (
+        profile_stages,
+        render_filter_funnel,
+        render_metrics_table,
+        render_profile,
+        render_span_tree,
+    )
 
     if study.telemetry is None or not study.telemetry.enabled:
         return (
@@ -193,6 +199,10 @@ def _obs(study: Study) -> str:
         "filter funnel:\n" + render_filter_funnel(study.telemetry.metrics),
         "metrics:\n" + render_metrics_table(study.telemetry.metrics),
     ]
+    if profile_stages(study.telemetry):
+        blocks.insert(1, "resource profile:\n" + render_profile(study.telemetry))
+    if study.telemetry.flight.enabled and study.telemetry.flight.records:
+        blocks.append("executor flights:\n" + study.telemetry.flight.render())
     return "\n\n".join(blocks)
 
 

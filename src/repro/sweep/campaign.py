@@ -26,7 +26,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro._util import format_table, require
+from repro._util import atomic_write_text, format_table, require
 from repro.core.pipeline import run_study
 from repro.faults import FaultPlan, WorkerCrashError, raise_injected
 from repro.obs import Telemetry, ensure_telemetry
@@ -161,11 +161,8 @@ class CampaignReport:
         }
 
     def write(self, path: str | Path) -> Path:
-        """Write the canonical report JSON to ``path`` and return it."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_json(), sort_keys=True, indent=2) + "\n")
-        return path
+        """Write the canonical report JSON to ``path`` (atomically) and return it."""
+        return atomic_write_text(path, json.dumps(self.to_json(), sort_keys=True, indent=2) + "\n")
 
 
 def _trip_cell_fault(faults: FaultPlan | None, cell_index: int, attempt: int) -> None:
@@ -293,6 +290,9 @@ def run_campaign(
 
     store_root = str(store.root) if store is not None else None
     plan = ShardPlan.of(cells, chunk_size=1)
+    # One cell per shard, so the executor's per-shard progress events double
+    # as per-cell campaign progress ("sweep: k/n, eta ...") on the stream.
+    obs.emit("campaign_start", n_cells=len(cells), axes=list(grid.axis_names))
     with obs.span("sweep", n_cells=len(cells), stored=store is not None):
         shard_results = run_sharded(
             partial(_run_cells_shard, store_root, tuple(metrics), cell_hook, faults, resilience),
@@ -331,6 +331,13 @@ def run_campaign(
     obs.count("sweep.cells", len(results))
     obs.count("sweep.store_hits", report.cache_hits)
     obs.count("sweep.store_misses", report.cache_misses)
+    obs.emit(
+        "campaign_end",
+        n_cells=len(results),
+        n_failed=report.n_failed,
+        store_hits=report.cache_hits,
+        store_misses=report.cache_misses,
+    )
     obs.log(
         "sweep campaign complete",
         cells=len(results),

@@ -1,0 +1,129 @@
+"""Tests for the benchmark-baseline smoke gate (repro.bench)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_TOLERANCE,
+    MIN_STAGE_MS,
+    StageCheck,
+    check_bench,
+    compare_snapshots,
+)
+
+
+def _snapshot(stages: dict, counters: dict | None = None) -> dict:
+    return {
+        "bench": "observability-small",
+        "format": "repro-bench-v1",
+        "schema": "compact-aggregates-v1",
+        "stages": {name: {"count": 1, "total_ms": ms} for name, ms in stages.items()},
+        "counters": counters or {},
+        "gauges": {},
+        "histograms": {},
+    }
+
+
+class TestStageCheck:
+    def test_ratio_and_ok(self):
+        check = StageCheck(name="scan", baseline_ms=100.0, fresh_ms=150.0, tolerance=2.0)
+        assert check.ratio == pytest.approx(1.5)
+        assert check.ok
+
+    def test_regression(self):
+        check = StageCheck(name="scan", baseline_ms=100.0, fresh_ms=300.0, tolerance=2.0)
+        assert not check.ok
+
+    def test_skipped_always_passes(self):
+        check = StageCheck(
+            name="tiny", baseline_ms=1.0, fresh_ms=50.0, tolerance=2.0, skipped=True
+        )
+        assert check.ok
+
+    def test_zero_baseline(self):
+        assert StageCheck(name="x", baseline_ms=0.0, fresh_ms=5.0, tolerance=2.0).ratio == 0.0
+
+
+class TestCompareSnapshots:
+    def test_within_tolerance_passes(self, tmp_path):
+        baseline = _snapshot({"scan": 100.0}, {"scan.hosts": 50})
+        fresh = _snapshot({"scan": 180.0}, {"scan.hosts": 50})
+        result = compare_snapshots(baseline, fresh, tmp_path / "b.json", tolerance=2.0)
+        assert result.passed
+        assert [c.name for c in result.checks] == ["scan"]
+
+    def test_stage_regression_fails(self, tmp_path):
+        baseline = _snapshot({"scan": 100.0, "detect": 100.0})
+        fresh = _snapshot({"scan": 500.0, "detect": 100.0})
+        result = compare_snapshots(baseline, fresh, tmp_path / "b.json", tolerance=2.0)
+        assert not result.passed
+        assert [c.name for c in result.regressions] == ["scan"]
+
+    def test_noise_stages_skipped(self, tmp_path):
+        baseline = _snapshot({"blink": MIN_STAGE_MS / 2})
+        fresh = _snapshot({"blink": 100.0})  # 40x, but under the noise floor
+        result = compare_snapshots(baseline, fresh, tmp_path / "b.json")
+        assert result.passed
+        assert result.checks[0].skipped
+
+    def test_disappeared_stage_is_structural_not_perf(self, tmp_path):
+        baseline = _snapshot({"scan": 100.0, "gone": 100.0})
+        fresh = _snapshot({"scan": 100.0})
+        result = compare_snapshots(baseline, fresh, tmp_path / "b.json")
+        assert result.passed
+        assert [c.name for c in result.checks] == ["scan"]
+
+    def test_counter_drift_fails(self, tmp_path):
+        baseline = _snapshot({"scan": 100.0}, {"filters.ips_kept": 120})
+        fresh = _snapshot({"scan": 100.0}, {"filters.ips_kept": 119})
+        result = compare_snapshots(baseline, fresh, tmp_path / "b.json")
+        assert not result.passed
+        assert result.counter_mismatches["filters.ips_kept"] == (120.0, 119.0)
+
+    def test_missing_counter_is_a_drift(self, tmp_path):
+        baseline = _snapshot({}, {"filters.ips_kept": 120})
+        fresh = _snapshot({}, {})
+        result = compare_snapshots(baseline, fresh, tmp_path / "b.json")
+        assert "filters.ips_kept" in result.counter_mismatches
+
+    def test_nondeterministic_counters_excluded(self, tmp_path):
+        baseline = _snapshot({}, {"resilience.retries": 3})
+        fresh = _snapshot({}, {"resilience.retries": 7})
+        result = compare_snapshots(baseline, fresh, tmp_path / "b.json")
+        assert result.passed
+
+    def test_bad_tolerance_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            compare_snapshots(_snapshot({}), _snapshot({}), tmp_path / "b.json", tolerance=0.5)
+
+    def test_render_verdicts(self, tmp_path):
+        baseline = _snapshot({"scan": 100.0, "blink": 1.0}, {"c": 1})
+        fresh = _snapshot({"scan": 500.0, "blink": 9.0}, {"c": 2})
+        result = compare_snapshots(baseline, fresh, tmp_path / "b.json", tolerance=2.0)
+        text = result.render()
+        assert "REGRESSION" in text
+        assert "skip (noise)" in text
+        assert "COUNTER DRIFT c" in text
+        assert "bench check FAILED" in text
+        good = compare_snapshots(_snapshot({"scan": 10.0}), _snapshot({"scan": 10.0}), tmp_path / "b.json")
+        assert "bench check passed" in good.render()
+
+
+class TestCheckBench:
+    def test_missing_baseline_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            check_bench(tmp_path / "nope.json", fresh=_snapshot({}))
+
+    def test_full_dump_baseline_rejected(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"bench": "x", "spans": []}), encoding="utf-8")
+        with pytest.raises(ValueError, match="compact"):
+            check_bench(path, fresh=_snapshot({}))
+
+    def test_injected_fresh_snapshot(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(_snapshot({"scan": 100.0}, {"c": 1})), encoding="utf-8")
+        result = check_bench(path, fresh=_snapshot({"scan": 120.0}, {"c": 1}))
+        assert result.passed
+        assert result.tolerance == DEFAULT_TOLERANCE

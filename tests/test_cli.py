@@ -170,3 +170,132 @@ class TestExport:
         assert "manifest.json" in out
         loaded = load_archive(target)
         assert loaded.manifest.n_detections == len(small_study.latest_inventory)
+
+
+class TestObservabilityFlags:
+    def test_parser_accepts_new_flags(self):
+        args = build_parser().parse_args(
+            [
+                "study",
+                "--profile",
+                "--events-out",
+                "ev.jsonl",
+                "--trace-out",
+                "trace.json",
+            ]
+        )
+        assert args.profile and args.events_out == "ev.jsonl" and args.trace_out == "trace.json"
+
+    def test_study_profile_events_trace(self, capsys, tmp_path, small_study):
+        events = tmp_path / "events.jsonl"
+        trace = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "study",
+                    "--scenario",
+                    "small",
+                    "--sections",
+                    "t1",
+                    "--profile",
+                    "--events-out",
+                    str(events),
+                    "--trace-out",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "Table 1" in captured.out
+        assert "resource profile" in captured.err
+        assert "executor flights" in captured.err
+        assert f"event stream written to {events}" in captured.err
+
+        from repro.obs import read_events
+
+        stream_events = read_events(events)
+        assert stream_events[0]["event"] == "stream_start"
+        assert stream_events[-1]["event"] == "stream_end"
+        kinds = {e["event"] for e in stream_events}
+        assert {"stage_start", "stage_end", "progress"} <= kinds
+
+        trace_data = json.loads(trace.read_text())
+        span_events = [e for e in trace_data["traceEvents"] if e.get("ph") == "X"]
+        assert any(e["name"] == "study" for e in span_events)
+        assert all({"ts", "dur", "pid", "tid"} <= set(e) for e in span_events)
+
+
+class TestTailCommand:
+    def _write_events(self, tmp_path):
+        import io
+
+        from repro.obs.stream import EventStream
+
+        buffer = io.StringIO()
+        stream = EventStream(buffer)
+        stream.progress("campaign", 3, 12)
+        stream.close()
+        path = tmp_path / "events.jsonl"
+        path.write_text(buffer.getvalue(), encoding="utf-8")
+        return path
+
+    def test_tail_snapshot(self, capsys, tmp_path):
+        path = self._write_events(tmp_path)
+        assert main(["tail", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign: 3/12 (25.0%)" in out
+        assert "run complete" in out
+
+    def test_tail_directory_target(self, capsys, tmp_path):
+        self._write_events(tmp_path)
+        assert main(["tail", str(tmp_path)]) == 0
+        assert "run complete" in capsys.readouterr().out
+
+    def test_tail_follow_terminates_on_stream_end(self, capsys, tmp_path):
+        path = self._write_events(tmp_path)
+        assert main(["tail", str(path), "--follow", "--timeout", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "stream_start" in out
+        assert "campaign: 3/12" in out
+
+    def test_tail_missing_file(self, capsys, tmp_path):
+        assert main(["tail", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no such events file" in capsys.readouterr().err
+
+
+class TestBenchCheckCommand:
+    def _baseline(self, tmp_path, stages, counters=None):
+        path = tmp_path / "BENCH_observability.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "bench": "observability-small",
+                    "format": "repro-bench-v1",
+                    "schema": "compact-aggregates-v1",
+                    "stages": {name: {"count": 1, "total_ms": ms} for name, ms in stages.items()},
+                    "counters": counters or {},
+                }
+            ),
+            encoding="utf-8",
+        )
+        return path
+
+    def test_check_passes_against_committed_style_baseline(self, capsys, tmp_path, small_study):
+        # A generous baseline: the fresh small-scenario run must fit well
+        # inside 100x of these stage times on any machine.
+        path = self._baseline(tmp_path, {"study": 50.0, "clustering": 10.0})
+        assert main(["bench", "check", "--baseline", str(path), "--tolerance", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "bench check passed" in out
+
+    def test_check_missing_baseline(self, capsys, tmp_path):
+        assert main(["bench", "check", "--baseline", str(tmp_path / "nope.json")]) == 1
+        assert "no benchmark baseline" in capsys.readouterr().err
+
+    def test_check_counter_drift_fails(self, capsys, tmp_path, small_study):
+        path = self._baseline(
+            tmp_path, {"study": 50.0}, {"filters.ips_considered": -1}
+        )
+        assert main(["bench", "check", "--baseline", str(path), "--tolerance", "100"]) == 1
+        assert "COUNTER DRIFT" in capsys.readouterr().out

@@ -5,6 +5,8 @@ import json
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.obs import (
     NULL_TELEMETRY,
@@ -461,3 +463,261 @@ class TestTracerouteLogging:
             assert "destination unattributable" in capsys.readouterr().err
         finally:
             configure_logging(level="warning")
+
+
+class TestTelemetryCaptureRestore:
+    """Regression tests: ``capture`` flips process-global logging config and
+    ``restore`` (or the context manager) must put back exactly what it
+    displaced — including for loggers created *after* the capture."""
+
+    def test_restore_puts_shared_logging_back(self):
+        from repro.obs import logging_config
+
+        before = logging_config()
+        existing = get_logger("repro.restore_test.existing")
+        telemetry = Telemetry.capture(log_level="debug", json_logs=True, stream=io.StringIO())
+        try:
+            assert existing.level == DEBUG and existing.json_mode
+            late = get_logger("repro.restore_test.late")
+            assert late.level == DEBUG and late.json_mode
+        finally:
+            telemetry.restore()
+        assert logging_config() == before
+        assert existing.level == before["level"] and not existing.json_mode
+        assert get_logger("repro.restore_test.late").level == before["level"]
+
+    def test_context_manager_restores_and_closes_stream(self):
+        from repro.obs import logging_config
+        from repro.obs.stream import EventStream
+
+        before = logging_config()
+        buffer = io.StringIO()
+        with Telemetry.capture(log_level="debug", events=EventStream(buffer)) as telemetry:
+            telemetry.emit("inside")
+        assert logging_config() == before
+        lines = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        assert lines[-1]["event"] == "stream_end"
+
+    def test_restore_is_idempotent(self):
+        from repro.obs import configure_logging, logging_config
+
+        telemetry = Telemetry.capture(log_level="debug", stream=io.StringIO())
+        telemetry.restore()
+        # A second restore must not clobber config applied in between.
+        configure_logging(level="error")
+        try:
+            telemetry.restore()
+            assert logging_config()["level"] == 40
+        finally:
+            configure_logging(level="warning")
+
+    def test_capture_carries_flight_recorder(self):
+        telemetry = Telemetry.capture(stream=io.StringIO())
+        assert telemetry.flight.enabled
+        assert not NULL_TELEMETRY.flight.enabled
+
+    def test_profile_capture_attaches_profiler(self):
+        with Telemetry.capture(profile=True, stream=io.StringIO()) as telemetry:
+            with telemetry.span("stage"):
+                pass
+        span = telemetry.tracer.find("stage")
+        assert "cpu_ms" in span.attributes and "rss_peak_kb" in span.attributes
+
+
+class TestCompactSnapshot:
+    def _telemetry(self) -> Telemetry:
+        clock = FakeClock()
+        telemetry = Telemetry(tracer=Tracer(clock=clock))
+        with telemetry.span("study"):
+            for _ in range(3):
+                with telemetry.span("shard"):
+                    clock.advance(0.1)
+            telemetry.count("filters.ips_kept", 42)
+            telemetry.observe("cluster.optics_reachability_ms", 5.0)
+        return telemetry
+
+    def test_aggregates_by_stage_name(self):
+        from repro.obs import aggregate_stages
+
+        stages = aggregate_stages(self._telemetry())
+        assert list(stages) == ["study", "shard"]
+        assert stages["shard"]["count"] == 3
+        assert stages["shard"]["total_ms"] == pytest.approx(300.0)
+        assert stages["shard"]["mean_ms"] == pytest.approx(100.0)
+        assert stages["shard"]["max_ms"] == pytest.approx(100.0)
+
+    def test_compact_shape_has_no_raw_dumps(self):
+        from repro.obs import COMPACT_SCHEMA, compact_snapshot
+
+        snapshot = compact_snapshot(self._telemetry(), name="unit")
+        assert snapshot["schema"] == COMPACT_SCHEMA
+        assert snapshot["format"] == "repro-bench-v1"
+        assert "spans" not in snapshot  # aggregated, not dumped
+        assert "values" not in snapshot["histograms"]["cluster.optics_reachability_ms"]
+        assert snapshot["counters"]["filters.ips_kept"] == 42
+
+    def test_flight_summary_included_when_recorded(self):
+        from repro.obs import compact_snapshot
+        from repro.parallel.flight import FlightRecorder
+
+        telemetry = Telemetry(flight=FlightRecorder())
+        telemetry.flight.record("x", 0, "w", 0.0, 0.1)
+        snapshot = compact_snapshot(telemetry)
+        assert snapshot["flight"]["shards"] == 1
+        assert "flight" not in compact_snapshot(self._telemetry())
+
+    def test_extra_merges_into_top_level(self):
+        from repro.obs import compact_snapshot
+
+        snapshot = compact_snapshot(self._telemetry(), extra={"runs": {"total_s": 1.5}})
+        assert snapshot["runs"] == {"total_s": 1.5}
+
+    def test_write_compact_snapshot(self, tmp_path):
+        from repro.obs import write_compact_snapshot
+
+        path = write_compact_snapshot(self._telemetry(), tmp_path / "BENCH_x.json", name="x")
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["bench"] == "x" and "stages" in data
+
+
+class TestChromeTrace:
+    def _telemetry(self) -> Telemetry:
+        clock = FakeClock()
+        telemetry = Telemetry(tracer=Tracer(clock=clock))
+        with telemetry.span("study", seed=1):
+            clock.advance(0.5)
+            with telemetry.span("scan"):
+                clock.advance(0.25)
+        return telemetry
+
+    def test_structurally_valid_trace(self):
+        from repro.obs import chrome_trace_json
+
+        trace = chrome_trace_json(self._telemetry())
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert events[0]["ph"] == "M" and events[0]["name"] == "process_name"
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in spans} == {"study", "scan"}
+        for event in spans:
+            assert set(event) >= {"name", "ph", "ts", "dur", "pid", "tid", "args"}
+
+    def test_absolute_start_offsets_microseconds(self):
+        from repro.obs import chrome_trace_json
+
+        spans = {
+            e["name"]: e for e in chrome_trace_json(self._telemetry())["traceEvents"] if e["ph"] == "X"
+        }
+        assert spans["study"]["ts"] == pytest.approx(0.0)
+        assert spans["scan"]["ts"] == pytest.approx(500_000.0)  # 0.5 s in us
+        assert spans["scan"]["dur"] == pytest.approx(250_000.0)
+
+    def test_worker_attribute_becomes_tid(self):
+        from repro.obs import chrome_trace_json
+
+        telemetry = Telemetry(tracer=Tracer(clock=FakeClock()))
+        with telemetry.span("fanout"):
+            with telemetry.span("shard", worker="pid-7"):
+                with telemetry.span("inner"):  # inherits the worker row
+                    pass
+        spans = {e["name"]: e for e in chrome_trace_json(telemetry)["traceEvents"] if e["ph"] == "X"}
+        assert spans["fanout"]["tid"] == "main"
+        assert spans["shard"]["tid"] == "pid-7"
+        assert spans["inner"]["tid"] == "pid-7"
+        assert "worker" not in spans["shard"]["args"]
+
+    def test_write_chrome_trace_is_json(self, tmp_path):
+        from repro.obs import write_chrome_trace
+
+        path = write_chrome_trace(self._telemetry(), tmp_path / "trace.json")
+        assert json.loads(path.read_text(encoding="utf-8"))["traceEvents"]
+
+
+class TestMergeProperties:
+    """Hypothesis invariants for the worker->parent telemetry merge."""
+
+    @given(
+        snapshots=st.lists(
+            st.dictionaries(
+                st.sampled_from(["a.x", "b.y", "c.z"]),
+                st.integers(0, 1000),
+                max_size=3,
+            ),
+            max_size=5,
+        ),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_counter_merge_is_order_insensitive(self, snapshots, seed):
+        import random
+
+        shuffled = list(snapshots)
+        random.Random(seed).shuffle(shuffled)
+        merged_a, merged_b = MetricsRegistry(), MetricsRegistry()
+        for snapshot in snapshots:
+            merged_a.merge_json({"counters": snapshot})
+        for snapshot in shuffled:
+            merged_b.merge_json({"counters": snapshot})
+        assert merged_a.counters == merged_b.counters
+
+    @given(
+        values=st.lists(st.floats(0, 100, allow_nan=False), max_size=20),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_histogram_merge_summary_order_insensitive(self, values, seed):
+        import random
+
+        shuffled = list(values)
+        random.Random(seed).shuffle(shuffled)
+        merged_a, merged_b = MetricsRegistry(), MetricsRegistry()
+        merged_a.merge_json({"histograms": {"h": {"values": values, "count": len(values), "mean": 0}}})
+        merged_b.merge_json({"histograms": {"h": {"values": shuffled, "count": len(shuffled), "mean": 0}}})
+        assert merged_a.histogram("h").to_json() == merged_b.histogram("h").to_json()
+
+    @given(
+        forests=st.lists(
+            st.lists(st.sampled_from(["scan", "detect", "cluster"]), max_size=4),
+            max_size=5,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_adopt_is_order_stable(self, forests):
+        """Consecutive adoptions append in call order: the merged root list
+        is exactly the concatenation of the adopted forests."""
+        tracer = Tracer()
+        expected: list[str] = []
+        for forest in forests:
+            spans = []
+            for name in forest:
+                worker_tracer = Tracer()
+                with worker_tracer.span(name):
+                    pass
+                spans.extend(worker_tracer.roots)
+            tracer.adopt(spans)
+            expected.extend(forest)
+        assert [span.name for span in tracer.roots] == expected
+
+    def test_adopt_under_open_span_attaches_as_children(self):
+        tracer = Tracer()
+        worker = Tracer()
+        with worker.span("shard"):
+            pass
+        with tracer.span("fanout"):
+            tracer.adopt(list(worker.roots))
+        assert [c.name for c in tracer.roots[0].children] == ["shard"]
+
+    def test_shift_spans_rebases_whole_trees(self):
+        from repro.obs import shift_spans
+
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("root"):
+            clock.advance(0.2)
+            with tracer.span("child"):
+                clock.advance(0.1)
+        shift_spans(tracer.roots, 1.5)
+        assert tracer.find("root").start_s == pytest.approx(1.5)
+        assert tracer.find("child").start_s == pytest.approx(1.7)
+        # Durations untouched.
+        assert tracer.find("child").duration_s == pytest.approx(0.1)

@@ -1,0 +1,143 @@
+"""Tests for per-stage resource profiling (repro.obs.prof)."""
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.obs.prof import (
+    StageProfile,
+    StageProfiler,
+    peak_rss_kb,
+    profile_stages,
+    record_throughput_gauges,
+    render_profile,
+)
+from repro.obs.trace import Tracer
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class FakeRss:
+    """A monotone high-water mark, like ru_maxrss."""
+
+    def __init__(self) -> None:
+        self.peak_kb = 1000.0
+
+    def __call__(self) -> float:
+        return self.peak_kb
+
+    def grow(self, kb: float) -> None:
+        self.peak_kb += kb
+
+
+def _profiled_telemetry() -> tuple[Telemetry, FakeClock, FakeClock, FakeRss]:
+    wall = FakeClock()
+    cpu = FakeClock()
+    rss = FakeRss()
+    profiler = StageProfiler(cpu_clock=cpu, rss_reader=rss)
+    telemetry = Telemetry(tracer=Tracer(clock=wall, profiler=profiler))
+    return telemetry, wall, cpu, rss
+
+
+class TestStageProfiler:
+    def test_span_attributes_from_injected_clocks(self):
+        telemetry, wall, cpu, rss = _profiled_telemetry()
+        with telemetry.span("stage"):
+            wall.advance(2.0)
+            cpu.advance(1.5)
+            rss.grow(512.0)
+        span = telemetry.tracer.find("stage")
+        assert span.attributes["cpu_ms"] == pytest.approx(1500.0)
+        assert span.attributes["rss_peak_kb"] == pytest.approx(1512.0)
+        assert span.attributes["rss_delta_kb"] == pytest.approx(512.0)
+        assert "py_delta_kb" not in span.attributes  # tracemalloc off by default
+
+    def test_nested_spans_each_profiled(self):
+        telemetry, wall, cpu, rss = _profiled_telemetry()
+        with telemetry.span("outer"):
+            cpu.advance(1.0)
+            with telemetry.span("inner"):
+                cpu.advance(0.25)
+        assert telemetry.tracer.find("inner").attributes["cpu_ms"] == pytest.approx(250.0)
+        assert telemetry.tracer.find("outer").attributes["cpu_ms"] == pytest.approx(1250.0)
+
+    def test_tracemalloc_session_owned_and_closed(self):
+        import tracemalloc
+
+        assert not tracemalloc.is_tracing()
+        profiler = StageProfiler(trace_python_alloc=True)
+        try:
+            assert tracemalloc.is_tracing()
+            tracer = Tracer(profiler=profiler)
+            with tracer.span("alloc"):
+                _ = [0] * 50_000
+            attrs = tracer.find("alloc").attributes
+            assert "py_delta_kb" in attrs and "py_peak_kb" in attrs
+            assert attrs["py_peak_kb"] > 0
+        finally:
+            profiler.close()
+        assert not tracemalloc.is_tracing()
+        profiler.close()  # idempotent
+
+    def test_peak_rss_positive_on_posix(self):
+        assert peak_rss_kb() > 0
+
+
+class TestProfileAggregation:
+    def _telemetry(self) -> Telemetry:
+        telemetry, wall, cpu, rss = _profiled_telemetry()
+        with telemetry.span("study"):
+            for _ in range(3):
+                with telemetry.span("shard") as span:
+                    span.set(n_items=100)
+                    wall.advance(1.0)
+                    cpu.advance(0.5)
+        return telemetry
+
+    def test_grouped_by_name_in_recording_order(self):
+        profiles = profile_stages(self._telemetry())
+        assert [p.name for p in profiles] == ["study", "shard"]
+        shard = profiles[1]
+        assert shard.count == 3
+        assert shard.wall_ms == pytest.approx(3000.0)
+        assert shard.cpu_ms == pytest.approx(1500.0)
+        assert shard.n_items == 300
+
+    def test_derived_rates(self):
+        profile = StageProfile(
+            name="x", count=1, wall_ms=2000.0, cpu_ms=1000.0, rss_peak_kb=1.0, n_items=500
+        )
+        assert profile.cpu_utilization == pytest.approx(0.5)
+        assert profile.rows_per_s == pytest.approx(250.0)
+        empty = StageProfile(name="y", count=0, wall_ms=0.0, cpu_ms=0.0, rss_peak_kb=0.0, n_items=0)
+        assert empty.cpu_utilization == 0.0 and empty.rows_per_s == 0.0
+
+    def test_unprofiled_trace_yields_nothing(self):
+        telemetry = Telemetry(tracer=Tracer())
+        with telemetry.span("bare"):
+            pass
+        assert profile_stages(telemetry) == []
+        assert "no resource profile" in render_profile(telemetry)
+
+    def test_render_profile_table(self):
+        text = render_profile(self._telemetry())
+        assert "stage" in text and "cpu util" in text and "rows/s" in text
+        assert "shard" in text
+
+    def test_record_throughput_gauges(self):
+        telemetry = self._telemetry()
+        record_throughput_gauges(telemetry)
+        gauges = telemetry.metrics.gauges
+        assert gauges["prof.shard.rows_per_s"] == pytest.approx(100.0)
+        assert gauges["prof.shard.cpu_utilization"] == pytest.approx(0.5)
+        assert "prof.study.cpu_utilization" in gauges
+        # The study span recorded no n_items: utilization lands, throughput doesn't.
+        assert "prof.study.rows_per_s" not in gauges

@@ -1,0 +1,240 @@
+"""Tests for the live JSONL event stream (repro.obs.stream)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.stream import (
+    NULL_STREAM,
+    STREAM_FORMAT,
+    EventStream,
+    NullEventStream,
+    follow_events,
+    format_event,
+    latest_progress,
+    read_events,
+    render_progress,
+    resolve_events_path,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _events(buffer: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in buffer.getvalue().splitlines()]
+
+
+class TestEventStream:
+    def test_opening_event_and_monotonic_seq(self):
+        buffer = io.StringIO()
+        stream = EventStream(buffer, clock=FakeClock())
+        stream.emit("alpha")
+        stream.emit("beta", key="value")
+        events = _events(buffer)
+        assert events[0]["event"] == "stream_start"
+        assert events[0]["format"] == STREAM_FORMAT
+        assert [e["seq"] for e in events] == [0, 1, 2]
+        assert events[2]["key"] == "value"
+
+    def test_elapsed_times_from_clock(self):
+        clock = FakeClock()
+        buffer = io.StringIO()
+        stream = EventStream(buffer, clock=clock)
+        clock.advance(2.5)
+        stream.emit("later")
+        assert _events(buffer)[-1]["t_s"] == pytest.approx(2.5)
+
+    def test_progress_percent_and_eta(self):
+        clock = FakeClock()
+        buffer = io.StringIO()
+        stream = EventStream(buffer, clock=clock)
+        clock.advance(10.0)
+        stream.progress("campaign", 25, 100)
+        event = _events(buffer)[-1]
+        assert event["percent"] == 25.0
+        # 10 s for 25 units -> 30 s for the remaining 75.
+        assert event["eta_s"] == pytest.approx(30.0)
+
+    def test_progress_eta_none_before_first_unit(self):
+        buffer = io.StringIO()
+        stream = EventStream(buffer, clock=FakeClock())
+        stream.progress("campaign", 0, 10)
+        event = _events(buffer)[-1]
+        assert event["eta_s"] is None and event["percent"] == 0.0
+
+    def test_progress_empty_total(self):
+        buffer = io.StringIO()
+        stream = EventStream(buffer, clock=FakeClock())
+        stream.progress("empty", 0, 0)
+        assert _events(buffer)[-1]["percent"] == 100.0
+
+    def test_heartbeat_rate_limited(self):
+        clock = FakeClock()
+        buffer = io.StringIO()
+        stream = EventStream(buffer, clock=clock, heartbeat_interval_s=1.0)
+        stream.heartbeat()
+        stream.heartbeat()  # same instant: suppressed
+        clock.advance(0.5)
+        stream.heartbeat()  # under the interval: suppressed
+        clock.advance(0.6)
+        stream.heartbeat()  # 1.1 s since the last kept one: emitted
+        beats = [e for e in _events(buffer) if e["event"] == "heartbeat"]
+        assert len(beats) == 2
+
+    def test_close_emits_stream_end_and_is_idempotent(self):
+        buffer = io.StringIO()
+        stream = EventStream(buffer, clock=FakeClock())
+        stream.close()
+        stream.close()
+        stream.emit("after")  # dropped: closed streams record nothing
+        events = _events(buffer)
+        assert events[-1]["event"] == "stream_end"
+        assert sum(1 for e in events if e["event"] == "stream_end") == 1
+
+    def test_path_target_creates_parents(self, tmp_path):
+        target = tmp_path / "deep" / "events.jsonl"
+        stream = EventStream(target, clock=FakeClock())
+        stream.close()
+        events = read_events(target)
+        assert events[0]["event"] == "stream_start"
+        assert events[-1]["event"] == "stream_end"
+
+    def test_null_stream_is_inert(self):
+        assert isinstance(NULL_STREAM, NullEventStream)
+        assert not NULL_STREAM.enabled
+        NULL_STREAM.emit("x")
+        NULL_STREAM.progress("y", 1, 2)
+        NULL_STREAM.heartbeat()
+        NULL_STREAM.close()
+
+
+class TestReaders:
+    def _write(self, tmp_path, text: str):
+        path = tmp_path / "events.jsonl"
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def test_read_events_tolerates_torn_final_line(self, tmp_path):
+        path = self._write(tmp_path, '{"seq": 0, "event": "stream_start"}\n{"seq": 1, "ev')
+        events = read_events(path)
+        assert len(events) == 1
+
+    def test_read_events_rejects_torn_middle_line(self, tmp_path):
+        path = self._write(tmp_path, '{"broken\n{"seq": 1, "event": "x"}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_events(path)
+
+    def test_latest_progress_keeps_last_per_label(self):
+        events = [
+            {"event": "progress", "label": "a", "completed": 1, "total": 4},
+            {"event": "progress", "label": "b", "completed": 2, "total": 9},
+            {"event": "progress", "label": "a", "completed": 3, "total": 4},
+        ]
+        latest = latest_progress(events)
+        assert list(latest) == ["a", "b"]
+        assert latest["a"]["completed"] == 3
+
+    def test_render_progress_live_and_complete(self):
+        events = [
+            {"seq": 0, "t_s": 0.0, "event": "stream_start"},
+            {"seq": 1, "t_s": 0.1, "event": "stage_start", "stage": "scan"},
+            {
+                "seq": 2,
+                "t_s": 1.0,
+                "event": "progress",
+                "label": "campaign",
+                "completed": 3,
+                "total": 12,
+                "percent": 25.0,
+                "eta_s": 3.0,
+            },
+        ]
+        text = render_progress(events)
+        assert "running scan" in text
+        assert "campaign: 3/12 (25.0%) eta 3.0s" in text
+        assert "run in progress" in text
+        events.append({"seq": 3, "t_s": 2.0, "event": "stream_end", "events": 3})
+        assert "run complete" in render_progress(events)
+
+    def test_render_progress_empty(self):
+        assert render_progress([]) == "no events recorded"
+
+    def test_format_event_variants(self):
+        progress = {
+            "seq": 2,
+            "t_s": 1.5,
+            "event": "progress",
+            "label": "campaign",
+            "completed": 3,
+            "total": 12,
+            "percent": 25.0,
+            "eta_s": 4.5,
+        }
+        assert "campaign: 3/12 (25.0%) eta 4.5s" in format_event(progress)
+        start = {"seq": 0, "t_s": 0.0, "event": "stage_start", "stage": "scan"}
+        assert "stage start scan" in format_event(start)
+        end = {"seq": 1, "t_s": 0.2, "event": "stage_end", "stage": "scan", "duration_ms": 200.0}
+        assert "stage end" in format_event(end) and "200.0 ms" in format_event(end)
+        generic = {"seq": 3, "t_s": 0.3, "event": "campaign_start", "n_cells": 9}
+        assert "campaign_start n_cells=9" in format_event(generic)
+
+    def test_resolve_events_path(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text("{}\n", encoding="utf-8")
+        assert resolve_events_path(path) == path
+        assert resolve_events_path(tmp_path) == path
+        with pytest.raises(FileNotFoundError):
+            resolve_events_path(tmp_path / "missing.jsonl")
+        empty = tmp_path / "empty_dir"
+        empty.mkdir()
+        with pytest.raises(FileNotFoundError):
+            resolve_events_path(empty)
+
+    def test_follow_events_reads_to_stream_end(self, tmp_path):
+        buffer = io.StringIO()
+        stream = EventStream(buffer, clock=FakeClock())
+        stream.emit("alpha")
+        stream.progress("campaign", 1, 2)
+        stream.close()
+        path = tmp_path / "events.jsonl"
+        path.write_text(buffer.getvalue(), encoding="utf-8")
+        events = list(follow_events(path, poll_interval_s=0.01, timeout_s=2.0))
+        assert [e["event"] for e in events] == [
+            "stream_start",
+            "alpha",
+            "progress",
+            "stream_end",
+        ]
+
+    def test_follow_events_times_out_without_stream_end(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"seq": 0, "t_s": 0.0, "event": "stream_start"}\n', encoding="utf-8")
+        events = list(follow_events(path, poll_interval_s=0.01, timeout_s=0.05))
+        assert [e["event"] for e in events] == ["stream_start"]
+
+
+class TestStreamThroughTracer:
+    def test_stage_events_depth_gated(self):
+        from repro.obs.trace import Tracer
+
+        buffer = io.StringIO()
+        stream = EventStream(buffer, clock=FakeClock(), stage_depth=2)
+        tracer = Tracer(stream=stream)
+        with tracer.span("study"):
+            with tracer.span("scan"):
+                with tracer.span("scan.epoch"):  # depth 3: not streamed
+                    pass
+        stages = [e["stage"] for e in _events(buffer) if e["event"] == "stage_start"]
+        assert stages == ["study", "scan"]
+        ends = [e for e in _events(buffer) if e["event"] == "stage_end"]
+        assert all("duration_ms" in e for e in ends)

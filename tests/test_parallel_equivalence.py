@@ -212,3 +212,45 @@ class TestChunkSizeSemantics:
                 assert np.array_equal(
                     clustering.labels, other.clusterings[xi][asn].labels
                 )
+
+
+class TestObservabilityByteIdentity:
+    """The observability layer's headline claim: a fully-instrumented run
+    (profiling + event streaming + flight recording) exports byte-identical
+    artifacts to a bare run.  Telemetry reads clocks, never RNG streams."""
+
+    def _instrumented(self, parallel: ParallelConfig, tmp_path: Path, tag: str):
+        import io
+
+        from repro.obs import Telemetry
+
+        with Telemetry.capture(
+            profile=True, stream=io.StringIO(), events=tmp_path / f"{tag}-events.jsonl"
+        ) as telemetry:
+            study = run_study(_study_config(parallel), telemetry=telemetry)
+        return study, telemetry
+
+    def test_serial_instrumented_matches_bare(self, serial_run, tmp_path):
+        _, reference = serial_run
+        study, telemetry = self._instrumented(ParallelConfig(), tmp_path, "serial")
+        assert _archive_digests(study, tmp_path / "instrumented") == reference
+        # And the instrumentation actually recorded: this was not a no-op run.
+        assert "cpu_ms" in telemetry.tracer.find("study").attributes
+        assert telemetry.flight.records
+
+    @pytest.mark.parallel
+    def test_process_instrumented_matches_bare(self, serial_run, tmp_path):
+        _, reference = serial_run
+        study, telemetry = self._instrumented(
+            ParallelConfig(backend="process", workers=2), tmp_path, "process"
+        )
+        assert _archive_digests(study, tmp_path / "instrumented-proc") == reference
+        workers = {r.worker for r in telemetry.flight.records}
+        assert any(w.startswith("pid-") for w in workers)
+
+    def test_serial_instrumented_matches_golden_digest(self, tmp_path):
+        if not np.__version__.startswith(GOLDEN_NUMPY_PREFIX):
+            pytest.skip("golden digest pinned to numpy " + GOLDEN_NUMPY_PREFIX)
+        study, _ = self._instrumented(ParallelConfig(), tmp_path, "golden")
+        save_archive(study, tmp_path / "export")
+        assert _composite_digest(tmp_path / "export") == GOLDEN_EXPORT_SHA256

@@ -7,6 +7,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro._util import (
+    atomic_write_text,
     ccdf,
     format_percent,
     format_table,
@@ -193,3 +194,33 @@ class TestFormatting:
     def test_format_table_rejects_ragged_rows(self):
         with pytest.raises(ValueError):
             format_table(["a"], [["x", "y"]])
+
+
+class TestAtomicWriteText:
+    def test_writes_content_and_returns_path(self, tmp_path):
+        target = tmp_path / "out.json"
+        assert atomic_write_text(target, "hello\n") == target
+        assert target.read_text(encoding="utf-8") == "hello\n"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.txt"
+        atomic_write_text(target, "deep")
+        assert target.read_text(encoding="utf-8") == "deep"
+
+    def test_overwrite_is_atomic_no_staging_left(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "one")
+        atomic_write_text(target, "two")
+        assert target.read_text(encoding="utf-8") == "two"
+        # No .tmp staging files survive a successful publish.
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_failed_write_leaves_no_staging(self, tmp_path):
+        class Exploding:
+            def __str__(self):
+                raise RuntimeError("cannot serialise")
+
+        target = tmp_path / "out.txt"
+        with pytest.raises(TypeError):
+            atomic_write_text(target, Exploding())  # type: ignore[arg-type]
+        assert list(tmp_path.iterdir()) == []
