@@ -1,0 +1,68 @@
+"""Accuracy bench: ground-truth scorecard baselines + evasion degradation.
+
+Two claims, one committed artifact:
+
+* **Accuracy trajectory** — scores the honest ``small`` scenario against
+  ground truth (:func:`repro.eval.build_scorecard`) and writes the
+  measured numbers plus regress-fail floors (measured − slack) to
+  ``BENCH_accuracy.json``.  ``repro eval --baseline`` and the tier-1 gate
+  test (``tests/test_eval.py``) compare fresh runs against it.
+
+* **Evasion degradation** — each adversarial certificate-evasion variant
+  (rotating SANs, shared wildcard, cert-less QUIC at 30 %) must *strictly
+  lower* 2023 detection recall vs the honest baseline, and the degraded
+  scorecards are committed alongside for the record.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_bench_accuracy.py -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.eval import accuracy_baseline_document, build_scorecard, compare_to_floors, derive_floors
+from repro.experiments.evasion import run_evasion_impact
+from repro.experiments.scenarios import EVASION_SCENARIOS, cached_study
+
+from benchmarks.conftest import emit
+
+SNAPSHOT_PATH = Path(__file__).parent / "BENCH_accuracy.json"
+
+
+def _smoke() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+
+def test_bench_accuracy_baseline():
+    baseline = build_scorecard(cached_study("small"), scenario="small")
+    emit("inference accuracy (small scenario)", baseline.render())
+
+    # The floors must hold on the very scorecard they were derived from.
+    floors = derive_floors(baseline)
+    self_check = compare_to_floors(floors, baseline, SNAPSHOT_PATH, "small")
+    assert self_check.passed, self_check.render()
+
+    if _smoke():
+        # CI smoke: structure only — skip the evasion variants and the write.
+        return
+
+    evasion = {
+        scenario.name: build_scorecard(cached_study(scenario), scenario=scenario.name)
+        for scenario in EVASION_SCENARIOS
+    }
+    baseline_recall = baseline.detection["2023"].recall
+    for name, degraded in evasion.items():
+        recall = degraded.detection["2023"].recall
+        assert recall < baseline_recall, (
+            f"{name} should strictly lower 2023 detection recall "
+            f"({recall:.4f} vs honest {baseline_recall:.4f})"
+        )
+
+    emit("evasion impact (small scenario variants)", run_evasion_impact().render())
+
+    document = accuracy_baseline_document(baseline, evasion=evasion)
+    SNAPSHOT_PATH.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    written = json.loads(SNAPSHOT_PATH.read_text(encoding="utf-8"))
+    assert written["format"] == "repro-accuracy-v1" and written["floors"]

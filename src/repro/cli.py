@@ -11,6 +11,9 @@ Commands:
   (``sweep run``, ``sweep status``, ``sweep gc``).
 * ``tail``     — render (or ``--follow``) a live run's JSONL event stream
   written by ``--events-out``.
+* ``eval``     — score the inference pipeline against ground truth
+  (``--scorecard-out`` writes the scorecard JSON, ``--baseline`` regress-
+  checks it against committed ``BENCH_accuracy.json`` floors).
 * ``bench``    — benchmark-baseline utilities (``bench check`` compares a
   fresh run's stage timings against a committed ``BENCH_*.json``).
 * ``info``     — library version and available scenarios/sections.
@@ -459,6 +462,40 @@ def _cmd_tail(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_eval(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.eval import build_scorecard, check_accuracy
+
+    telemetry = _telemetry_from_args(args)
+    study = _load_study(args.scenario, telemetry)
+    scorecard = build_scorecard(
+        study,
+        scenario=args.scenario,
+        hypergiants=tuple(args.hypergiant) if args.hypergiant else ("Google",),
+        peering_regions=args.regions,
+        telemetry=telemetry,
+    )
+    print(scorecard.render())
+    if args.scorecard_out:
+        path = Path(args.scorecard_out)
+        path.write_text(scorecard.canonical_json(), encoding="utf-8")
+        print(f"wrote scorecard to {path}", file=sys.stderr)
+    exit_code = 0
+    if args.baseline:
+        try:
+            result = check_accuracy(args.baseline, scorecard=scorecard, scenario=args.scenario)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            _emit_telemetry(args, telemetry)
+            return 1
+        print()
+        print(result.render())
+        exit_code = 0 if result.passed else 1
+    _emit_telemetry(args, telemetry)
+    return exit_code
+
+
 def _cmd_bench_check(args: argparse.Namespace) -> int:
     from repro.bench import DEFAULT_TOLERANCE, check_bench
 
@@ -478,8 +515,10 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(_args: argparse.Namespace) -> int:
+    from repro.experiments.scenarios import scenario_names
+
     print(f"repro {__version__}")
-    print("scenarios: small, default, large")
+    print(f"scenarios: {', '.join(scenario_names())}")
     print(f"report sections: {', '.join(available_sections())}")
     return 0
 
@@ -599,6 +638,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="--follow: stop after this long without a new event (default: wait forever)",
     )
     tail.set_defaults(handler=_cmd_tail)
+
+    from repro.experiments.scenarios import scenario_names
+
+    evaluate = subparsers.add_parser(
+        "eval", help="score the inference pipeline against ground truth"
+    )
+    evaluate.add_argument(
+        "--scenario",
+        choices=tuple(scenario_names()),
+        default="small",
+        help="scenario preset, including the adversarial evasion variants (default: small)",
+    )
+    _add_telemetry_arguments(evaluate)
+    evaluate.add_argument(
+        "--hypergiant",
+        action="append",
+        choices=("Google", "Netflix", "Meta", "Akamai"),
+        default=None,
+        help="hypergiant(s) for the peering-inference stage (repeatable; default: Google)",
+    )
+    evaluate.add_argument(
+        "--regions", type=int, default=4, help="traceroute source regions (paper: 112)"
+    )
+    evaluate.add_argument(
+        "--scorecard-out",
+        metavar="PATH",
+        default=None,
+        help="write the scorecard as canonical JSON to PATH",
+    )
+    evaluate.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="accuracy baseline (BENCH_accuracy.json) to regress-check against; "
+        "exit code 1 if any metric falls below its committed floor",
+    )
+    evaluate.set_defaults(handler=_cmd_eval)
 
     bench = subparsers.add_parser("bench", help="benchmark-baseline utilities")
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)

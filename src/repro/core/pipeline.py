@@ -174,6 +174,17 @@ class Study:
         ]
         return validate_clusters(clusters, self.ptr, parser)
 
+    def scorecard(self, **kwargs):
+        """Ground-truth accuracy scorecard for this study (ROADMAP item 5).
+
+        Scores detection, clustering, rDNS geohints, and peering inference
+        against the substrate's truth; see
+        :func:`repro.eval.build_scorecard` for the knobs.
+        """
+        from repro.eval import build_scorecard
+
+        return build_scorecard(self, **kwargs)
+
     def single_site_fraction(self, hypergiant: str, xi: float) -> float:
         """§4.1: fraction of hosting ISPs with a single site for ``hypergiant``.
 

@@ -1,0 +1,53 @@
+"""Ground-truth evaluation of the inference pipeline (ROADMAP item 5).
+
+The synthetic substrate knows the truth the real HotNets '23 study could
+only estimate: which IPs are offnets, which facility each sits in, where
+each facility is, and who peers with whom.  This package scores every
+inference stage against that truth (:mod:`repro.eval.scorecard`), commits
+the numbers as regress-fail floors (:mod:`repro.eval.baselines`,
+``benchmarks/BENCH_accuracy.json``), and backs the adversarial
+certificate-evasion scenarios (:mod:`repro.scan.evasion`) that measure how
+the scorecard — and the paper's concentration conclusions — degrade when
+hypergiants stop cooperating with certificate fingerprinting.
+"""
+
+from repro.eval.baselines import (
+    ACCURACY_FORMAT,
+    DEFAULT_FLOOR_SLACK,
+    AccuracyCheckResult,
+    FloorCheck,
+    accuracy_baseline_document,
+    check_accuracy,
+    compare_to_floors,
+    derive_floors,
+)
+from repro.eval.clustering import (
+    ClusteringStageScore,
+    IspClusteringScore,
+    clustering_truth_labels,
+    score_clustering_stage,
+    score_isp_clustering,
+)
+from repro.eval.rdns import RdnsStageScore, score_rdns_stage
+from repro.eval.scorecard import SCORECARD_FORMAT, Scorecard, build_scorecard
+
+__all__ = [
+    "ACCURACY_FORMAT",
+    "AccuracyCheckResult",
+    "ClusteringStageScore",
+    "DEFAULT_FLOOR_SLACK",
+    "FloorCheck",
+    "IspClusteringScore",
+    "RdnsStageScore",
+    "SCORECARD_FORMAT",
+    "Scorecard",
+    "accuracy_baseline_document",
+    "build_scorecard",
+    "check_accuracy",
+    "clustering_truth_labels",
+    "compare_to_floors",
+    "derive_floors",
+    "score_clustering_stage",
+    "score_isp_clustering",
+    "score_rdns_stage",
+]

@@ -1,0 +1,159 @@
+"""Colocation-clustering quality vs ground-truth facility assignment.
+
+The substrate knows the true facility of every offnet IP
+(:class:`repro.deployment.placement.OffnetServer`), so per-ISP latency
+clusterings can be scored exactly: the ground-truth labeling puts two IPs
+together iff they sit in the same facility.  Agreement is measured with
+the same pair-confusion machinery the clustering module exposes
+(:func:`repro.clustering.sites.pair_confusion_counts`, noise = singleton),
+plus two cluster-purity views:
+
+* **homogeneity** — of the predicted clusters, the fraction whose members
+  all share one true facility (an impure cluster merges facilities);
+* **completeness** — of the true multi-IP facilities, the fraction whose
+  IPs all landed in one predicted cluster (a split facility is incomplete).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.sites import SiteClustering, pair_confusion_counts
+
+
+def clustering_truth_labels(
+    clustering: SiteClustering, facility_of_ip: dict[int, int]
+) -> np.ndarray:
+    """Ground-truth facility labels aligned with ``clustering.ips``.
+
+    Raises :class:`KeyError` naming the first IP missing from
+    ``facility_of_ip`` (same ergonomics as
+    :meth:`repro.clustering.sites.SiteClustering.label_of`).
+    """
+    labels = np.empty(len(clustering.ips), dtype=int)
+    for position, ip in enumerate(clustering.ips):
+        try:
+            labels[position] = facility_of_ip[ip]
+        except KeyError:
+            raise KeyError(
+                f"IP {ip} has no ground-truth facility in the supplied map "
+                f"({len(facility_of_ip)} known IPs; see DeploymentState.server_at)"
+            ) from None
+    return labels
+
+
+@dataclass(frozen=True)
+class IspClusteringScore:
+    """One ISP's clustering scored against its true facility layout."""
+
+    asn: int
+    n_ips: int
+    #: (both_together, predicted_only, truth_only, both_apart) over IP pairs.
+    pair_counts: tuple[int, int, int, int]
+    n_clusters: int
+    n_pure_clusters: int
+    n_multi_ip_facilities: int
+    n_intact_facilities: int
+
+    @property
+    def rand(self) -> float:
+        """Rand index of the clustering vs the facility labeling."""
+        together, pred_only, truth_only, apart = self.pair_counts
+        total = together + pred_only + truth_only + apart
+        return (together + apart) / total if total else 1.0
+
+
+def score_isp_clustering(
+    asn: int, clustering: SiteClustering, facility_of_ip: dict[int, int]
+) -> IspClusteringScore:
+    """Score one ISP's ``clustering`` against ``facility_of_ip`` truth."""
+    truth = clustering_truth_labels(clustering, facility_of_ip)
+    counts = pair_confusion_counts(np.asarray(clustering.labels), truth)
+
+    facility_by_position = {ip: facility_of_ip[ip] for ip in clustering.ips}
+    clusters = clustering.clusters
+    pure = sum(1 for cluster in clusters if len({facility_by_position[ip] for ip in cluster}) == 1)
+
+    members_by_facility: dict[int, list[int]] = {}
+    for ip in clustering.ips:
+        members_by_facility.setdefault(facility_of_ip[ip], []).append(ip)
+    multi = {fac: ips for fac, ips in members_by_facility.items() if len(ips) >= 2}
+    intact = 0
+    for ips in multi.values():
+        labels = {int(clustering.label_of(ip)) for ip in ips}
+        if len(labels) == 1 and labels.pop() >= 0:
+            intact += 1
+
+    return IspClusteringScore(
+        asn=asn,
+        n_ips=len(clustering.ips),
+        pair_counts=counts,
+        n_clusters=len(clusters),
+        n_pure_clusters=pure,
+        n_multi_ip_facilities=len(multi),
+        n_intact_facilities=intact,
+    )
+
+
+@dataclass(frozen=True)
+class ClusteringStageScore:
+    """All analyzable ISPs' clusterings at one xi, scored and pooled."""
+
+    xi: float
+    per_isp: tuple[IspClusteringScore, ...]
+
+    @property
+    def n_isps(self) -> int:
+        return len(self.per_isp)
+
+    @property
+    def n_ips(self) -> int:
+        return sum(score.n_ips for score in self.per_isp)
+
+    @property
+    def pooled_rand(self) -> float:
+        """Rand index over the union of every ISP's IP pairs."""
+        together = pred_only = truth_only = apart = 0
+        for score in self.per_isp:
+            t, p, q, a = score.pair_counts
+            together += t
+            pred_only += p
+            truth_only += q
+            apart += a
+        total = together + pred_only + truth_only + apart
+        return (together + apart) / total if total else 1.0
+
+    @property
+    def mean_rand(self) -> float:
+        """Unweighted mean Rand over ISPs with at least one IP pair."""
+        scored = [s.rand for s in self.per_isp if s.n_ips >= 2]
+        return float(np.mean(scored)) if scored else 1.0
+
+    @property
+    def homogeneity(self) -> float:
+        """Fraction of predicted clusters containing a single true facility."""
+        clusters = sum(s.n_clusters for s in self.per_isp)
+        pure = sum(s.n_pure_clusters for s in self.per_isp)
+        return pure / clusters if clusters else 1.0
+
+    @property
+    def completeness(self) -> float:
+        """Fraction of true multi-IP facilities kept in one predicted cluster."""
+        facilities = sum(s.n_multi_ip_facilities for s in self.per_isp)
+        intact = sum(s.n_intact_facilities for s in self.per_isp)
+        return intact / facilities if facilities else 1.0
+
+
+def score_clustering_stage(
+    xi: float,
+    clusterings: dict[int, SiteClustering],
+    facility_of_ip: dict[int, int],
+) -> ClusteringStageScore:
+    """Score every ISP's clustering at ``xi`` against the facility truth."""
+    per_isp = tuple(
+        score_isp_clustering(asn, clustering, facility_of_ip)
+        for asn, clustering in sorted(clusterings.items())
+    )
+    return ClusteringStageScore(xi=xi, per_isp=per_isp)

@@ -1,0 +1,95 @@
+"""rDNS-geo validation accuracy vs true facility coordinates.
+
+§3.2 validates clusters through hostname geohints; this module scores the
+*geohints themselves* against ground truth, which the real study could
+not do: for every offnet server with a located PTR hostname, compare the
+parsed city against the server's true facility city — exact-city matches,
+metro matches (within :data:`repro.rdns.validation.METRO_RADIUS_M`), and
+whether the remaining errors are explained by the synthesized stale
+records (:attr:`repro.rdns.ptr.PtrDataset.stale_ips`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.deployment.placement import DeploymentState
+from repro.rdns.geohints import GeohintParser
+from repro.rdns.ptr import PtrDataset
+from repro.rdns.validation import METRO_RADIUS_M
+
+
+@dataclass(frozen=True)
+class RdnsStageScore:
+    """Geohint accuracy counts over all offnet servers of one epoch."""
+
+    n_servers: int
+    #: Servers with any PTR record.
+    n_with_ptr: int
+    #: Of those, servers whose hostname parses to a city.
+    n_located: int
+    #: Located servers whose parsed city is exactly the facility's city.
+    n_city_correct: int
+    #: Located servers within the metro radius of the facility's city
+    #: (includes the exact matches).
+    n_metro_correct: int
+    #: Wrongly-located servers whose PTR record is a known stale record.
+    n_wrong_stale: int
+
+    @property
+    def ptr_coverage(self) -> float:
+        """Servers with a PTR record / all servers."""
+        return self.n_with_ptr / self.n_servers if self.n_servers else 1.0
+
+    @property
+    def located_fraction(self) -> float:
+        """Located servers / servers with a PTR record."""
+        return self.n_located / self.n_with_ptr if self.n_with_ptr else 1.0
+
+    @property
+    def city_accuracy(self) -> float:
+        """Exact-city matches / located servers."""
+        return self.n_city_correct / self.n_located if self.n_located else 1.0
+
+    @property
+    def metro_accuracy(self) -> float:
+        """Metro-radius matches / located servers."""
+        return self.n_metro_correct / self.n_located if self.n_located else 1.0
+
+    @property
+    def stale_explained_fraction(self) -> float:
+        """Of the metro-level misses, the fraction explained by stale PTRs."""
+        wrong = self.n_located - self.n_metro_correct
+        return self.n_wrong_stale / wrong if wrong else 1.0
+
+
+def score_rdns_stage(
+    state: DeploymentState, ptr: PtrDataset, parser: GeohintParser
+) -> RdnsStageScore:
+    """Score ``ptr``'s geohints against ``state``'s true facility cities."""
+    n_with_ptr = n_located = n_city = n_metro = n_wrong_stale = 0
+    for server in state.servers:
+        hostname = ptr.hostname_of(server.ip)
+        if hostname is None:
+            continue
+        n_with_ptr += 1
+        parsed = parser.city_of(hostname)
+        if parsed is None:
+            continue
+        n_located += 1
+        true_city = server.facility.city
+        if parsed.name == true_city.name:
+            n_city += 1
+            n_metro += 1
+        elif parsed.distance_m(true_city) <= METRO_RADIUS_M:
+            n_metro += 1
+        elif server.ip in ptr.stale_ips:
+            n_wrong_stale += 1
+    return RdnsStageScore(
+        n_servers=len(state.servers),
+        n_with_ptr=n_with_ptr,
+        n_located=n_located,
+        n_city_correct=n_city,
+        n_metro_correct=n_metro,
+        n_wrong_stale=n_wrong_stale,
+    )

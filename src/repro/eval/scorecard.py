@@ -1,0 +1,257 @@
+"""The per-stage ground-truth accuracy scorecard.
+
+:func:`build_scorecard` scores every inference stage of a finished
+:class:`~repro.core.pipeline.Study` against the substrate's ground truth
+(the real study's missing luxury — DESIGN.md §2):
+
+* **detection** — offnet precision/recall/F1 per scanned epoch
+  (:func:`repro.scan.detection.score_detection`);
+* **clustering** — per-ISP colocation clusterings vs true facility
+  assignment at every xi (:mod:`repro.eval.clustering`);
+* **rdns** — hostname geohints vs true facility coordinates
+  (:mod:`repro.eval.rdns`);
+* **traceroute** — peering inference vs the true relationship graph
+  (:func:`repro.traceroute.peering.score_peering_inference`).
+
+The scorecard serializes to a canonical JSON document (sorted keys, fixed
+rounding) so differential tests can assert byte-stability across executor
+backends, and flattens to ``metric name -> value`` for the regress-fail
+floors in :mod:`repro.eval.baselines`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.eval.clustering import ClusteringStageScore, score_clustering_stage
+from repro.eval.rdns import RdnsStageScore, score_rdns_stage
+from repro.obs import Telemetry, ensure_telemetry
+from repro.scan.detection import DetectionScore, score_detection
+from repro.traceroute.peering import (
+    CampaignConfig,
+    PeeringScore,
+    run_peering_campaign,
+    score_peering_inference,
+)
+
+if TYPE_CHECKING:
+    from repro.core.pipeline import Study
+
+SCORECARD_FORMAT = "repro-scorecard-v1"
+
+#: Mirrors the §4.2 experiment's campaign shape (seed and targets/ISP), so
+#: the scorecard's traceroute numbers match ``repro peering`` output.
+PEERING_SEED = 9
+PEERING_TARGETS_PER_ISP = 2
+
+#: Fractional metrics are rounded to this many digits in the JSON document
+#: (canonical across platforms; counts stay exact integers).
+_ROUND_DIGITS = 6
+
+
+def _round(value: float) -> float:
+    return round(float(value), _ROUND_DIGITS)
+
+
+@dataclass(frozen=True)
+class Scorecard:
+    """Per-stage and aggregate accuracy of one study's inference pipeline."""
+
+    scenario: str | None
+    #: epoch -> detection score (every scanned epoch).
+    detection: dict[str, DetectionScore]
+    #: xi -> pooled clustering score over all analyzable ISPs.
+    clustering: dict[float, ClusteringStageScore]
+    rdns: RdnsStageScore
+    #: hypergiant -> peering-inference score.
+    traceroute: dict[str, PeeringScore]
+
+    # -- aggregation ----------------------------------------------------------
+
+    @property
+    def aggregate(self) -> float:
+        """One headline number: the mean of the four stage headlines.
+
+        Detection F1 (latest epoch), pooled Rand (mean over xis), rDNS
+        metro accuracy, and peering F1 (mean over hypergiants).
+        """
+        return sum(self.stage_headlines.values()) / len(self.stage_headlines)
+
+    @property
+    def stage_headlines(self) -> dict[str, float]:
+        """The four per-stage headline metrics feeding :attr:`aggregate`."""
+        latest = max(self.detection)
+        xis = sorted(self.clustering)
+        hypergiants = sorted(self.traceroute)
+        return {
+            "detection_f1": self.detection[latest].f1,
+            "clustering_pooled_rand": sum(self.clustering[xi].pooled_rand for xi in xis)
+            / len(xis),
+            "rdns_metro_accuracy": self.rdns.metro_accuracy,
+            "traceroute_f1": sum(self.traceroute[hg].f1 for hg in hypergiants)
+            / len(hypergiants),
+        }
+
+    def flat_metrics(self) -> dict[str, float]:
+        """Every scorecard fraction as ``stage.qualifier.metric -> value``."""
+        flat: dict[str, float] = {}
+        for epoch, score in self.detection.items():
+            flat[f"detection.{epoch}.precision"] = score.precision
+            flat[f"detection.{epoch}.recall"] = score.recall
+            flat[f"detection.{epoch}.f1"] = score.f1
+        for xi, stage in self.clustering.items():
+            prefix = f"clustering.xi={xi:g}"
+            flat[f"{prefix}.pooled_rand"] = stage.pooled_rand
+            flat[f"{prefix}.mean_rand"] = stage.mean_rand
+            flat[f"{prefix}.homogeneity"] = stage.homogeneity
+            flat[f"{prefix}.completeness"] = stage.completeness
+        flat["rdns.ptr_coverage"] = self.rdns.ptr_coverage
+        flat["rdns.located_fraction"] = self.rdns.located_fraction
+        flat["rdns.city_accuracy"] = self.rdns.city_accuracy
+        flat["rdns.metro_accuracy"] = self.rdns.metro_accuracy
+        flat["rdns.stale_explained_fraction"] = self.rdns.stale_explained_fraction
+        for hypergiant, score in self.traceroute.items():
+            flat[f"traceroute.{hypergiant}.precision"] = score.precision
+            flat[f"traceroute.{hypergiant}.recall"] = score.recall
+            flat[f"traceroute.{hypergiant}.f1"] = score.f1
+        flat["aggregate"] = self.aggregate
+        return flat
+
+    # -- serialization --------------------------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        """A structured, canonical-friendly document (counts + fractions)."""
+        return {
+            "format": SCORECARD_FORMAT,
+            "scenario": self.scenario,
+            "detection": {
+                epoch: {
+                    "true_positives": score.true_positives,
+                    "false_positives": score.false_positives,
+                    "false_negatives": score.false_negatives,
+                    "precision": _round(score.precision),
+                    "recall": _round(score.recall),
+                    "f1": _round(score.f1),
+                }
+                for epoch, score in self.detection.items()
+            },
+            "clustering": {
+                f"{xi:g}": {
+                    "n_isps": stage.n_isps,
+                    "n_ips": stage.n_ips,
+                    "pooled_rand": _round(stage.pooled_rand),
+                    "mean_rand": _round(stage.mean_rand),
+                    "homogeneity": _round(stage.homogeneity),
+                    "completeness": _round(stage.completeness),
+                }
+                for xi, stage in self.clustering.items()
+            },
+            "rdns": {
+                "n_servers": self.rdns.n_servers,
+                "n_with_ptr": self.rdns.n_with_ptr,
+                "n_located": self.rdns.n_located,
+                "n_city_correct": self.rdns.n_city_correct,
+                "n_metro_correct": self.rdns.n_metro_correct,
+                "n_wrong_stale": self.rdns.n_wrong_stale,
+                "city_accuracy": _round(self.rdns.city_accuracy),
+                "metro_accuracy": _round(self.rdns.metro_accuracy),
+            },
+            "traceroute": {
+                hypergiant: {
+                    "true_peer_detected": score.true_peer_detected,
+                    "true_peer_possible": score.true_peer_possible,
+                    "true_peer_missed": score.true_peer_missed,
+                    "false_peer": score.false_peer,
+                    "precision": _round(score.precision),
+                    "recall": _round(score.recall),
+                    "f1": _round(score.f1),
+                }
+                for hypergiant, score in self.traceroute.items()
+            },
+            "aggregate": _round(self.aggregate),
+        }
+
+    def canonical_json(self) -> str:
+        """The byte-stable serialization differential tests compare."""
+        return json.dumps(self.to_json(), sort_keys=True, indent=2) + "\n"
+
+    def render(self) -> str:
+        """A human-readable per-stage metric table plus the aggregate."""
+        from repro._util import format_table
+
+        rows = [[name, f"{value:.4f}"] for name, value in sorted(self.flat_metrics().items())]
+        table = format_table(["metric", "value"], rows)
+        label = self.scenario or "(unnamed study)"
+        return f"inference accuracy scorecard — {label}\n{table}"
+
+
+def build_scorecard(
+    study: "Study",
+    scenario: str | None = None,
+    hypergiants: tuple[str, ...] = ("Google",),
+    peering_regions: int = 4,
+    telemetry: Telemetry | None = None,
+) -> Scorecard:
+    """Score every inference stage of ``study`` against ground truth.
+
+    ``hypergiants``/``peering_regions`` shape the traceroute stage: a
+    fresh §4.2-style campaign (:data:`PEERING_SEED`) is run per hypergiant
+    against the ISPs truly hosting it.  All other stages score artifacts
+    the study already carries, so they add no pipeline work.
+    """
+    from repro.rdns.geohints import build_default_parser
+
+    obs = ensure_telemetry(telemetry)
+    with obs.span("eval.scorecard", scenario=scenario or ""):
+        state = study.history.state(max(study.history.epochs))
+
+        detection = {
+            epoch: score_detection(inventory, study.history.state(epoch))
+            for epoch, inventory in study.inventories.items()
+        }
+
+        facility_of_ip = {server.ip: server.facility.facility_id for server in state.servers}
+        clustering = {
+            xi: score_clustering_stage(xi, per_isp, facility_of_ip)
+            for xi, per_isp in study.clusterings.items()
+        }
+
+        parser = build_default_parser(study.internet.world)
+        rdns = score_rdns_stage(state, study.ptr, parser)
+
+        traceroute: dict[str, PeeringScore] = {}
+        for hypergiant in hypergiants:
+            hosting = state.isps_hosting(hypergiant)
+            with obs.span("eval.peering", hypergiant=hypergiant, n_items=len(hosting)):
+                inference = run_peering_campaign(
+                    study.internet,
+                    hypergiant,
+                    hosting,
+                    CampaignConfig(
+                        n_regions=peering_regions, targets_per_isp=PEERING_TARGETS_PER_ISP
+                    ),
+                    seed=PEERING_SEED,
+                )
+            traceroute[hypergiant] = score_peering_inference(
+                study.internet, hypergiant, inference
+            )
+
+        scorecard = Scorecard(
+            scenario=scenario,
+            detection=detection,
+            clustering=clustering,
+            rdns=rdns,
+            traceroute=traceroute,
+        )
+        obs.count("eval.stages_scored", 4)
+        for name, value in scorecard.stage_headlines.items():
+            obs.gauge(f"eval.{name}", value)
+        obs.gauge("eval.aggregate", scorecard.aggregate)
+        obs.log(
+            "scorecard built",
+            scenario=scenario,
+            aggregate=round(scorecard.aggregate, 4),
+        )
+    return scorecard

@@ -1,0 +1,96 @@
+"""EV — how certificate evasion degrades detection and the conclusions.
+
+Runs the adversarial scenario variants of ``small``
+(:data:`repro.experiments.scenarios.EVASION_SCENARIOS`) and compares each
+against the honest baseline on three levels:
+
+* **detection recall** (2023) — the direct damage: evading servers vanish
+  from the inventory;
+* **Table 1** — total hosting-ISP count across hypergiants, 2023: does
+  the footprint story shrink?
+* **Figure 2** — the single-facility concentration headline (fraction of
+  covered users behind a >= 25 %-share facility): do the paper's risk
+  conclusions survive an under-counted fleet?
+
+The punchline mirrors §2.2's arms-race warning: the concentration
+*conclusions* are fairly robust (the surviving detections concentrate the
+same way) while the *footprint counts* are quietly wrong — exactly the
+failure mode a certificate-based methodology cannot see from inside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import format_table
+from repro.core.pipeline import Study
+from repro.scan.detection import score_detection
+
+
+@dataclass(frozen=True)
+class EvasionImpactRow:
+    """One scenario's headline numbers."""
+
+    scenario: str
+    detection_recall: float
+    detection_precision: float
+    hosting_isps_2023: int
+    share25_low: float
+    share25_high: float
+
+
+@dataclass
+class EvasionImpactResult:
+    """Baseline row first, then one row per evasion variant."""
+
+    rows: list[EvasionImpactRow] = field(default_factory=list)
+
+    @property
+    def baseline(self) -> EvasionImpactRow:
+        return self.rows[0]
+
+    def recall_drop(self, scenario: str) -> float:
+        """Baseline recall minus ``scenario``'s recall (positive = degraded)."""
+        by_name = {row.scenario: row for row in self.rows}
+        return self.baseline.detection_recall - by_name[scenario].detection_recall
+
+    def render(self) -> str:
+        headers = ["scenario", "recall", "precision", "hosting ISPs", "share>=25% users"]
+        rows = []
+        for row in self.rows:
+            rows.append(
+                [
+                    row.scenario,
+                    f"{row.detection_recall:.3f}",
+                    f"{row.detection_precision:.3f}",
+                    row.hosting_isps_2023,
+                    f"{100 * row.share25_low:.0f}%-{100 * row.share25_high:.0f}%",
+                ]
+            )
+        return format_table(headers, rows)
+
+
+def _impact_row(name: str, study: Study) -> EvasionImpactRow:
+    from repro.experiments.figure2 import run_figure2
+
+    score = score_detection(study.latest_inventory, study.history.state("2023"))
+    share_low, share_high = run_figure2(study).share25_range()
+    return EvasionImpactRow(
+        scenario=name,
+        detection_recall=score.recall,
+        detection_precision=score.precision,
+        hosting_isps_2023=len(study.latest_inventory.hosting_isp_asns()),
+        share25_low=share_low,
+        share25_high=share_high,
+    )
+
+
+def run_evasion_impact(baseline: str = "small") -> EvasionImpactResult:
+    """Run ``baseline`` plus its evasion variants and compare headlines."""
+    from repro.experiments.scenarios import EVASION_SCENARIOS, cached_study
+
+    result = EvasionImpactResult()
+    result.rows.append(_impact_row(baseline, cached_study(baseline)))
+    for scenario in EVASION_SCENARIOS:
+        result.rows.append(_impact_row(scenario.name, cached_study(scenario)))
+    return result

@@ -16,6 +16,7 @@ from repro.faults import FaultPlan
 from repro.obs import Telemetry, get_logger, global_metrics
 from repro.resilience import ResilienceConfig
 from repro.parallel import ParallelConfig
+from repro.scan.evasion import EvasionConfig
 from repro.store import StudyStore, config_fingerprint
 from repro.topology.generator import InternetConfig
 
@@ -89,12 +90,48 @@ LARGE_SCENARIO = StudyScenario(
     capacity_sample=200,
 )
 
-_BY_NAME = {s.name: s for s in (SMALL_SCENARIO, DEFAULT_SCENARIO, LARGE_SCENARIO)}
+#: Fraction of offnet servers adopting the evasion in each adversarial
+#: variant (one knob per variant, everything else identical to ``small``).
+EVASION_FRACTION = 0.3
+
+
+def _evasion_variant(base: StudyScenario, suffix: str, evasion: EvasionConfig) -> StudyScenario:
+    """An adversarial copy of ``base`` with evading offnet certificates."""
+    return StudyScenario(
+        name=f"{base.name}-{suffix}",
+        config=replace(base.config, scan=replace(base.config.scan, evasion=evasion)),
+        n_traceroute_regions=base.n_traceroute_regions,
+        capacity_sample=base.capacity_sample,
+    )
+
+
+SMALL_ROTATING_SANS = _evasion_variant(
+    SMALL_SCENARIO, "rotating-sans", EvasionConfig(rotating_san_fraction=EVASION_FRACTION)
+)
+SMALL_SHARED_WILDCARD = _evasion_variant(
+    SMALL_SCENARIO, "shared-wildcard", EvasionConfig(shared_wildcard_fraction=EVASION_FRACTION)
+)
+SMALL_CERTLESS_QUIC = _evasion_variant(
+    SMALL_SCENARIO, "certless-quic", EvasionConfig(certless_quic_fraction=EVASION_FRACTION)
+)
+
+#: The adversarial certificate-evasion variants, in presentation order.
+EVASION_SCENARIOS = (SMALL_ROTATING_SANS, SMALL_SHARED_WILDCARD, SMALL_CERTLESS_QUIC)
+
+_BY_NAME = {
+    s.name: s
+    for s in (SMALL_SCENARIO, DEFAULT_SCENARIO, LARGE_SCENARIO, *EVASION_SCENARIOS)
+}
 
 
 def scenario_by_name(name: str) -> StudyScenario:
     """Look up a preset by name."""
     return _BY_NAME[name]
+
+
+def scenario_names() -> list[str]:
+    """Every registered scenario name (presets + evasion variants)."""
+    return list(_BY_NAME)
 
 
 #: Process-memory front layer, keyed by the *full* config fingerprint —

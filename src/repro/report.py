@@ -174,6 +174,11 @@ def _cf(study: Study) -> str:
     return run_dispersal_counterfactual(study).render()
 
 
+@_register("acc", "Accuracy: the inference pipeline scored against ground truth")
+def _acc(study: Study) -> str:
+    return study.scorecard().render()
+
+
 @_register("cov", "Coverage: measurement surface lost to faults and quarantines")
 def _cov(study: Study) -> str:
     return study.coverage.render()

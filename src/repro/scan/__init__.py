@@ -10,13 +10,26 @@ certificate fingerprints with IP-to-AS ownership
 """
 
 from repro.scan.certificates import Certificate, certificate_for_server, infrastructure_certificate
-from repro.scan.detection import DetectedOffnet, OffnetInventory, detect_offnets, score_detection
+from repro.scan.detection import (
+    DetectedOffnet,
+    DetectionScore,
+    OffnetInventory,
+    detect_offnets,
+    score_detection,
+)
+from repro.scan.evasion import (
+    EvasionConfig,
+    rotating_san_certificate,
+    shared_wildcard_certificate,
+)
 from repro.scan.fingerprints import FingerprintRule, fingerprint_rules
 from repro.scan.scanner import ScanConfig, ScanRecord, ScanResult, run_scan
 
 __all__ = [
     "Certificate",
     "DetectedOffnet",
+    "DetectionScore",
+    "EvasionConfig",
     "FingerprintRule",
     "OffnetInventory",
     "ScanConfig",
@@ -26,6 +39,8 @@ __all__ = [
     "detect_offnets",
     "fingerprint_rules",
     "infrastructure_certificate",
+    "rotating_san_certificate",
     "run_scan",
     "score_detection",
+    "shared_wildcard_certificate",
 ]

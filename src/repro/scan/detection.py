@@ -145,6 +145,12 @@ class DetectionScore:
         actual = self.true_positives + self.false_negatives
         return self.true_positives / actual if actual else 1.0
 
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0.0 when both are 0)."""
+        denominator = self.precision + self.recall
+        return 2.0 * self.precision * self.recall / denominator if denominator else 0.0
+
 
 def score_detection(inventory: OffnetInventory, truth: DeploymentState) -> DetectionScore:
     """Score ``inventory`` against the ground-truth deployment ``truth``.

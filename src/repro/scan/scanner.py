@@ -29,6 +29,13 @@ from repro.scan.certificates import (
     infrastructure_certificate,
     onnet_certificate,
 )
+from repro.scan.evasion import (
+    CERTLESS_QUIC,
+    SHARED_WILDCARD,
+    EvasionConfig,
+    rotating_san_certificate,
+    shared_wildcard_certificate,
+)
 from repro.topology.generator import Internet
 
 
@@ -52,6 +59,9 @@ class ScanConfig:
     onnet_hosts_per_hypergiant: int = 50
     #: Expected number of impostor (self-signed) certificates per 100 ISPs.
     impostors_per_100_isps: float = 10.0
+    #: Adversarial certificate evasion adopted by the offnet fleet
+    #: (see :mod:`repro.scan.evasion`).  None = honest certificates.
+    evasion: EvasionConfig | None = None
 
     def __post_init__(self) -> None:
         require_fraction(self.offnet_nonresponse_rate, "offnet_nonresponse_rate")
@@ -110,11 +120,30 @@ def run_scan(
     # Offnet servers (the signal).
     nonresponders = 0
     records_dropped = 0
+    evasion = config.evasion if config.evasion is not None and config.evasion.enabled else None
+    certless_endpoints = 0
+    rewritten_certificates = 0
     for index, server in enumerate(state.servers):
         if rng_response.random() < config.offnet_nonresponse_rate:
             nonresponders += 1
             continue
-        record = ScanRecord(server.ip, certificate_for_server(server, state.epoch, rng_certs))
+        # The honest certificate is always drawn, even for evading servers:
+        # evasion is a pure (seed, knob, ip) function applied afterwards, so
+        # turning it on never shifts the RNG streams of honest records.
+        certificate = certificate_for_server(server, state.epoch, rng_certs)
+        if evasion is not None:
+            mode = evasion.mode_for(server.ip)
+            if mode == CERTLESS_QUIC:
+                certless_endpoints += 1
+                continue
+            if mode is not None:
+                certificate = (
+                    shared_wildcard_certificate()
+                    if mode == SHARED_WILDCARD
+                    else rotating_san_certificate(server, evasion.seed)
+                )
+                rewritten_certificates += 1
+        record = ScanRecord(server.ip, certificate)
         if faults is not None and faults.fires_ever("scan.record", index):
             records_dropped += 1
             continue
@@ -160,6 +189,9 @@ def run_scan(
     obs.count("scan.records", len(records))
     if records_dropped:
         obs.count("faults.scan_records_dropped", records_dropped)
+    if evasion is not None:
+        obs.count("scan.evasion_certless", certless_endpoints)
+        obs.count("scan.evasion_rewritten", rewritten_certificates)
     obs.log(
         "scan complete",
         epoch=state.epoch,

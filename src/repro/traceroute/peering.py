@@ -211,6 +211,12 @@ class PeeringScore:
         detected = self.true_peer_detected + self.false_peer
         return self.true_peer_detected / detected if detected else 1.0
 
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0.0 when both are 0)."""
+        denominator = self.precision + self.recall
+        return 2.0 * self.precision * self.recall / denominator if denominator else 0.0
+
 
 def score_peering_inference(
     internet: Internet, hypergiant: str, inference: PeeringInference

@@ -1,0 +1,140 @@
+"""Adversarial certificate evasion (:mod:`repro.scan.evasion`).
+
+The contract under test: every evasion knob strictly lowers detection
+recall and never raises it (the evading set grows monotonically in each
+fraction), evasion never adds false positives, and the machinery is
+artifact-inert when off — a zeroed :class:`EvasionConfig` produces a scan
+byte-identical to no config at all, and honest servers' records are
+untouched even when others around them evade.
+"""
+
+import pytest
+
+from repro.scan.detection import detect_offnets, score_detection
+from repro.scan.evasion import (
+    CERTLESS_QUIC,
+    EvasionConfig,
+    rotating_san_certificate,
+    shared_wildcard_certificate,
+)
+from repro.scan.fingerprints import fingerprint_rules
+from repro.scan.scanner import ScanConfig, run_scan
+
+#: One knob per adversarial scenario variant.
+KNOBS = ("rotating_san_fraction", "shared_wildcard_fraction", "certless_quic_fraction")
+
+
+def _scan(internet, state, evasion):
+    return run_scan(internet, state, ScanConfig(evasion=evasion), seed=2)
+
+
+def _score(internet, state, evasion):
+    inventory = detect_offnets(internet, _scan(internet, state, evasion))
+    return score_detection(inventory, state)
+
+
+def _detected_ips(internet, state, evasion):
+    inventory = detect_offnets(internet, _scan(internet, state, evasion))
+    return {d.ip for d in inventory.detections}
+
+
+class TestRecallMonotonicity:
+    @pytest.mark.parametrize("knob", KNOBS)
+    def test_each_knob_strictly_lowers_recall(self, small_internet, state23, knob):
+        honest = _score(small_internet, state23, None)
+        mid = _score(small_internet, state23, EvasionConfig(**{knob: 0.3}))
+        high = _score(small_internet, state23, EvasionConfig(**{knob: 0.6}))
+        assert mid.recall < honest.recall
+        assert high.recall < mid.recall
+        # Never *raises* recall, and never manufactures false positives.
+        assert mid.precision >= honest.precision
+        assert high.precision >= honest.precision
+        assert mid.false_positives <= honest.false_positives
+        assert high.false_positives <= honest.false_positives
+
+    @pytest.mark.parametrize("knob", KNOBS)
+    def test_detected_sets_shrink_monotonically(self, small_internet, state23, knob):
+        """Raising a fraction only grows the evading set: detections nest."""
+        honest = _detected_ips(small_internet, state23, None)
+        mid = _detected_ips(small_internet, state23, EvasionConfig(**{knob: 0.3}))
+        high = _detected_ips(small_internet, state23, EvasionConfig(**{knob: 0.6}))
+        assert high <= mid <= honest
+        assert high < honest  # 60 % of ~500 servers: some must vanish
+
+
+class TestArtifactInertness:
+    def test_zeroed_config_is_byte_identical_to_none(self, small_internet, state23):
+        honest = run_scan(small_internet, state23, ScanConfig(), seed=2)
+        zeroed = run_scan(small_internet, state23, ScanConfig(evasion=EvasionConfig()), seed=2)
+        assert honest.records == zeroed.records
+
+    def test_honest_records_unshifted_under_evasion(self, small_internet, state23):
+        """Evasion is applied after the RNG draws: non-evading servers (and
+        all noise records) present exactly the certificate they would have
+        presented in an honest scan."""
+        evasion = EvasionConfig(
+            rotating_san_fraction=0.3, shared_wildcard_fraction=0.2, certless_quic_fraction=0.1
+        )
+        honest = run_scan(small_internet, state23, ScanConfig(), seed=2)
+        evaded = run_scan(small_internet, state23, ScanConfig(evasion=evasion), seed=2)
+        assert len(evaded.records) < len(honest.records)  # certless endpoints vanished
+        for record in evaded.records:
+            if evasion.mode_for(record.ip) is None:
+                assert record == honest.record_at(record.ip)
+
+    def test_certless_servers_have_no_record(self, small_internet, state23):
+        evasion = EvasionConfig(certless_quic_fraction=0.5)
+        scan = _scan(small_internet, state23, evasion)
+        for server in state23.servers:
+            if evasion.mode_for(server.ip) == CERTLESS_QUIC:
+                assert scan.record_at(server.ip) is None
+
+
+class TestEvadedCertificates:
+    @pytest.mark.parametrize("edition", ["2021", "2023"])
+    def test_shared_wildcard_matches_no_rule(self, edition):
+        certificate = shared_wildcard_certificate()
+        for rule in fingerprint_rules(edition):
+            assert not rule.matches(certificate), rule.hypergiant
+
+    @pytest.mark.parametrize("edition", ["2021", "2023"])
+    def test_rotating_san_matches_no_rule(self, state23, edition):
+        seen = set()
+        for server in state23.servers:
+            if server.hypergiant in seen:
+                continue
+            seen.add(server.hypergiant)
+            certificate = rotating_san_certificate(server, seed=0)
+            for rule in fingerprint_rules(edition):
+                assert not rule.matches(certificate), (server.hypergiant, rule.hypergiant)
+        assert len(seen) == 4  # all four hypergiants exercised
+
+    def test_rotating_san_names_rotate_per_server(self, state23):
+        a, b = state23.servers[0], state23.servers[1]
+        assert (
+            rotating_san_certificate(a, seed=0).subject_common_name
+            != rotating_san_certificate(b, seed=0).subject_common_name
+        )
+
+
+class TestEvasionConfig:
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            EvasionConfig(rotating_san_fraction=1.5)
+
+    def test_zeroed_config_is_disabled(self):
+        assert not EvasionConfig().enabled
+        assert EvasionConfig(certless_quic_fraction=0.1).enabled
+
+    def test_mode_is_deterministic_and_seeded(self):
+        config = EvasionConfig(rotating_san_fraction=0.5, seed=3)
+        modes = [config.mode_for(ip) for ip in range(1000, 1100)]
+        assert modes == [config.mode_for(ip) for ip in range(1000, 1100)]
+        reseeded = EvasionConfig(rotating_san_fraction=0.5, seed=4)
+        assert modes != [reseeded.mode_for(ip) for ip in range(1000, 1100)]
+
+    def test_certless_takes_precedence(self):
+        config = EvasionConfig(
+            rotating_san_fraction=1.0, shared_wildcard_fraction=1.0, certless_quic_fraction=1.0
+        )
+        assert all(config.mode_for(ip) == CERTLESS_QUIC for ip in range(50))
