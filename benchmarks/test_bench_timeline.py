@@ -1,0 +1,61 @@
+"""Timeline bench: incremental recomputation vs full rerun.
+
+Runs the pinned timeline workload (:func:`repro.bench.fresh_timeline_snapshot`)
+— a six-quarter monotone timeline computed as a full uncached series and
+as an incremental series against a warm stage store — cross-checks that
+the two produce **byte-identical** rows, asserts the newest epoch's
+incremental computation beats its cold computation by the committed
+speedup floor, and writes the timings plus per-stage cache hit counts to
+``BENCH_timeline.json`` (consumed by ``repro bench check``).
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_bench_timeline.py -s``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro._util import format_table
+from repro.bench import TIMELINE_TARGET_SPEEDUP, fresh_timeline_snapshot
+
+from benchmarks.conftest import emit
+
+SNAPSHOT_PATH = Path(__file__).parent / "BENCH_timeline.json"
+
+
+@pytest.mark.timeline
+def test_bench_timeline_snapshot():
+    snapshot = fresh_timeline_snapshot()
+
+    assert snapshot["identical_rows"], "incremental rows diverged from the full rerun"
+
+    counters = snapshot["counters"]
+    # Cross-epoch reuse must actually fire: under monotone growth most
+    # deployments and many ISP offnet sets are unchanged quarter over
+    # quarter, so the detect and cluster caches see real hits.
+    assert counters.get("detect.hits", 0) > 0, "no detect-stage reuse across epochs"
+    assert counters.get("cluster.hits", 0) > 0, "no cluster-stage reuse across epochs"
+    # A cluster hit short-circuits the measure stage entirely, so there
+    # must be fewer measure computations than cluster lookups.
+    assert counters.get("measure.misses", 0) <= counters.get("cluster.misses", 1)
+
+    SNAPSHOT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+
+    rows = [[run["leg"], run["seconds"]] for run in snapshot["runs"]]
+    emit(
+        f"timeline incremental-vs-full timings "
+        f"({snapshot['n_quarters']} quarters, speedup {snapshot['incremental_speedup']}x)",
+        format_table(["leg", "seconds"], rows)
+        + "\n"
+        + format_table(
+            ["counter", "value"], [[name, counters[name]] for name in sorted(counters)]
+        ),
+    )
+
+    assert snapshot["incremental_speedup"] >= TIMELINE_TARGET_SPEEDUP, (
+        f"incremental newest-epoch computation only {snapshot['incremental_speedup']}x "
+        f"faster than cold (floor {TIMELINE_TARGET_SPEEDUP}x)"
+    )

@@ -162,6 +162,175 @@ def compare_snapshots(
     return result
 
 
+# -- timeline (incremental-recomputation) baseline ------------------------------
+
+#: ``bench`` tag of timeline baselines (``benchmarks/BENCH_timeline.json``).
+TIMELINE_BENCH_NAME = "timeline-incremental"
+
+#: Computing the newest epoch against a warm stage store must beat a cold
+#: (uncached) computation of the same epoch by at least this factor.
+TIMELINE_TARGET_SPEEDUP = 3.0
+
+
+def fresh_timeline_snapshot() -> dict[str, Any]:
+    """Run the timeline bench workload fresh and return its snapshot.
+
+    The workload is pinned here so ``repro bench check`` and the
+    benchmark suite (``benchmarks/test_bench_timeline.py``) measure the
+    exact same thing: a six-quarter monotone timeline on a compact
+    Internet, computed three ways — a full uncached series, an
+    incremental series walked with a warm stage store, and the newest
+    epoch alone (cold vs incremental, the headline speedup).  All stage
+    cache counters are deterministic and land in ``counters`` for exact
+    baseline comparison; rows are cross-checked byte-identical between
+    the cached and uncached legs.
+    """
+    import json as _json
+    import tempfile
+    import time
+
+    from repro.store import StageStore
+    from repro.timeline import (
+        TimelineConfig,
+        TimelineSpec,
+        build_substrate,
+        compute_epoch,
+        epoch_stage_key,
+    )
+    from repro.topology.generator import InternetConfig
+
+    spec = TimelineSpec(start="2022Q1", end="2023Q2", seed=3)
+    config = TimelineConfig(
+        internet=InternetConfig(seed=5, n_access_isps=40, n_ixps=16),
+        spec=spec,
+        n_vantage_points=24,
+        seed=7,
+    )
+    quarters = spec.quarters
+    substrate = build_substrate(config)
+    last = quarters[-1]
+    with tempfile.TemporaryDirectory() as tmp:
+        store = StageStore(tmp)
+        # Incremental series: walk the predecessor quarters in order
+        # against one store, warming it with their stage artifacts.
+        started = time.perf_counter()
+        incremental_rows = []
+        for quarter in quarters[:-1]:
+            row = compute_epoch(substrate, quarter, store)
+            store.put("epoch", epoch_stage_key(config, quarter), row)
+            incremental_rows.append(row)
+        prefix_s = time.perf_counter() - started
+        # Headline: the newest epoch, never computed before, against the
+        # warm store — only genuine cross-epoch reuse can help it.
+        started = time.perf_counter()
+        incremental_last = compute_epoch(substrate, last, store)
+        incremental_last_s = time.perf_counter() - started
+        incremental_rows.append(incremental_last)
+        incremental_series_s = prefix_s + incremental_last_s
+        counters = dict(store.counters)
+        # Full series, no caching anywhere.
+        started = time.perf_counter()
+        full_rows = [compute_epoch(substrate, quarter, None) for quarter in quarters]
+        full_series_s = time.perf_counter() - started
+        started = time.perf_counter()
+        full_last = compute_epoch(substrate, last, None)
+        full_last_s = time.perf_counter() - started
+    identical = _json.dumps(incremental_rows, sort_keys=True) == _json.dumps(
+        full_rows, sort_keys=True
+    ) and _json.dumps(incremental_last, sort_keys=True) == _json.dumps(full_last, sort_keys=True)
+    return {
+        "bench": TIMELINE_BENCH_NAME,
+        "format": "repro-bench-v1",
+        "n_quarters": len(quarters),
+        "identical_rows": identical,
+        "target_incremental_speedup": TIMELINE_TARGET_SPEEDUP,
+        "incremental_speedup": round(full_last_s / incremental_last_s, 3) if incremental_last_s > 0 else float("inf"),
+        "runs": [
+            {"leg": "full-series", "seconds": round(full_series_s, 3)},
+            {"leg": "incremental-series", "seconds": round(incremental_series_s, 3)},
+            {"leg": "full-last-epoch", "seconds": round(full_last_s, 3)},
+            {"leg": "incremental-last-epoch", "seconds": round(incremental_last_s, 3)},
+        ],
+        "counters": {name: counters[name] for name in sorted(counters)},
+    }
+
+
+@dataclass
+class TimelineBenchResult:
+    """Outcome of checking a fresh timeline run against its baseline."""
+
+    baseline_path: Path
+    target_speedup: float
+    fresh_speedup: float
+    identical_rows: bool
+    #: counter name -> (baseline, fresh) for every exact-compare mismatch.
+    counter_mismatches: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        """Speedup floor held, rows byte-identical, no counter drift."""
+        return (
+            self.identical_rows
+            and self.fresh_speedup >= self.target_speedup
+            and not self.counter_mismatches
+        )
+
+    def render(self) -> str:
+        """Verdict lines for the CLI."""
+        lines = [
+            f"incremental speedup: {self.fresh_speedup:g}x "
+            f"(floor {self.target_speedup:g}x) — "
+            + ("ok" if self.fresh_speedup >= self.target_speedup else "REGRESSION"),
+            "incremental rows byte-identical to full rerun: "
+            + ("yes" if self.identical_rows else "NO — DIVERGED"),
+        ]
+        for name, (baseline, fresh) in sorted(self.counter_mismatches.items()):
+            lines.append(f"COUNTER DRIFT {name}: baseline {baseline:g} != fresh {fresh:g}")
+        verdict = "bench check passed" if self.passed else "bench check FAILED"
+        lines.append(f"{verdict} (baseline: {self.baseline_path})")
+        return "\n".join(lines)
+
+
+def check_timeline_bench(
+    baseline_path: str | Path, fresh: dict[str, Any] | None = None
+) -> TimelineBenchResult:
+    """Re-run the timeline bench workload and compare against its baseline.
+
+    Stage-cache counters (hits/misses/writes per stage kind) are
+    deterministic and must match **exactly**; the incremental speedup
+    must stay at or above the committed floor; and the incremental rows
+    must remain byte-identical to the uncached rerun.  ``fresh`` lets
+    tests inject a snapshot instead of re-running the workload.
+    """
+    import json
+
+    baseline_path = Path(baseline_path)
+    require(baseline_path.exists(), f"no benchmark baseline at {baseline_path}")
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    require(
+        baseline.get("bench") == TIMELINE_BENCH_NAME,
+        f"{baseline_path} is not a timeline benchmark baseline "
+        f"(bench != {TIMELINE_BENCH_NAME!r})",
+    )
+    if fresh is None:
+        fresh = fresh_timeline_snapshot()
+    result = TimelineBenchResult(
+        baseline_path=baseline_path,
+        target_speedup=float(baseline.get("target_incremental_speedup", TIMELINE_TARGET_SPEEDUP)),
+        fresh_speedup=float(fresh["incremental_speedup"]),
+        identical_rows=bool(fresh["identical_rows"]),
+    )
+    fresh_counters = fresh.get("counters", {})
+    for name, value in baseline.get("counters", {}).items():
+        fresh_value = fresh_counters.get(name)
+        if fresh_value is None or float(fresh_value) != float(value):
+            result.counter_mismatches[name] = (
+                float(value),
+                float(fresh_value) if fresh_value is not None else float("nan"),
+            )
+    return result
+
+
 def check_bench(
     baseline_path: str | Path,
     tolerance: float = DEFAULT_TOLERANCE,

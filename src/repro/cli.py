@@ -9,6 +9,10 @@ Commands:
 * ``export``   — run the pipeline and write a dataset archive to a directory.
 * ``sweep``    — run/resume, inspect, or garbage-collect sweep campaigns
   (``sweep run``, ``sweep status``, ``sweep gc``).
+* ``timeline`` — run/resume the longitudinal timeline campaign: the
+  Table-1 / Figure-1 / concentration series over quarterly epochs,
+  incrementally recomputed through a per-stage content-addressed store
+  (``--store-dir``; ``--status`` reports resume progress).
 * ``tail``     — render (or ``--follow``) a live run's JSONL event stream
   written by ``--events-out``.
 * ``eval``     — score the inference pipeline against ground truth
@@ -434,6 +438,71 @@ def _cmd_sweep_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.experiments.scenarios import scenario_by_name
+    from repro.timeline import TimelineConfig, TimelineSpec, run_timeline, timeline_status
+
+    spec = TimelineSpec(
+        start=args.start,
+        end=args.end,
+        policy=args.policy,
+        eviction_rate=args.eviction_rate,
+        capacity_ramp_quarters=args.capacity_ramp,
+        edition=args.edition,
+        seed=args.seed,
+    )
+    base = scenario_by_name(args.scenario).config
+    parallel = _parallel_from_args(args)
+    config = TimelineConfig(
+        internet=base.internet,
+        placement=base.placement,
+        scan=base.scan,
+        campaign=base.campaign,
+        spec=spec,
+        n_vantage_points=base.n_vantage_points,
+        xis=base.xis,
+        population_noise_sigma=base.population_noise_sigma,
+        parallel=parallel if parallel is not None else base.parallel,
+        faults=_faults_from_args(args),
+        resilience=_resilience_from_args(args),
+        seed=base.seed,
+    )
+    store = None
+    if args.store_dir is not None:
+        from repro.store import StageStore
+
+        store = StageStore(args.store_dir)
+    if args.status:
+        if store is None:
+            print("timeline --status requires --store-dir", file=sys.stderr)
+            return 1
+        status = timeline_status(config, store)
+        print(status.render())
+        return 0 if status.n_pending == 0 else 2
+    telemetry = _telemetry_from_args(args)
+    n_quarters = len(spec.quarters) if args.max_epochs is None else min(args.max_epochs, len(spec.quarters))
+    print(
+        f"timeline campaign: {n_quarters} quarterly epochs "
+        f"({spec.start}..{spec.end}, policy {spec.policy!r})"
+        + (f" (store: {store.root})" if store is not None else " (no store: not resumable)"),
+        file=sys.stderr,
+    )
+    report = run_timeline(
+        config, store=store, telemetry=telemetry, max_epochs=args.max_epochs
+    )
+    print(report.render())
+    print(
+        f"epochs: {len(report.epochs)} ({report.cache_hits} from store, "
+        f"{report.cache_misses} computed, {report.n_lost} lost)",
+        file=sys.stderr,
+    )
+    if args.report_out:
+        path = report.write(args.report_out)
+        print(f"wrote timeline report to {path}", file=sys.stderr)
+    _emit_telemetry(args, telemetry)
+    return 0
+
+
 def _cmd_tail(args: argparse.Namespace) -> int:
     from repro.obs import (
         follow_events,
@@ -497,8 +566,33 @@ def _cmd_eval(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_check(args: argparse.Namespace) -> int:
-    from repro.bench import DEFAULT_TOLERANCE, check_bench
+    import json
+    from pathlib import Path
 
+    from repro.bench import (
+        DEFAULT_TOLERANCE,
+        TIMELINE_BENCH_NAME,
+        check_bench,
+        check_timeline_bench,
+    )
+
+    baseline_path = Path(args.baseline)
+    if baseline_path.exists():
+        try:
+            baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        except ValueError:
+            baseline = {}
+        if baseline.get("bench") == TIMELINE_BENCH_NAME:
+            # Timeline baselines carry speedup floors and exact stage-cache
+            # counters instead of per-stage wall times.
+            print(f"bench check: fresh timeline run vs {args.baseline}...", file=sys.stderr)
+            try:
+                result = check_timeline_bench(args.baseline)
+            except ValueError as error:
+                print(str(error), file=sys.stderr)
+                return 1
+            print(result.render())
+            return 0 if result.passed else 1
     tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
     print(
         f"bench check: fresh {args.scenario!r} run vs {args.baseline} "
@@ -621,6 +715,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict quarantined entries older than this many seconds",
     )
     sweep_gc.set_defaults(handler=_cmd_sweep_gc)
+
+    timeline = subparsers.add_parser(
+        "timeline", help="run/resume the longitudinal (quarterly-epoch) campaign"
+    )
+    _add_scenario_argument(timeline)
+    _add_telemetry_arguments(timeline)
+    _add_parallel_arguments(timeline)
+    _add_resilience_arguments(timeline)
+    timeline.add_argument("--start", default="2019Q1", help="first quarter (YYYYQn; default: %(default)s)")
+    timeline.add_argument("--end", default="2026Q4", help="last quarter (YYYYQn; default: %(default)s)")
+    timeline.add_argument(
+        "--policy",
+        choices=("monotone", "churn"),
+        default="monotone",
+        help="deployment policy: monotone growth or churn with evictions (default: %(default)s)",
+    )
+    timeline.add_argument(
+        "--eviction-rate",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="per-quarter, per-deployment eviction probability (requires --policy churn)",
+    )
+    timeline.add_argument(
+        "--capacity-ramp",
+        type=int,
+        default=0,
+        metavar="QUARTERS",
+        help="ramp new deployments to full capacity over this many quarters (default: 0)",
+    )
+    timeline.add_argument(
+        "--edition", choices=("2021", "2023"), default="2023", help="scan edition (default: %(default)s)"
+    )
+    timeline.add_argument("--seed", type=int, default=0, help="timeline event-stream seed (default: 0)")
+    timeline.add_argument(
+        "--store-dir",
+        metavar="DIR",
+        default=None,
+        help="stage store directory (enables incremental recomputation and resume)",
+    )
+    timeline.add_argument(
+        "--max-epochs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run only the first N quarters (deterministic prefix)",
+    )
+    timeline.add_argument(
+        "--status",
+        action="store_true",
+        help="report which quarters are already stored (requires --store-dir); exit 2 if pending",
+    )
+    timeline.add_argument(
+        "--report-out", metavar="PATH", default=None, help="write the timeline report JSON to PATH"
+    )
+    timeline.set_defaults(handler=_cmd_timeline)
 
     tail = subparsers.add_parser("tail", help="render (or follow) a run's live event stream")
     tail.add_argument("target", help="an events.jsonl file, or a directory containing one")

@@ -7,7 +7,12 @@ placement with colocation preference (:mod:`repro.deployment.placement`), and
 the 2021→2023 footprint evolution (:mod:`repro.deployment.growth`).
 """
 
-from repro.deployment.growth import DeploymentHistory, build_deployment_history
+from repro.deployment.growth import (
+    DeploymentHistory,
+    build_deployment_history,
+    epoch_key,
+    parse_epoch_label,
+)
 from repro.deployment.hypergiants import (
     DEFAULT_HYPERGIANT_PROFILES,
     HypergiantProfile,
@@ -24,6 +29,8 @@ __all__ = [
     "OffnetServer",
     "PlacementConfig",
     "build_deployment_history",
+    "epoch_key",
+    "parse_epoch_label",
     "place_offnets",
     "profile_by_name",
 ]

@@ -10,6 +10,7 @@ outward, per the longitudinal findings of the 2021 paper).
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 
 import numpy as np
@@ -18,6 +19,34 @@ from repro._util import make_rng, require, spawn_rng
 from repro.deployment.hypergiants import DEFAULT_HYPERGIANT_PROFILES, HypergiantProfile, profile_by_name
 from repro.deployment.placement import Deployment, DeploymentState, PlacementConfig, place_offnets
 from repro.topology.generator import Internet
+
+_EPOCH_LABEL = re.compile(r"^(\d{4})(?:Q([1-4]))?$")
+
+
+def parse_epoch_label(label: str) -> tuple[int, int]:
+    """Parse an epoch label into ``(year, quarter)`` for calendar ordering.
+
+    Accepts yearly labels (``"2021"`` → ``(2021, 0)``) and quarterly ones
+    (``"2024Q3"`` → ``(2024, 3)``).  A yearly label sorts before that
+    year's quarters, so a yearly snapshot reads as "start of year".
+    Anything else raises :class:`ValueError` naming the offender — epoch
+    labels are identity in histories and store keys, so silent fallbacks
+    (like the old lexicographic ``max``) would mis-order, not fail.
+    """
+    match = _EPOCH_LABEL.match(label) if isinstance(label, str) else None
+    if match is None:
+        raise ValueError(
+            f"unparseable epoch label {label!r}: expected 'YYYY' (e.g. '2021') "
+            "or 'YYYYQn' with n in 1-4 (e.g. '2024Q3')"
+        )
+    year = int(match.group(1))
+    quarter = int(match.group(2)) if match.group(2) else 0
+    return (year, quarter)
+
+
+def epoch_key(label: str) -> tuple[int, int]:
+    """Calendar sort key for epoch labels (alias of :func:`parse_epoch_label`)."""
+    return parse_epoch_label(label)
 
 
 @dataclass
@@ -32,8 +61,12 @@ class DeploymentHistory:
 
     @property
     def latest(self) -> DeploymentState:
-        """The snapshot with the lexicographically greatest epoch label."""
-        return self.epochs[max(self.epochs)]
+        """The snapshot at the calendar-greatest epoch label.
+
+        Quarterly and yearly labels interleave correctly ("2024Q3" beats
+        "2024" but loses to "2025"); lexicographic ordering would not.
+        """
+        return self.epochs[max(self.epochs, key=epoch_key)]
 
 
 def _early_adopter_weights(deployments: list[Deployment]) -> np.ndarray:
@@ -107,7 +140,7 @@ def build_epoch_series(
     trajectories = trajectories or DEFAULT_EPOCH_TRAJECTORIES
     root = make_rng(seed)
     final_state = place_offnets(internet, profiles, config, seed=spawn_rng(root, "placement"), epoch="2023")
-    epochs_sorted = sorted({epoch for t in trajectories.values() for epoch in t})
+    epochs_sorted = sorted({epoch for t in trajectories.values() for epoch in t}, key=epoch_key)
     require(epochs_sorted and epochs_sorted[-1] == "2023", "trajectories must end at 2023")
 
     rng_subset = spawn_rng(root, "subsets")
@@ -123,7 +156,7 @@ def build_epoch_series(
             ratio_here = trajectories.get(profile.name, {}).get(epoch, 1.0)
             ratio_next = 1.0
             for later in epochs_sorted:
-                if later > epoch and later in trajectories.get(profile.name, {}):
+                if epoch_key(later) > epoch_key(epoch) and later in trajectories.get(profile.name, {}):
                     ratio_next = trajectories[profile.name][later]
                     break
             keep_fraction = min(1.0, ratio_here / ratio_next) if ratio_next else 1.0

@@ -13,9 +13,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro._util import format_table
+from repro._util import format_table, require
 from repro.core.pipeline import Study
+from repro.deployment.growth import epoch_key
 from repro.rdns.validation import ConsistencyClass, ValidationSummary
+from repro.scan.detection import OffnetInventory
 
 #: Paper cohosting counts per epoch (2021 values are the SIGCOMM'21
 #: study's, quoted in §3.1 as approximations).
@@ -23,12 +25,29 @@ PAPER_COHOSTING = {1: 5516, 2: 3382, 3: 1880, 4: 505}
 PAPER_COHOSTING_2021 = {2: 2840, 3: 1690, 4: 430}
 
 
+def cohosting_counts(inventory: OffnetInventory) -> dict[int, int]:
+    """ISPs hosting >= k hypergiants (k = 1..4) in one inventory.
+
+    The §3.1 cohosting distribution for a single epoch; the timeline
+    engine evaluates it per quarter to plot cohosting over time.
+    """
+    counts = {asn: len(inventory.hypergiants_in_isp(asn)) for asn in inventory.hosting_isp_asns()}
+    return {k: sum(1 for n in counts.values() if n >= k) for k in (1, 2, 3, 4)}
+
+
 @dataclass
 class Section32Result:
-    """Cohosting distribution (both epochs) plus validation per xi."""
+    """Cohosting distribution (all requested epochs) plus validation per xi.
+
+    ``cohosting_by_epoch`` carries every epoch; ``cohosting`` /
+    ``cohosting_2021`` remain the calendar-latest / calendar-earliest
+    epochs' counts, so two-epoch callers see exactly the historical
+    shape (and :meth:`render` is unchanged).
+    """
 
     cohosting: dict[int, int] = field(default_factory=dict)
     cohosting_2021: dict[int, int] = field(default_factory=dict)
+    cohosting_by_epoch: dict[str, dict[int, int]] = field(default_factory=dict)
     validations: dict[float, ValidationSummary] = field(default_factory=dict)
 
     def cohosting_fraction(self, k: int) -> float:
@@ -69,16 +88,29 @@ class Section32Result:
         return "\n\n".join(blocks)
 
 
-def run_section32(study: Study) -> Section32Result:
-    """Count cohosting levels (both epochs) and validate clusters."""
+def run_section32(study: Study, epochs: tuple[str, ...] | None = None) -> Section32Result:
+    """Count cohosting levels per epoch and validate clusters.
+
+    ``epochs`` defaults to every epoch in the study (the classic
+    2021/2023 pair); pass an explicit list to restrict or reorder.  The
+    legacy ``cohosting`` / ``cohosting_2021`` fields hold the
+    calendar-latest and calendar-earliest requested epochs, which for
+    the default two-epoch study reproduces the historical result
+    exactly.
+    """
+    if epochs is None:
+        epochs = tuple(sorted(study.inventories, key=epoch_key))
+    require(bool(epochs), "need at least one epoch")
+    for epoch in epochs:
+        require(epoch in study.inventories, f"study has no inventory for epoch {epoch!r}")
     result = Section32Result()
-    for epoch, target in (("2023", result.cohosting), ("2021", result.cohosting_2021)):
-        inventory = study.inventories[epoch]
-        counts = {
-            asn: len(inventory.hypergiants_in_isp(asn)) for asn in inventory.hosting_isp_asns()
-        }
-        for k in (1, 2, 3, 4):
-            target[k] = sum(1 for n in counts.values() if n >= k)
+    for epoch in epochs:
+        result.cohosting_by_epoch[epoch] = cohosting_counts(study.inventories[epoch])
+    result.cohosting = dict(result.cohosting_by_epoch[max(epochs, key=epoch_key)])
+    result.cohosting_2021 = dict(result.cohosting_by_epoch[min(epochs, key=epoch_key)])
+    if len(epochs) == 1:
+        # A single epoch has no "earlier" snapshot to compare against.
+        result.cohosting_2021 = {}
     for xi in study.config.xis:
         result.validations[xi] = study.validation(xi)
     return result

@@ -49,6 +49,7 @@ KNOWN_SITES = (
     "mlab.ping",
     "rdns.lookup",
     "sweep.cell",
+    "timeline.shard",
 )
 
 #: Recognised fault kinds.

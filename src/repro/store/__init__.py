@@ -11,6 +11,9 @@ The package has two pieces:
 * :mod:`repro.store.store` — :class:`StudyStore`, the on-disk store:
   atomic writes, digest-verified loads with quarantine, LRU/size-bounded
   garbage collection, and ``store.*`` metrics.
+* :mod:`repro.store.stages` — :class:`StageStore`, the finer-grained
+  per-stage JSON cache the incremental timeline engine
+  (:mod:`repro.timeline`) layers on top; keys from :func:`stage_key`.
 
 Together with :mod:`repro.sweep` this forms the durable-execution layer:
 every completed sweep cell checkpoints here, and a restarted campaign
@@ -23,13 +26,17 @@ from repro.store.keys import (
     config_fingerprint,
     study_key,
 )
+from repro.store.stages import STAGE_SCHEMA, StageStore, stage_key
 from repro.store.store import StoreStats, StudyStore
 
 __all__ = [
+    "STAGE_SCHEMA",
     "STORE_SCHEMA",
+    "StageStore",
     "StoreStats",
     "StudyStore",
     "canonical_config_json",
     "config_fingerprint",
+    "stage_key",
     "study_key",
 ]

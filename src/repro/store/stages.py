@@ -1,0 +1,176 @@
+"""Per-stage content-addressed cache for the incremental timeline engine.
+
+:class:`~repro.store.store.StudyStore` persists whole studies; the
+longitudinal engine (:mod:`repro.timeline`) needs something finer — one
+entry per *stage invocation* (a scan of one deployment, a latency
+campaign for one ISP, a clustering of one offnet set), so that epoch
+N+1 can reuse every stage whose inputs did not change between epochs.
+
+Entries are small JSON payloads addressed by :func:`stage_key`, a
+canonical hash over ``(schema, version, kind, payload-fingerprint)``.
+Because the key covers *every* input the stage reads (including the
+seed material its randomness is derived from), a hit is definitionally
+the value the stage would recompute — which is what lets the
+differential harness prove incremental ≡ full byte-identically.
+
+Layout of a stage-store directory::
+
+    objects/<k2>/<key>.json      one JSON entry per stage invocation
+
+Writes are atomic (temp file + ``os.replace``), loads verify the
+payload digest recorded at write time and degrade corrupt entries to
+misses (the bad file is unlinked so the slot heals on rewrite).
+Hit/miss/write counts land both on a
+:class:`~repro.obs.metrics.MetricsRegistry` under
+``stage.<kind>.hits`` etc. and on the instance-local :attr:`counters`
+dict (benchmarks assert on exact per-stage hit counts).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import uuid
+from pathlib import Path
+from typing import Any
+
+from repro import __version__
+from repro.obs import MetricsRegistry, global_metrics
+from repro.store.keys import STORE_SCHEMA
+
+#: Schema tag for stage entries (bump on incompatible layout changes).
+STAGE_SCHEMA = "repro-stage-v1"
+
+
+def _canonical_json(value: Any) -> str:
+    """Deterministic JSON text (sorted keys, no float repr surprises)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def stage_key(kind: str, payload: Any) -> str:
+    """The content address of one stage invocation.
+
+    ``payload`` must be JSON-serialisable and must enumerate everything
+    the stage's output depends on: config knobs, input fingerprints, and
+    the seed material its randomness derives from.  The package version
+    and store schema participate so caches never leak across releases.
+    """
+    material = _canonical_json(
+        {
+            "kind": kind,
+            "payload": payload,
+            "schema": f"{STORE_SCHEMA}/{STAGE_SCHEMA}",
+            "version": __version__,
+        }
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+class StageStore:
+    """Content-addressed JSON store for per-stage timeline artifacts.
+
+    A plain directory of small JSON files — no LRU index, no archive
+    format — because stage entries are tiny and a whole timeline's worth
+    fits comfortably on disk.  ``metrics`` receives ``stage.*`` counters
+    (defaults to the process-wide registry); :attr:`counters` mirrors
+    them per instance so tests and benchmarks can assert exact reuse.
+    """
+
+    def __init__(self, root: str | Path, metrics: MetricsRegistry | None = None) -> None:
+        self.root = Path(root)
+        self.metrics = metrics if metrics is not None else global_metrics()
+        #: Instance-local ``{"<kind>.hits": n, ...}`` counters.
+        self.counters: dict[str, int] = {}
+
+    # -- paths -----------------------------------------------------------------
+
+    @property
+    def objects_dir(self) -> Path:
+        """Where completed entries live."""
+        return self.root / "objects"
+
+    def entry_path(self, key: str) -> Path:
+        """The file an entry with content address ``key`` occupies."""
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    # -- counters --------------------------------------------------------------
+
+    def _count(self, kind: str, event: str) -> None:
+        name = f"{kind}.{event}"
+        self.counters[name] = self.counters.get(name, 0) + 1
+        self.metrics.count(f"stage.{name}")
+
+    def counter(self, kind: str, event: str) -> int:
+        """The instance-local count of ``event`` (hits/misses/writes) for ``kind``."""
+        return self.counters.get(f"{kind}.{event}", 0)
+
+    # -- reads -----------------------------------------------------------------
+
+    def contains(self, key: str) -> bool:
+        """Whether a completed entry for ``key`` exists (no counter touch)."""
+        return self.entry_path(key).exists()
+
+    def get(self, kind: str, key: str) -> Any | None:
+        """The stored payload for ``key``; ``None`` on miss.
+
+        The payload digest recorded at write time is verified; a corrupt
+        or torn entry is unlinked and reported as a miss, so a bad disk
+        degrades to recomputation.
+        """
+        path = self.entry_path(key)
+        try:
+            entry = json.loads(path.read_text())
+            payload = entry["payload"]
+            digest = hashlib.sha256(_canonical_json(payload).encode()).hexdigest()
+            if entry["sha256"] != digest or entry["kind"] != kind:
+                raise ValueError(f"stage entry {key} failed verification")
+        except FileNotFoundError:
+            self._count(kind, "misses")
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError):
+            path.unlink(missing_ok=True)
+            self._count(kind, "corruptions")
+            self._count(kind, "misses")
+            return None
+        self._count(kind, "hits")
+        return payload
+
+    # -- writes ----------------------------------------------------------------
+
+    def put(self, kind: str, key: str, payload: Any) -> str:
+        """Persist ``payload`` under ``key`` (idempotent); returns ``key``.
+
+        Written to a temp file then published with one ``os.replace``,
+        so concurrent writers (timeline shards racing on a shared stage)
+        and crashes can never land a torn entry.
+        """
+        path = self.entry_path(key)
+        if path.exists():
+            return key
+        entry = {
+            "schema": STAGE_SCHEMA,
+            "kind": kind,
+            "key": key,
+            "sha256": hashlib.sha256(_canonical_json(payload).encode()).hexdigest(),
+            "payload": payload,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        staging = path.parent / f".{key}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
+        staging.write_text(json.dumps(entry, sort_keys=True))
+        os.replace(staging, path)
+        self._count(kind, "writes")
+        return key
+
+    # -- maintenance -----------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Entry count and total bytes on disk."""
+        entries = 0
+        total = 0
+        if self.objects_dir.exists():
+            for bucket in self.objects_dir.iterdir():
+                for file in bucket.glob("*.json"):
+                    entries += 1
+                    total += file.stat().st_size
+        return {"entries": entries, "total_bytes": total}

@@ -258,3 +258,66 @@ class TestEpochSeries:
         meta_growth = count("Meta", "2023") / max(1, count("Meta", "2017"))
         assert akamai_growth < 1.2
         assert meta_growth > 2.0
+
+
+class TestEpochOrdering:
+    """Satellite regression: calendar-aware epoch labels (not lexicographic)."""
+
+    def test_parse_yearly_and_quarterly(self):
+        from repro.deployment.growth import parse_epoch_label
+
+        assert parse_epoch_label("2021") == (2021, 0)
+        assert parse_epoch_label("2024Q3") == (2024, 3)
+        assert parse_epoch_label("2024Q1") == (2024, 1)
+
+    @pytest.mark.parametrize("label", ["", "21Q1", "2024Q5", "2024Q0", "2024q3", "someday", "2024-Q3"])
+    def test_unparseable_labels_rejected(self, label):
+        from repro.deployment.growth import parse_epoch_label
+
+        with pytest.raises(ValueError, match="unparseable epoch label"):
+            parse_epoch_label(label)
+
+    def test_epoch_key_orders_mixed_labels(self):
+        from repro.deployment.growth import epoch_key
+
+        labels = ["2024Q3", "2023", "2024", "2023Q4", "2025Q1"]
+        assert sorted(labels, key=epoch_key) == ["2023", "2023Q4", "2024", "2024Q3", "2025Q1"]
+
+    def test_history_latest_is_calendar_greatest(self):
+        from repro.deployment.growth import DeploymentHistory
+
+        def snap(epoch):
+            return DeploymentState(epoch=epoch, deployments=[])
+
+        history = DeploymentHistory(
+            epochs={label: snap(label) for label in ("2023", "2024Q3", "2024", "2023Q2")}
+        )
+        assert history.latest.epoch == "2024Q3"
+        later = DeploymentHistory(
+            epochs={label: snap(label) for label in ("2024Q4", "2025")}
+        )
+        assert later.latest.epoch == "2025"
+
+    def test_history_latest_rejects_unparseable(self):
+        from repro.deployment.growth import DeploymentHistory
+
+        history = DeploymentHistory(
+            epochs={"2023": DeploymentState(epoch="2023", deployments=[]),
+                    "latest": DeploymentState(epoch="latest", deployments=[])}
+        )
+        with pytest.raises(ValueError, match="unparseable epoch label"):
+            _ = history.latest
+
+    def test_build_epoch_series_sorts_by_calendar(self, small_internet):
+        from repro.deployment.growth import build_epoch_series
+
+        series = build_epoch_series(
+            small_internet,
+            trajectories={"Google": {"2021": 0.6, "2022Q2": 0.8, "2023": 1.0}},
+            seed=3,
+        )
+        nested = [
+            {i.asn for i in series.state(epoch).isps_hosting("Google")}
+            for epoch in ("2021", "2022Q2", "2023")
+        ]
+        assert nested[0] <= nested[1] <= nested[2]
