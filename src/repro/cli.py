@@ -372,6 +372,27 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_graceful_shutdown() -> None:
+    """Relay SIGTERM into :class:`KeyboardInterrupt` for campaign CLIs.
+
+    Long-running campaigns checkpoint every completed cell/epoch before
+    reporting it, so an interrupt between cells loses nothing — the
+    interrupted command prints a resume hint and exits 130, and rerunning
+    it replays completed work from the store.  SIGINT already raises
+    ``KeyboardInterrupt``; this gives SIGTERM (the supervisor's signal)
+    the same checkpoint-and-exit semantics.
+    """
+    import signal
+
+    def _terminated(signum: int, _frame: object) -> None:
+        raise KeyboardInterrupt(f"signal {signum}")
+
+    try:
+        signal.signal(signal.SIGTERM, _terminated)
+    except ValueError:
+        pass  # not the main thread (e.g. under a test harness)
+
+
 def _cmd_sweep_run(args: argparse.Namespace) -> int:
     from repro.sensitivity import DEFAULT_METRICS
     from repro.sweep import load_grid, run_campaign
@@ -384,16 +405,27 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
         + (f" (store: {store.root})" if store is not None else " (no store: not resumable)"),
         file=sys.stderr,
     )
-    report = run_campaign(
-        grid,
-        metrics=DEFAULT_METRICS,
-        store=store,
-        parallel=_parallel_from_args(args),
-        telemetry=telemetry,
-        max_cells=args.max_cells,
-        faults=_faults_from_args(args),
-        resilience=_resilience_from_args(args),
-    )
+    _install_graceful_shutdown()
+    try:
+        report = run_campaign(
+            grid,
+            metrics=DEFAULT_METRICS,
+            store=store,
+            parallel=_parallel_from_args(args),
+            telemetry=telemetry,
+            max_cells=args.max_cells,
+            faults=_faults_from_args(args),
+            resilience=_resilience_from_args(args),
+        )
+    except KeyboardInterrupt:
+        print(
+            "interrupted — completed cells are checkpointed"
+            + (" in the store; rerun the same command to resume" if store is not None else
+               "; rerun with --store-dir to make campaigns resumable"),
+            file=sys.stderr,
+        )
+        _emit_telemetry(args, telemetry)
+        return 130
     print(report.render())
     print(
         f"cells: {len(report.cells)} ({report.cache_hits} from store, "
@@ -438,7 +470,35 @@ def _cmd_sweep_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_timeline_gc(args: argparse.Namespace) -> int:
+    from repro.store import StageStore
+
+    store = StageStore(args.store_dir)
+    before = store.stats()
+    evicted = store.gc(
+        max_entries=args.max_entries,
+        max_bytes=args.max_bytes,
+        max_age_s=args.max_age_s,
+        max_quarantine_entries=args.max_quarantine_entries,
+        max_quarantine_age_s=args.max_quarantine_age_s,
+    )
+    after = store.stats()
+    print(
+        f"evicted {len(evicted)} of {before['entries']} entries "
+        f"({before['total_bytes'] - after['total_bytes']:,} bytes freed, "
+        f"{after['entries']} entries / {after['total_bytes']:,} bytes remain)"
+    )
+    for key in evicted:
+        print(f"  evicted {key}")
+    return 0
+
+
 def _cmd_timeline(args: argparse.Namespace) -> int:
+    # Dispatched by attribute rather than sub-parser set_defaults: on
+    # Python < 3.13 the parent parser's set_defaults(handler=...) would
+    # clobber the sub-parser's (bpo-9351).
+    if getattr(args, "timeline_command", None) == "gc":
+        return _cmd_timeline_gc(args)
     from repro.experiments.scenarios import scenario_by_name
     from repro.timeline import TimelineConfig, TimelineSpec, run_timeline, timeline_status
 
@@ -487,9 +547,20 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
         + (f" (store: {store.root})" if store is not None else " (no store: not resumable)"),
         file=sys.stderr,
     )
-    report = run_timeline(
-        config, store=store, telemetry=telemetry, max_epochs=args.max_epochs
-    )
+    _install_graceful_shutdown()
+    try:
+        report = run_timeline(
+            config, store=store, telemetry=telemetry, max_epochs=args.max_epochs
+        )
+    except KeyboardInterrupt:
+        print(
+            "interrupted — completed epochs are checkpointed"
+            + (" in the store; rerun the same command to resume" if store is not None else
+               "; rerun with --store-dir to make campaigns resumable"),
+            file=sys.stderr,
+        )
+        _emit_telemetry(args, telemetry)
+        return 130
     print(report.render())
     print(
         f"epochs: {len(report.epochs)} ({report.cache_hits} from store, "
@@ -608,6 +679,33 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
     return 0 if result.passed else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ReproServer, ServeConfig
+
+    config = ServeConfig(
+        state_dir=args.state_dir,
+        parallel=_parallel_from_args(args),
+        max_queue=args.max_queue,
+        tenant_quota=args.tenant_quota,
+        faults=_faults_from_args(args),
+        gc_max_entries=args.gc_max_entries,
+        gc_max_bytes=args.gc_max_bytes,
+    )
+    server = ReproServer(config, host=args.host, port=args.port)
+    recovered = server.scheduler.recovered
+    print(f"repro serve listening on {server.url} (state: {args.state_dir})", file=sys.stderr)
+    if recovered.campaigns:
+        print(
+            f"recovered {len(recovered.campaigns)} campaigns "
+            f"({len(recovered.requeued)} re-queued"
+            + (f", {recovered.n_corrupt} corrupt journal lines skipped" if recovered.n_corrupt else "")
+            + (", torn journal tail tolerated" if recovered.torn_tail else "")
+            + ")",
+            file=sys.stderr,
+        )
+    return server.run_until_signalled()
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     from repro.experiments.scenarios import scenario_names
 
@@ -717,7 +815,35 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_gc.set_defaults(handler=_cmd_sweep_gc)
 
     timeline = subparsers.add_parser(
-        "timeline", help="run/resume the longitudinal (quarterly-epoch) campaign"
+        "timeline", help="run/resume the longitudinal (quarterly-epoch) campaign, or GC its store"
+    )
+    timeline_sub = timeline.add_subparsers(dest="timeline_command", required=False)
+    timeline_gc = timeline_sub.add_parser("gc", help="evict oldest stage-store entries")
+    timeline_gc.add_argument(
+        "--store-dir", required=True, metavar="DIR", help="stage store directory"
+    )
+    timeline_gc.add_argument("--max-entries", type=int, default=None, help="keep at most N entries")
+    timeline_gc.add_argument("--max-bytes", type=int, default=None, help="keep at most N bytes")
+    timeline_gc.add_argument(
+        "--max-age-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evict entries older than this many seconds",
+    )
+    timeline_gc.add_argument(
+        "--max-quarantine-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep at most N quarantined (corrupt) entries, oldest evicted first",
+    )
+    timeline_gc.add_argument(
+        "--max-quarantine-age-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evict quarantined entries older than this many seconds",
     )
     _add_scenario_argument(timeline)
     _add_telemetry_arguments(timeline)
@@ -851,6 +977,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="scenario to run fresh (must match the baseline's workload)",
     )
     bench_check.set_defaults(handler=_cmd_bench_check)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the durable campaign-orchestration service (HTTP/JSON)"
+    )
+    serve.add_argument(
+        "--state-dir",
+        required=True,
+        metavar="DIR",
+        help="journal, stores, and results live here (survives restarts)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: %(default)s)")
+    serve.add_argument(
+        "--port", type=int, default=0, help="bind port (default: pick a free port; see endpoint.json)"
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=8,
+        metavar="N",
+        help="queued-campaign bound; a full queue rejects with 429 (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=4,
+        metavar="N",
+        help="max active (queued+running) campaigns per tenant (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--gc-max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the shared stores to N entries (GC runs between campaigns)",
+    )
+    serve.add_argument(
+        "--gc-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the shared stores to N bytes (GC runs between campaigns)",
+    )
+    _add_parallel_arguments(serve)
+    _add_resilience_arguments(serve)
+    serve.set_defaults(handler=_cmd_serve)
 
     info = subparsers.add_parser("info", help="version and available options")
     info.set_defaults(handler=_cmd_info)

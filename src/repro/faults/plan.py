@@ -26,6 +26,17 @@ Injection points are addressed by site name.  The wired sites:
 * ``rdns.lookup`` — :func:`repro.rdns.ptr.build_ptr_dataset`; kind
   ``drop`` (the PTR lookup fails, no record is synthesized).
 * ``sweep.cell`` — one sweep-campaign cell; kind ``error``/``crash``.
+* ``timeline.shard`` — one timeline epoch cell (the ``timeline`` fan-out
+  label's alias of ``parallel.shard``); kinds ``error``/``crash``/``hang``.
+* ``serve.request`` — one HTTP request into ``repro serve``, indexed by
+  arrival order; kinds ``error`` (transient → 503 with Retry-After,
+  fatal → 500), ``hang`` (the handler stalls for ``hang_s``), and
+  ``drop`` (the connection is closed with no response).
+* ``serve.journal`` — one append to the campaign write-ahead journal,
+  indexed by journal sequence number; kinds ``error`` (the append
+  raises), ``corrupt`` (a torn half-line lands on disk, exactly the
+  damage an interrupted write would leave), and ``drop`` (the entry is
+  silently never written — recovery must survive the gap).
 """
 
 from __future__ import annotations
@@ -50,6 +61,8 @@ KNOWN_SITES = (
     "rdns.lookup",
     "sweep.cell",
     "timeline.shard",
+    "serve.request",
+    "serve.journal",
 )
 
 #: Recognised fault kinds.

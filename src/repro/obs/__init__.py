@@ -79,6 +79,7 @@ from repro.obs.stream import (
     STREAM_FORMAT,
     EventStream,
     NullEventStream,
+    RingBufferSink,
     follow_events,
     format_event,
     latest_progress,
@@ -106,6 +107,7 @@ __all__ = [
     "NullLogger",
     "NullMetrics",
     "NullTracer",
+    "RingBufferSink",
     "STREAM_FORMAT",
     "Span",
     "StageProfile",

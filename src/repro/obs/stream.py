@@ -23,7 +23,9 @@ with no clock reads and no allocation.
 from __future__ import annotations
 
 import json
+import threading
 import time
+from collections import deque
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
@@ -118,6 +120,65 @@ class EventStream:
         self._closed = True
         if self.path is not None:
             self._file.close()
+
+
+class RingBufferSink:
+    """A file-like event sink keeping the last ``capacity`` lines in memory.
+
+    Drop-in ``target`` for :class:`EventStream` when a long-running
+    process (``repro serve``) wants to *serve* its own recent events over
+    an API instead of re-reading a growing file: every line is retained
+    in a bounded deque (and optionally tee'd to ``path`` for post-mortem
+    tails), and :meth:`events` parses a thread-safe snapshot.  Writers
+    and readers may live on different threads — the serve scheduler
+    emits, HTTP handler threads snapshot.
+    """
+
+    def __init__(self, capacity: int = 512, path: str | Path | None = None) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._lines: deque[str] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.total_lines = 0
+        self._file = None
+        if path is not None:
+            file_path = Path(path)
+            file_path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = file_path.open("w", encoding="utf-8")
+
+    def write(self, text: str) -> int:
+        with self._lock:
+            for line in text.splitlines():
+                if line.strip():
+                    self._lines.append(line)
+                    self.total_lines += 1
+        if self._file is not None:
+            self._file.write(text)
+        return len(text)
+
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        """Close the tee file (the in-memory ring stays readable)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def events(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """The most recent events, parsed, oldest first (thread-safe)."""
+        with self._lock:
+            lines = list(self._lines)
+        if limit is not None:
+            lines = lines[-limit:]
+        out: list[dict[str, Any]] = []
+        for line in lines:
+            try:
+                out.append(json.loads(line))
+            except json.JSONDecodeError:  # pragma: no cover - writer emits full lines
+                continue
+        return out
 
 
 class NullEventStream:

@@ -16,12 +16,15 @@ differential harness prove incremental ≡ full byte-identically.
 Layout of a stage-store directory::
 
     objects/<k2>/<key>.json      one JSON entry per stage invocation
+    quarantine/<key>.<tag>.json  entries that failed their digest check
 
 Writes are atomic (temp file + ``os.replace``), loads verify the
 payload digest recorded at write time and degrade corrupt entries to
-misses (the bad file is unlinked so the slot heals on rewrite).
-Hit/miss/write counts land both on a
-:class:`~repro.obs.metrics.MetricsRegistry` under
+misses (the bad file is moved to ``quarantine/`` for post-mortems, so
+the slot heals on rewrite).  :meth:`StageStore.gc` bounds the store by
+entry count / total bytes / age and sweeps the quarantine the same way
+:meth:`repro.store.store.StudyStore.gc` does.  Hit/miss/write counts
+land both on a :class:`~repro.obs.metrics.MetricsRegistry` under
 ``stage.<kind>.hits`` etc. and on the instance-local :attr:`counters`
 dict (benchmarks assert on exact per-stage hit counts).
 """
@@ -31,6 +34,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 import uuid
 from pathlib import Path
 from typing import Any
@@ -77,9 +81,23 @@ class StageStore:
     them per instance so tests and benchmarks can assert exact reuse.
     """
 
-    def __init__(self, root: str | Path, metrics: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        root: str | Path,
+        metrics: MetricsRegistry | None = None,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+        max_age_s: float | None = None,
+        max_quarantine_entries: int | None = None,
+        max_quarantine_age_s: float | None = None,
+    ) -> None:
         self.root = Path(root)
         self.metrics = metrics if metrics is not None else global_metrics()
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.max_age_s = max_age_s
+        self.max_quarantine_entries = max_quarantine_entries
+        self.max_quarantine_age_s = max_quarantine_age_s
         #: Instance-local ``{"<kind>.hits": n, ...}`` counters.
         self.counters: dict[str, int] = {}
 
@@ -89,6 +107,11 @@ class StageStore:
     def objects_dir(self) -> Path:
         """Where completed entries live."""
         return self.root / "objects"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where entries that failed verification are parked."""
+        return self.root / "quarantine"
 
     def entry_path(self, key: str) -> Path:
         """The file an entry with content address ``key`` occupies."""
@@ -115,8 +138,9 @@ class StageStore:
         """The stored payload for ``key``; ``None`` on miss.
 
         The payload digest recorded at write time is verified; a corrupt
-        or torn entry is unlinked and reported as a miss, so a bad disk
-        degrades to recomputation.
+        or torn entry is quarantined and reported as a miss, so a bad
+        disk degrades to recomputation while the evidence survives for
+        post-mortems (bounded by :meth:`gc`).
         """
         path = self.entry_path(key)
         try:
@@ -129,7 +153,7 @@ class StageStore:
             self._count(kind, "misses")
             return None
         except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError):
-            path.unlink(missing_ok=True)
+            self._quarantine(key, path)
             self._count(kind, "corruptions")
             self._count(kind, "misses")
             return None
@@ -174,3 +198,94 @@ class StageStore:
                     entries += 1
                     total += file.stat().st_size
         return {"entries": entries, "total_bytes": total}
+
+    def gc(
+        self,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+        max_age_s: float | None = None,
+        max_quarantine_entries: int | None = None,
+        max_quarantine_age_s: float | None = None,
+    ) -> list[str]:
+        """Evict oldest entries until within the given bounds.
+
+        ``None`` bounds fall back to the store's configured limits; all
+        ``None`` means no eviction.  Stage entries carry no access index
+        (they are immutable content-addressed files), so "oldest" is by
+        file mtime — write order, which for timeline campaigns is also
+        epoch order, the natural staleness axis.  Quarantined entries
+        are pruned by the quarantine bounds (anything past the age
+        bound, then oldest-first down to the count bound).  Returns the
+        evicted object keys, oldest first.
+        """
+        max_entries = max_entries if max_entries is not None else self.max_entries
+        max_bytes = max_bytes if max_bytes is not None else self.max_bytes
+        max_age_s = max_age_s if max_age_s is not None else self.max_age_s
+        self._prune_quarantine(max_quarantine_entries, max_quarantine_age_s)
+        if max_entries is None and max_bytes is None and max_age_s is None:
+            return []
+        files: list[tuple[float, str, Path, int]] = []
+        if self.objects_dir.exists():
+            for bucket in sorted(self.objects_dir.iterdir()):
+                for file in sorted(bucket.glob("*.json")):
+                    stat = file.stat()
+                    files.append((stat.st_mtime, file.stem, file, stat.st_size))
+        files.sort(key=lambda item: (item[0], item[1]))
+        total = sum(size for _, _, _, size in files)
+        now = time.time()
+        evicted: list[str] = []
+
+        def _evict(mtime: float, key: str, path: Path, size: int) -> None:
+            nonlocal total
+            path.unlink(missing_ok=True)
+            total -= size
+            evicted.append(key)
+            self._count("gc", "evictions")
+
+        if max_age_s is not None:
+            stale = [item for item in files if now - item[0] > max_age_s]
+            for item in stale:
+                _evict(*item)
+            files = [item for item in files if now - item[0] <= max_age_s]
+        while files and (
+            (max_entries is not None and len(files) > max_entries)
+            or (max_bytes is not None and total > max_bytes)
+        ):
+            _evict(*files.pop(0))
+        return evicted
+
+    def _prune_quarantine(
+        self, max_entries: int | None = None, max_age_s: float | None = None
+    ) -> None:
+        """Delete quarantined entries past the configured count/age bounds."""
+        max_entries = (
+            max_entries if max_entries is not None else self.max_quarantine_entries
+        )
+        max_age_s = max_age_s if max_age_s is not None else self.max_quarantine_age_s
+        if max_entries is None and max_age_s is None:
+            return
+        if not self.quarantine_dir.exists():
+            return
+        entries = sorted(
+            (entry for entry in self.quarantine_dir.iterdir() if entry.is_file()),
+            key=lambda entry: (entry.stat().st_mtime, entry.name),
+        )
+        now = time.time()
+        doomed: list[Path] = []
+        if max_age_s is not None:
+            doomed.extend(e for e in entries if now - e.stat().st_mtime > max_age_s)
+        if max_entries is not None and len(entries) - len(doomed) > max_entries:
+            survivors = [e for e in entries if e not in doomed]
+            doomed.extend(survivors[: len(survivors) - max_entries])
+        for entry in doomed:
+            entry.unlink(missing_ok=True)
+            self._count("gc", "quarantine_pruned")
+
+    def _quarantine(self, key: str, path: Path) -> None:
+        """Move a bad entry aside so the next access recomputes it."""
+        destination = self.quarantine_dir / f"{key}.{uuid.uuid4().hex[:8]}.json"
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(path, destination)
+        except OSError:
+            path.unlink(missing_ok=True)

@@ -299,3 +299,59 @@ class TestBenchCheckCommand:
         )
         assert main(["bench", "check", "--baseline", str(path), "--tolerance", "100"]) == 1
         assert "COUNTER DRIFT" in capsys.readouterr().out
+
+
+class TestTimelineGcCommand:
+    def test_gc_evicts_and_reports(self, capsys, tmp_path):
+        import os
+        import time
+
+        from repro.store import StageStore
+        from repro.store.stages import stage_key
+
+        store = StageStore(tmp_path / "stages")
+        base = time.time() - 100
+        for i in range(4):
+            key = stage_key("epoch", {"i": i})
+            store.put("epoch", key, {"row": i})
+            os.utime(store.entry_path(key), (base + i, base + i))
+
+        assert main(
+            ["timeline", "gc", "--store-dir", str(tmp_path / "stages"), "--max-entries", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "evicted 3 of 4 entries" in out
+        assert StageStore(tmp_path / "stages").stats()["entries"] == 1
+
+    def test_gc_without_bounds_is_a_noop(self, capsys, tmp_path):
+        from repro.store import StageStore
+        from repro.store.stages import stage_key
+
+        store = StageStore(tmp_path / "stages")
+        store.put("epoch", stage_key("epoch", {"i": 0}), {"row": 0})
+        assert main(["timeline", "gc", "--store-dir", str(tmp_path / "stages")]) == 0
+        assert "evicted 0 of 1 entries" in capsys.readouterr().out
+
+    def test_timeline_run_still_parses_without_subcommand(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["timeline", "--scenario", "small", "--start", "2022Q1"])
+        assert getattr(args, "timeline_command", None) is None
+        assert args.start == "2022Q1"
+
+
+class TestServeParser:
+    def test_parser_accepts_serve_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--state-dir", "/tmp/state", "--max-queue", "3",
+             "--tenant-quota", "2", "--backend", "process", "--workers", "2"]
+        )
+        assert args.handler.__name__ == "_cmd_serve"
+        assert args.max_queue == 3 and args.tenant_quota == 2
+        assert args.port == 0  # default: pick a free port
+
+    def test_state_dir_is_required(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve"])

@@ -58,6 +58,31 @@ class TestFaultSpec:
             with pytest.raises(ValueError, match="permanent by nature"):
                 FaultSpec(site=site, kind=kind, fail_attempts=1)
 
+    def test_serve_sites_are_known(self):
+        """The serving layer's injection points validate like any other
+        site — specs for them round-trip through plan JSON."""
+        from repro.faults import KNOWN_SITES
+
+        assert "serve.request" in KNOWN_SITES and "serve.journal" in KNOWN_SITES
+        plan = FaultPlan(
+            seed=3,
+            specs=(
+                FaultSpec(site="serve.request", kind="error", rate=0.5, fail_attempts=1),
+                FaultSpec(site="serve.request", kind="hang", hang_s=0.1),
+                FaultSpec(site="serve.request", kind="drop", rate=0.2),
+                FaultSpec(site="serve.journal", kind="error"),
+                FaultSpec(site="serve.journal", kind="corrupt", rate=0.1),
+                FaultSpec(site="serve.journal", kind="drop", rate=0.1),
+            ),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_serve_data_faults_must_be_permanent(self):
+        with pytest.raises(ValueError, match="permanent by nature"):
+            FaultSpec(site="serve.journal", kind="corrupt", fail_attempts=1)
+        with pytest.raises(ValueError, match="permanent by nature"):
+            FaultSpec(site="serve.request", kind="drop", fail_attempts=2)
+
 
 class TestDecisionPurity:
     def test_decide_is_deterministic(self):

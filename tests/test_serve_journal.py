@@ -1,0 +1,286 @@
+"""The serve write-ahead journal and crash recovery (unit level).
+
+Covers the satellite guarantees directly: torn final lines are tolerated
+(the signature of a SIGKILLed writer), bit-flipped mid-file entries are
+skipped and counted, the ``serve.journal`` fault site injects exactly
+those damage shapes, and :func:`repro.serve.recover_state` is a pure,
+idempotent fold — recovering twice from the same wreckage yields
+identical state.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, TransientFaultError
+from repro.serve import (
+    Journal,
+    read_journal,
+    record_crc,
+    recover_state,
+    replay_journal,
+)
+
+pytestmark = [pytest.mark.serve]
+
+
+class TestJournalRoundTrip:
+    def test_append_then_read(self, tmp_path):
+        journal = Journal(tmp_path / "journal.jsonl")
+        assert journal.append("submitted", campaign="abc") == 0
+        assert journal.append("started", campaign="abc") == 1
+        journal.close()
+        view = read_journal(tmp_path / "journal.jsonl")
+        assert [entry["event"] for entry in view.entries] == ["submitted", "started"]
+        assert view.n_corrupt == 0 and not view.torn_tail
+        # crc is verified then stripped from the returned entries.
+        assert all("crc" not in entry for entry in view.entries)
+
+    def test_reopen_continues_sequence(self, tmp_path):
+        journal = Journal(tmp_path / "journal.jsonl")
+        journal.append("submitted", campaign="abc")
+        journal.close()
+        journal = Journal(tmp_path / "journal.jsonl")
+        assert journal.append("started", campaign="abc") == 1
+        journal.close()
+        seqs = [entry["seq"] for entry in read_journal(tmp_path / "journal.jsonl").entries]
+        assert seqs == [0, 1]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        view = read_journal(tmp_path / "nope.jsonl")
+        assert view.entries == [] and view.n_corrupt == 0 and not view.torn_tail
+
+    def test_crc_detects_any_field_change(self):
+        record = {"seq": 0, "event": "submitted", "campaign": "abc"}
+        crc = record_crc(record)
+        assert record_crc({**record, "campaign": "abd"}) != crc
+        assert record_crc({**record, "seq": 1}) != crc
+
+
+class TestJournalDamage:
+    def _journal(self, tmp_path, n=3):
+        journal = Journal(tmp_path / "journal.jsonl")
+        for i in range(n):
+            journal.append("submitted", campaign=f"c{i}")
+        journal.close()
+        return tmp_path / "journal.jsonl"
+
+    def test_torn_tail_is_tolerated_not_counted_corrupt(self, tmp_path):
+        path = self._journal(tmp_path)
+        text = path.read_text()
+        lines = text.splitlines()
+        # Re-create the exact damage a killed writer leaves: the final
+        # record's write was cut short, no trailing newline.
+        path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2])
+        view = read_journal(path)
+        assert len(view.entries) == 2
+        assert view.torn_tail and view.n_corrupt == 0
+
+    def test_bit_flip_mid_file_is_skipped_and_counted(self, tmp_path):
+        path = self._journal(tmp_path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace("c1", "cX")  # payload no longer matches crc
+        path.write_text("\n".join(lines) + "\n")
+        view = read_journal(path)
+        assert [entry["campaign"] for entry in view.entries] == ["c0", "c2"]
+        assert view.n_corrupt == 1 and not view.torn_tail
+
+    def test_reopen_after_torn_tail_keeps_sequence_monotonic(self, tmp_path):
+        path = self._journal(tmp_path)
+        text = path.read_text()
+        path.write_text(text + '{"seq": 99, "ev')  # torn append at the end
+        journal = Journal(path)
+        seq = journal.append("started", campaign="c0")
+        journal.close()
+        assert seq == 3  # continues from the last *readable* record
+
+
+class TestJournalFaults:
+    def _plan(self, kind, seed=0, **kw):
+        return FaultPlan(
+            seed=seed, specs=(FaultSpec(site="serve.journal", kind=kind, rate=0.5, **kw),)
+        )
+
+    def test_error_raises_and_writes_nothing(self, tmp_path):
+        plan = self._plan("error", fail_attempts=1)
+        fire = next(i for i in range(50) if plan.fires_ever("serve.journal", i))
+        journal = Journal(tmp_path / "journal.jsonl", faults=plan)
+        written = 0
+        for i in range(fire + 1):
+            if i == fire:
+                with pytest.raises(TransientFaultError):
+                    journal.append("submitted", campaign=f"c{i}")
+            else:
+                journal.append("submitted", campaign=f"c{i}")
+                written += 1
+        journal.close()
+        assert len(read_journal(tmp_path / "journal.jsonl").entries) == written
+
+    def test_drop_skips_the_write_silently(self, tmp_path):
+        plan = self._plan("drop")
+        journal = Journal(tmp_path / "journal.jsonl", faults=plan)
+        n = 20
+        for i in range(n):
+            journal.append("submitted", campaign=f"c{i}")
+        journal.close()
+        dropped = sum(1 for i in range(n) if plan.fires_ever("serve.journal", i))
+        view = read_journal(tmp_path / "journal.jsonl")
+        assert 0 < dropped < n
+        assert len(view.entries) == n - dropped
+        assert view.n_corrupt == 0
+
+    def test_corrupt_writes_a_torn_half_line(self, tmp_path):
+        plan = self._plan("corrupt")
+        fire = next(i for i in range(50) if plan.fires_ever("serve.journal", i))
+        journal = Journal(tmp_path / "journal.jsonl", faults=plan)
+        for i in range(fire + 1):
+            journal.append("submitted", campaign=f"c{i}")
+        journal.close()
+        view = read_journal(tmp_path / "journal.jsonl")
+        # The torn half-line is the file's tail (no newline followed it).
+        assert view.torn_tail
+        assert all(entry["campaign"] != f"c{fire}" for entry in view.entries)
+
+
+def _entries(*records):
+    return [dict(record) for record in records]
+
+
+class TestReplay:
+    def test_lifecycle_fold(self):
+        campaigns = replay_journal(
+            _entries(
+                {"seq": 0, "event": "submitted", "campaign": "a", "spec": {"kind": "study"}},
+                {"seq": 1, "event": "started", "campaign": "a"},
+                {"seq": 2, "event": "finished", "campaign": "a", "status": "DONE", "result_sha256": "x"},
+                {"seq": 3, "event": "submitted", "campaign": "b", "spec": {"kind": "sweep"}},
+            )
+        )
+        assert campaigns["a"]["status"] == "DONE"
+        assert campaigns["a"]["result_sha256"] == "x"
+        assert campaigns["b"]["status"] == "QUEUED"
+
+    def test_first_submission_wins_the_spec(self):
+        campaigns = replay_journal(
+            _entries(
+                {"seq": 0, "event": "submitted", "campaign": "a", "spec": {"kind": "study"}},
+                {"seq": 1, "event": "submitted", "campaign": "a", "spec": {"kind": "sweep"}},
+            )
+        )
+        assert campaigns["a"]["spec"] == {"kind": "study"}
+
+    def test_resubmission_requeues_a_lost_campaign(self):
+        campaigns = replay_journal(
+            _entries(
+                {"seq": 0, "event": "submitted", "campaign": "a", "spec": {}},
+                {"seq": 1, "event": "started", "campaign": "a"},
+                {"seq": 2, "event": "lost", "campaign": "a", "error": "boom"},
+                {"seq": 3, "event": "submitted", "campaign": "a", "spec": {}},
+            )
+        )
+        assert campaigns["a"]["status"] == "QUEUED"
+        assert campaigns["a"]["error"] is None
+
+    def test_orphaned_transition_is_ignored(self):
+        campaigns = replay_journal(_entries({"seq": 0, "event": "started", "campaign": "ghost"}))
+        assert campaigns == {}
+
+    def test_drained_goes_back_to_queued(self):
+        campaigns = replay_journal(
+            _entries(
+                {"seq": 0, "event": "submitted", "campaign": "a", "spec": {}},
+                {"seq": 1, "event": "started", "campaign": "a"},
+                {"seq": 2, "event": "drained", "campaign": "a"},
+            )
+        )
+        assert campaigns["a"]["status"] == "QUEUED"
+
+
+class TestRecoverState:
+    def _write(self, tmp_path, *records):
+        journal = Journal(tmp_path / "journal.jsonl")
+        for record in records:
+            journal.append(record.pop("event"), **record)
+        journal.close()
+        return tmp_path / "journal.jsonl"
+
+    def test_running_campaign_is_requeued(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            {"event": "submitted", "campaign": "a", "spec": {}},
+            {"event": "started", "campaign": "a"},
+        )
+        state = recover_state(path, tmp_path / "results")
+        assert state.campaigns["a"]["status"] == "QUEUED"
+        assert state.pending == ["a"] and state.requeued == ["a"]
+
+    def test_finished_with_verified_result_stays_done(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        payload = json.dumps({"report": 1}) + "\n"
+        (results / "a.json").write_text(payload)
+        import hashlib
+
+        digest = hashlib.sha256(payload.encode()).hexdigest()
+        path = self._write(
+            tmp_path,
+            {"event": "submitted", "campaign": "a", "spec": {}},
+            {"event": "started", "campaign": "a"},
+            {"event": "finished", "campaign": "a", "status": "DONE", "result_sha256": digest},
+        )
+        state = recover_state(path, results)
+        assert state.campaigns["a"]["status"] == "DONE"
+        assert state.pending == [] and state.requeued == []
+
+    def test_finished_with_missing_or_tampered_result_requeues(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "b.json").write_text("{tampered}")
+        path = self._write(
+            tmp_path,
+            {"event": "submitted", "campaign": "a", "spec": {}},
+            {"event": "finished", "campaign": "a", "status": "DONE", "result_sha256": "x"},
+            {"event": "submitted", "campaign": "b", "spec": {}},
+            {"event": "finished", "campaign": "b", "status": "DEGRADED", "result_sha256": "y"},
+        )
+        state = recover_state(path, results)
+        assert state.campaigns["a"]["status"] == "QUEUED"  # file missing
+        assert state.campaigns["b"]["status"] == "QUEUED"  # digest mismatch
+        assert state.pending == ["a", "b"]
+
+    def test_lost_stays_lost(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            {"event": "submitted", "campaign": "a", "spec": {}},
+            {"event": "started", "campaign": "a"},
+            {"event": "lost", "campaign": "a", "error": "boom"},
+        )
+        state = recover_state(path, tmp_path / "results")
+        assert state.campaigns["a"]["status"] == "LOST"
+        assert state.pending == []
+
+    def test_pending_preserves_submission_order(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            {"event": "submitted", "campaign": "b", "spec": {}},
+            {"event": "submitted", "campaign": "a", "spec": {}},
+        )
+        assert recover_state(path, tmp_path / "results").pending == ["b", "a"]
+
+    def test_double_recovery_is_idempotent(self, tmp_path):
+        """Recovery is a pure read: recovering twice — or crashing during
+        recovery and recovering again — yields identical state."""
+        path = self._write(
+            tmp_path,
+            {"event": "submitted", "campaign": "a", "spec": {}},
+            {"event": "started", "campaign": "a"},
+            {"event": "submitted", "campaign": "b", "spec": {}},
+            {"event": "finished", "campaign": "b", "status": "DONE", "result_sha256": "x"},
+        )
+        # Torn tail on top, for good measure.
+        with path.open("a") as file:
+            file.write('{"seq": 99, "torn')
+        first = recover_state(path, tmp_path / "results")
+        second = recover_state(path, tmp_path / "results")
+        assert first == second
+        assert first.torn_tail and first.pending == ["a", "b"]

@@ -236,6 +236,94 @@ class TestStageStore:
         assert STAGE_SCHEMA in ("repro-stage-v1",)
         assert stage_key("detect", {"x": 1}) != stage_key("measure", {"x": 1})
 
+    def test_quarantined_entry_lands_in_quarantine_dir(self, tmp_path):
+        store = StageStore(tmp_path)
+        key = stage_key("measure", {"m": 3})
+        store.put("measure", key, {"ips": [1, 2]})
+        path = store.entry_path(key)
+        path.write_text(path.read_text().replace("1", "9"))
+        assert store.get("measure", key) is None
+        parked = list(store.quarantine_dir.glob(f"{key}.*.json"))
+        assert len(parked) == 1, "the bad bytes must survive for post-mortems"
+
+
+class TestStageStoreGC:
+    """Size/age-bounded GC + quarantine sweep (StudyStore.gc parity)."""
+
+    def _seed(self, store, n):
+        """Write n entries with strictly increasing mtimes; returns keys in age order."""
+        import os
+        import time
+
+        keys = []
+        base = time.time() - 1000
+        for i in range(n):
+            key = stage_key("epoch", {"i": i})
+            store.put("epoch", key, {"row": i})
+            os.utime(store.entry_path(key), (base + i, base + i))
+            keys.append(key)
+        return keys
+
+    def test_evicts_oldest_beyond_max_entries(self, tmp_path):
+        store = StageStore(tmp_path)
+        keys = self._seed(store, 5)
+        evicted = store.gc(max_entries=2)
+        assert evicted == keys[:3]
+        assert store.stats()["entries"] == 2
+        assert not store.contains(keys[0]) and store.contains(keys[4])
+        assert store.counter("gc", "evictions") == 3
+
+    def test_evicts_oldest_beyond_max_bytes(self, tmp_path):
+        store = StageStore(tmp_path)
+        keys = self._seed(store, 4)
+        per_entry = store.stats()["total_bytes"] // 4
+        evicted = store.gc(max_bytes=2 * per_entry)
+        assert evicted == keys[:2]
+        assert store.stats()["total_bytes"] <= 2 * per_entry
+
+    def test_evicts_entries_past_max_age(self, tmp_path):
+        store = StageStore(tmp_path)
+        keys = self._seed(store, 3)  # mtimes ~1000s in the past
+        fresh = stage_key("epoch", {"i": "fresh"})
+        store.put("epoch", fresh, {"row": "fresh"})
+        evicted = store.gc(max_age_s=500.0)
+        assert sorted(evicted) == sorted(keys)
+        assert store.contains(fresh)
+
+    def test_constructor_bounds_are_the_defaults(self, tmp_path):
+        store = StageStore(tmp_path, max_entries=1)
+        keys = self._seed(store, 3)
+        assert store.gc() == keys[:2]
+
+    def test_no_bounds_is_a_noop(self, tmp_path):
+        store = StageStore(tmp_path)
+        self._seed(store, 3)
+        assert store.gc() == []
+        assert store.stats()["entries"] == 3
+
+    def test_quarantine_sweep_by_count_and_age(self, tmp_path):
+        import os
+        import time
+
+        store = StageStore(tmp_path)
+        for i in range(3):
+            key = stage_key("epoch", {"i": i})
+            store.put("epoch", key, {"row": i})
+            path = store.entry_path(key)
+            path.write_text(path.read_text().replace(":", ";", 1))
+            assert store.get("epoch", key) is None  # quarantined
+        parked = sorted(store.quarantine_dir.iterdir())
+        assert len(parked) == 3
+        base = time.time() - 1000
+        for i, path in enumerate(parked):
+            os.utime(path, (base + i, base + i))
+
+        store.gc(max_quarantine_entries=2)
+        assert len(list(store.quarantine_dir.iterdir())) == 2
+        store.gc(max_quarantine_age_s=1.0)
+        assert len(list(store.quarantine_dir.iterdir())) == 0
+        assert store.counter("gc", "quarantine_pruned") == 3
+
 
 class TestFingerprint:
     def test_execution_knobs_excluded(self):
