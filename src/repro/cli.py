@@ -100,19 +100,37 @@ def _telemetry_from_args(args: argparse.Namespace):
     )
 
 
+def _workers_spec(value: str) -> "int | str":
+    """``--workers`` accepts a positive integer or the literal ``auto``."""
+    if value == "auto":
+        return value
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be a positive integer or 'auto', got {value!r}"
+        ) from None
+    if workers < 1:
+        raise argparse.ArgumentTypeError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
 def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend",
-        choices=("serial", "process"),
+        choices=("serial", "process", "pool"),
         default="serial",
-        help="execution backend for the campaign/clustering fan-outs (default: serial)",
+        help="execution backend for the campaign/clustering fan-outs: serial, "
+        "process (fresh worker pool per stage), or pool (one persistent pool "
+        "reused across stages; default: serial)",
     )
     parser.add_argument(
         "--workers",
-        type=int,
+        type=_workers_spec,
         default=1,
         metavar="N",
-        help="worker processes for --backend process (results are identical at any N)",
+        help="worker processes for --backend process/pool, or 'auto' for "
+        "cpu_count-1 (results are identical at any N)",
     )
 
 

@@ -11,6 +11,7 @@ figure is derived.
 from __future__ import annotations
 
 import math
+from functools import partial
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -39,7 +40,14 @@ from repro.mlab.matrix import (
 )
 from repro.mlab.vantage import VantagePoint, build_vantage_points
 from repro.obs import Telemetry, ensure_telemetry, record_throughput_gauges
-from repro.parallel import ParallelConfig, Shard, ShardPlan, run_sharded
+from repro.parallel import (
+    ParallelConfig,
+    Shard,
+    ShardPlan,
+    SharedArray,
+    ShmRegistry,
+    run_sharded,
+)
 from repro.population.users import PopulationDataset, build_population_dataset
 from repro.rdns.ptr import PtrConfig, PtrDataset, build_ptr_dataset
 from repro.resilience import CoverageReport, ResilienceConfig, ShardLoss
@@ -209,9 +217,17 @@ class Study:
 
 
 def _cluster_shard(
-    shard: Shard, telemetry: Telemetry | None
+    shared_rtt: SharedArray,
+    shard: Shard,
+    telemetry: Telemetry | None,
 ) -> list[tuple[float, int, SiteClustering]]:
-    """Cluster one shard of ``(config, asn, ips, columns)`` work units.
+    """Cluster one shard of ``(config, asn, ips, column_indices)`` units.
+
+    ``shared_rtt`` is the whole campaign matrix, crossed into workers by
+    shared-memory reference; each work unit carries only its ISP's column
+    *indices*, and slicing here (``rtt[:, cols]``) materialises exactly
+    the submatrix the old copied-payload design pickled per shard —
+    identical fancy-indexing, identical bytes.
 
     OPTICS draws no randomness, so shard placement cannot affect labels;
     per-ISP spans and timings are recorded here so serial and process
@@ -224,9 +240,11 @@ def _cluster_shard(
     and inside every process worker.
     """
     obs = ensure_telemetry(telemetry)
+    rtt = shared_rtt.array
     memo = ClusteringMemo()
     results: list[tuple[float, int, SiteClustering]] = []
-    for clustering_config, asn, ips, columns in shard.items:
+    for clustering_config, asn, ips, column_indices in shard.items:
+        columns = rtt[:, column_indices]
         with obs.span("cluster.isp", asn=asn, xi=clustering_config.xi, n_ips=len(ips)) as isp_span:
             clustering = cluster_isp_offnets(
                 columns, list(ips), clustering_config, telemetry=telemetry, memo=memo, memo_key=asn
@@ -393,30 +411,39 @@ def run_study(
         ):
             obs.count("cluster.isps_analyzed", len(campaign.analyzable_isp_asns))
             if precomputed is None:
-                # Work units are (isp_asn, xi) pairs; each carries its own latency
-                # columns so process workers never pickle the whole study.
+                # Work units are (isp_asn, xi) pairs; each carries its ISP's
+                # column *indices* into the campaign matrix, which crosses
+                # to process workers once as a shared-memory reference —
+                # workers never unpickle per-shard submatrix copies.
                 # ISP-major order keeps an ISP's xi settings adjacent — with
                 # the default chunk of 4 and 2 xis every shard holds whole
                 # ISPs, so the per-shard ClusteringMemo computes each ISP's
                 # distance matrix and OPTICS ordering exactly once.  The
                 # pair *count* (and so the shard count in the coverage
-                # ledger) is unchanged from the xi-major layout.
+                # ledger) is unchanged from the xi-major layout.  Per-pair
+                # cost estimates (|ips|², the OPTICS distance-matrix term)
+                # let the executors dispatch the heaviest ISPs first.
                 pairs = []
+                pair_costs = []
                 for asn in campaign.analyzable_isp_asns:
                     isp_ips = campaign.ips_by_isp[asn]
-                    isp_columns = matrix.submatrix(isp_ips)
+                    isp_column_indices = matrix.column_indices(isp_ips)
                     for xi in config.xis:
-                        pairs.append((ClusteringConfig(xi=xi), asn, isp_ips, isp_columns))
-                plan = ShardPlan.of(pairs, chunk_size=config.parallel.clustering_chunk)
-                shard_results = run_sharded(
-                    _cluster_shard,
-                    plan,
-                    config.parallel,
-                    telemetry=telemetry,
-                    label="clustering",
-                    faults=faults,
-                    resilience=resilience,
+                        pairs.append((ClusteringConfig(xi=xi), asn, isp_ips, isp_column_indices))
+                        pair_costs.append(float(len(isp_ips)) ** 2)
+                plan = ShardPlan.of(
+                    pairs, chunk_size=config.parallel.clustering_chunk, costs=pair_costs
                 )
+                with ShmRegistry(enabled=config.parallel.backend != "serial") as registry:
+                    shard_results = run_sharded(
+                        partial(_cluster_shard, registry.share(matrix.rtt_ms)),
+                        plan,
+                        config.parallel,
+                        telemetry=telemetry,
+                        label="clustering",
+                        faults=faults,
+                        resilience=resilience,
+                    )
                 clusterings = {xi: {} for xi in config.xis}
                 clustering_shards_lost = 0
                 for shard_result in shard_results:

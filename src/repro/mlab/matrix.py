@@ -25,7 +25,14 @@ from repro.mlab.latency import base_rtt_matrix, vp_pair_floor_matrix
 from repro.mlab.pings import PingConfig, ping_rtts
 from repro.mlab.vantage import VantagePoint
 from repro.obs import Telemetry, ensure_telemetry
-from repro.parallel import ParallelConfig, Shard, ShardPlan, run_sharded
+from repro.parallel import (
+    ParallelConfig,
+    Shard,
+    ShardPlan,
+    SharedArray,
+    ShmRegistry,
+    run_sharded,
+)
 from repro.resilience import ResilienceConfig, ShardLoss
 from repro.topology.facilities import Facility
 from repro.topology.generator import Internet
@@ -104,13 +111,23 @@ class LatencyMatrix:
         """
         return self.rtt_ms[:, self._index_of(ip)]
 
+    def column_indices(self, ips: list[int]) -> np.ndarray:
+        """Column index per IP in ``ips``, in the given order.
+
+        The indirection that lets a sharded stage ship *indices* to
+        workers holding a shared-memory view of ``rtt_ms`` instead of
+        copied submatrices.  Raises :class:`KeyError` naming the first
+        missing IP when any of ``ips`` was not a campaign target.
+        """
+        return np.array([self._index_of(ip) for ip in ips], dtype=np.intp)
+
     def submatrix(self, ips: list[int]) -> np.ndarray:
         """Columns for ``ips``, in the given order.
 
         Raises :class:`KeyError` naming the first missing IP when any of
         ``ips`` was not a campaign target.
         """
-        return self.rtt_ms[:, [self._index_of(ip) for ip in ips]]
+        return self.rtt_ms[:, self.column_indices(ips)]
 
     def has_ip(self, ip: int) -> bool:
         """Whether ``ip`` was a target in this campaign."""
@@ -123,47 +140,55 @@ class _CampaignShardInputs:
 
     All randomness-driven *behaviour* (which IPs are unresponsive, split, or
     rate-limited) is decided in the parent before fan-out; shards only draw
-    the per-probe measurement noise from their own stream.
+    the per-probe measurement noise from their own stream (a compact seed
+    riding on ``shard.payload``).  Every array field is a
+    :class:`~repro.parallel.SharedArray`: on the process backends they
+    cross into workers as shared-memory references (~100 bytes each)
+    instead of pickled copies, and by value — bit-identically — where
+    shared memory is unavailable.
     """
 
-    base: np.ndarray  # (n_vps, n_facilities) base RTTs
-    target_facility: np.ndarray  # facility column per target IP
-    alternate_facility: np.ndarray  # split-location alternate per target IP
-    unresponsive: np.ndarray  # bool per target IP
-    split: np.ndarray  # bool per target IP
-    lossy: np.ndarray  # bool per target IP (ISP rate-limits ICMP)
+    base: SharedArray  # (n_vps, n_facilities) base RTTs
+    target_facility: SharedArray  # facility column per target IP
+    alternate_facility: SharedArray  # split-location alternate per target IP
+    unresponsive: SharedArray  # bool per target IP
+    split: SharedArray  # bool per target IP
+    lossy: SharedArray  # bool per target IP (ISP rate-limits ICMP)
     ping: PingConfig
     lossy_success_rate: float
     #: bool per target IP: measurements lost to an injected ``mlab.ping``
     #: fault (None when no such faults are planned — the common case).
-    dropped: np.ndarray | None = None
+    dropped: SharedArray | None = None
 
 
 def _measure_shard(
     inputs: _CampaignShardInputs,
-    rngs: tuple[np.random.Generator, ...],
     shard: Shard,
     telemetry: Telemetry | None,
 ) -> np.ndarray:
     """Measure one shard's columns: shape ``(n_vps, len(shard))``."""
     obs = ensure_telemetry(telemetry)
-    rng = rngs[shard.index]
+    # The shard's RNG stream, spawned in the parent before dispatch and
+    # shipped as seed material (see ShardPlan.shard_seeds): identical to
+    # the generator shard_rngs() would have handed a serial loop.
+    rng = np.random.default_rng(shard.payload)
+    base = inputs.base.array
     cols = np.asarray(shard.items, dtype=int)
     k = cols.size
-    target_facility = inputs.target_facility[cols]
-    alternate_facility = inputs.alternate_facility[cols]
-    unresponsive = inputs.unresponsive[cols]
-    split = inputs.split[cols]
-    lossy = inputs.lossy[cols]
-    n_vps = inputs.base.shape[0]
-    drop_mask = inputs.dropped[cols] if inputs.dropped is not None else None
+    target_facility = inputs.target_facility.array[cols]
+    alternate_facility = inputs.alternate_facility.array[cols]
+    unresponsive = inputs.unresponsive.array[cols]
+    split = inputs.split.array[cols]
+    lossy = inputs.lossy.array[cols]
+    n_vps = base.shape[0]
+    drop_mask = inputs.dropped.array[cols] if inputs.dropped is not None else None
     rtt = np.empty((n_vps, k))
     for i in range(n_vps):
-        base_row = inputs.base[i, target_facility].copy()
+        base_row = base[i, target_facility].copy()
         if split.any():
             # Each vantage point hits one of the two locations, 50/50.
             use_alternate = split & (rng.random(k) < 0.5)
-            base_row[use_alternate] = inputs.base[i, alternate_facility[use_alternate]]
+            base_row[use_alternate] = base[i, alternate_facility[use_alternate]]
         base_row[unresponsive] = np.nan
         if lossy.any():
             rate_limited = lossy & (rng.random(k) >= inputs.lossy_success_rate)
@@ -260,28 +285,36 @@ def measure_offnets(
             alternate_facility[idx] = candidates[int(rng_behaviour.integers(0, len(candidates)))]
 
     dropped = injected_ping_drops(faults, n_ips)
-    inputs = _CampaignShardInputs(
-        base=base,
-        target_facility=target_facility,
-        alternate_facility=alternate_facility,
-        unresponsive=unresponsive,
-        split=split,
-        lossy=lossy_ip,
-        ping=config.ping,
-        lossy_success_rate=config.lossy_success_rate,
-        dropped=dropped,
-    )
     plan = ShardPlan.of(range(n_ips), chunk_size=parallel.campaign_chunk)
-    rngs = plan.shard_rngs(rng_pings, "campaign")
-    columns = run_sharded(
-        partial(_measure_shard, inputs, rngs),
-        plan,
-        parallel,
-        telemetry=telemetry,
-        label="campaign",
-        faults=faults,
-        resilience=resilience,
-    )
+    # Seed material instead of generators: each shard carries only *its*
+    # stream (tens of bytes on shard.payload) where the old design pickled
+    # the whole stage's generator tuple into every submission.
+    seeds = plan.shard_seeds(rng_pings, "campaign")
+    # Heavy read-only arrays ride shared memory on the process backends;
+    # the registry is scoped to the fan-out and unlinks on exit (workers'
+    # attached views stay valid for in-flight shards until they drop).
+    with ShmRegistry(enabled=parallel.backend != "serial") as registry:
+        inputs = _CampaignShardInputs(
+            base=registry.share(base),
+            target_facility=registry.share(target_facility),
+            alternate_facility=registry.share(alternate_facility),
+            unresponsive=registry.share(unresponsive),
+            split=registry.share(split),
+            lossy=registry.share(lossy_ip),
+            ping=config.ping,
+            lossy_success_rate=config.lossy_success_rate,
+            dropped=registry.share(dropped),
+        )
+        columns = run_sharded(
+            partial(_measure_shard, inputs),
+            plan,
+            parallel,
+            telemetry=telemetry,
+            label="campaign",
+            faults=faults,
+            resilience=resilience,
+            payloads=seeds,
+        )
     shards = plan.shards()
     unmeasured: set[int] = set()
     if dropped is not None:

@@ -1,10 +1,24 @@
-"""Execution backends: run a shard task serially or across processes.
+"""Execution backends: run a shard task serially, on processes, or on a pool.
 
 A *shard task* is a picklable callable ``task(shard, telemetry) -> result``.
-Both backends return results **in shard-index order**, so a sharded stage is
+All backends return results **in shard-index order**, so a sharded stage is
 a drop-in replacement for its serial loop: determinism comes from the
 :class:`~repro.parallel.plan.ShardPlan` (partition and RNG streams fixed
-before dispatch), not from execution order.
+before dispatch), not from execution order.  Dispatch order is a free
+variable the process backends exploit: shards enter the pool
+largest-estimated-cost-first (:func:`~repro.parallel.plan.steal_order`) so
+uneven shards cannot straggle a stage, while the ordered merge keeps the
+result list — and therefore every artifact byte — identical.
+
+Three backends:
+
+* ``serial`` — in-process, in order; the reference implementation.
+* ``process`` — a fresh supervised :class:`ProcessPoolExecutor` per
+  fan-out (spawn + import warmup paid per stage).
+* ``pool`` — the same supervision over a **persistent** process-wide
+  :class:`~repro.parallel.pool.WorkerPool`, reused across stages,
+  campaign cells, and (under ``repro serve``) whole campaigns, so warmup
+  is paid once per process instead of once per stage.
 
 Telemetry crosses the process boundary by value: each worker records into a
 fresh private bundle, returns its snapshot alongside the shard result, and
@@ -12,19 +26,24 @@ the parent merges snapshots back — counters add, histogram observations
 extend, and the worker's span forest is adopted under the stage's fan-out
 span, in shard order.  Nothing is recorded twice: in process mode the
 parent records only the fan-out span and the merge, never the per-shard
-work the workers already accounted for.
+work the workers already accounted for.  When telemetry is captured the
+parent also measures each submission's pickled size (and whether it rode
+shared memory, :mod:`repro.parallel.shm`) into the flight recorder, making
+serialization cost a first-class observable.
 
-Both backends are *supervised* when given a
+All backends are *supervised* when given a
 :class:`~repro.resilience.ResilienceConfig` and/or a
 :class:`~repro.faults.FaultPlan`:
 
 * a shard that fails with a retryable error (transient injected fault,
   dead worker, broken pool, per-shard timeout) is retried/requeued up to
   the policy's attempt limit;
-* the process backend detects dead workers (``BrokenProcessPool``) and
-  hung workers (``ParallelConfig.shard_timeout_s``), abandons the
-  poisoned pool, re-dispatches the survivors, and runs a shard whose
-  pool attempts are exhausted *in-process* before quarantining it;
+* the process backends detect dead workers (``BrokenProcessPool``) and
+  hung workers (``ParallelConfig.shard_timeout_s``), replace the
+  poisoned pool (the persistent pool is rebuilt in place, keeping its
+  identity and counting the restart), re-dispatch the survivors, and run
+  a shard whose pool attempts are exhausted *in-process* before
+  quarantining it;
 * a quarantined shard yields a :class:`~repro.resilience.ShardLoss`
   sentinel in the result list, and :func:`run_sharded` aborts with
   :class:`~repro.resilience.ShardQuarantinedError` if the losses exceed
@@ -37,6 +56,7 @@ when disabled.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import time
@@ -45,7 +65,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro._util import require
 from repro.faults import (
@@ -68,10 +88,12 @@ from repro.resilience import (
     jitter_rng,
 )
 
-from repro.parallel.plan import Shard, ShardPlan
+from repro.parallel.plan import Shard, ShardPlan, steal_order
+from repro.parallel.pool import WorkerPool, get_pool
+from repro.parallel.shm import measure_payload, sweep_orphan_segments
 
 #: Recognised backend names, in preference order.
-BACKENDS = ("serial", "process")
+BACKENDS = ("serial", "process", "pool")
 
 #: Shard-duration histogram shared by every sharded stage.
 SHARD_DURATION_METRIC = "parallel.shard_duration_ms"
@@ -85,6 +107,28 @@ DEFAULT_CLUSTERING_CHUNK = 4
 ShardTask = Callable[[Shard, Telemetry | None], Any]
 
 
+def usable_cpu_count() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_workers(workers: int | str) -> int:
+    """Resolve a worker-count spec: ``"auto"`` → ``max(1, cpus - 1)``.
+
+    One core is left for the parent (merge, supervision, telemetry);
+    integers (and integer strings) pass through unchanged.
+    """
+    if isinstance(workers, str):
+        if workers == "auto":
+            return max(1, usable_cpu_count() - 1)
+        require(workers.isdigit(), f"workers must be a positive integer or 'auto', got {workers!r}")
+        return int(workers)
+    return workers
+
+
 @dataclass(frozen=True)
 class ParallelConfig:
     """How sharded pipeline stages execute.
@@ -92,11 +136,13 @@ class ParallelConfig:
     Chunk sizes shape the :class:`ShardPlan` and therefore the artifacts'
     RNG stream layout; ``backend``, ``workers``, and ``shard_timeout_s``
     only decide *where* shards run and how long a worker may hold one, so
-    changing them never changes results.
+    changing them never changes results.  ``workers`` accepts ``"auto"``
+    (resolved to ``max(1, cpus - 1)`` at construction, so telemetry and
+    bench snapshots always see the concrete count).
     """
 
     backend: str = "serial"
-    workers: int = 1
+    workers: int | str = 1
     #: Offnet IPs per campaign shard.
     campaign_chunk: int = DEFAULT_CAMPAIGN_CHUNK
     #: (isp_asn, xi) pairs per clustering shard.  The pipeline emits pairs
@@ -105,7 +151,7 @@ class ParallelConfig:
     #: be memoized (other values stay correct, just without the reuse).
     clustering_chunk: int = DEFAULT_CLUSTERING_CHUNK
     #: Per-shard execution timeout; ``None`` (default) never times out.
-    #: On the process backend a shard past its deadline is treated as a
+    #: On the process backends a shard past its deadline is treated as a
     #: hung worker; retry/fallback behaviour then follows the stage's
     #: :class:`~repro.resilience.ResilienceConfig` (or the timeout error
     #: propagates when none is configured).
@@ -113,6 +159,7 @@ class ParallelConfig:
 
     def __post_init__(self) -> None:
         require(self.backend in BACKENDS, f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        object.__setattr__(self, "workers", resolve_workers(self.workers))
         require(self.workers >= 1, "workers must be >= 1")
         require(self.campaign_chunk >= 1, "campaign_chunk must be >= 1")
         require(self.clustering_chunk >= 1, "clustering_chunk must be >= 1")
@@ -240,8 +287,13 @@ class ProcessExecutor:
     Supervision is a polling loop over in-flight futures: completed
     shards are harvested in completion order (results re-ordered by
     shard index at the end), a broken pool or a shard past its deadline
-    tears the pool down and re-dispatches the survivors, and exhausted
+    replaces the pool and re-dispatches the survivors, and exhausted
     shards fall back to in-process execution before quarantine.
+
+    The pool itself is ephemeral — built on stage entry, torn down on
+    stage exit.  :class:`PoolExecutor` reuses this entire supervision
+    loop over a persistent pool by overriding the three ``_lease`` /
+    ``_recycle`` / ``_release`` hooks.
     """
 
     name = "process"
@@ -265,21 +317,51 @@ class ProcessExecutor:
         self.resilience = resilience
         self.shard_timeout_s = shard_timeout_s
 
+    # -- pool lifecycle hooks (overridden by PoolExecutor) ----------------------
+
+    def _lease(self, window: int, start_method: str) -> Any:
+        """Acquire the pool this stage submits to."""
+        context = multiprocessing.get_context(start_method)
+        return ProcessPoolExecutor(max_workers=window, mp_context=context)
+
+    def _recycle(self, pool: Any, window: int, start_method: str) -> Any:
+        """Replace a broken/hung pool with a fresh one."""
+        pool.shutdown(wait=False, cancel_futures=True)
+        return self._lease(window, start_method)
+
+    def _release(self, pool: Any) -> None:
+        """Give the pool back at stage exit."""
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _pool_info(self, pool: Any, window: int, restarts: int) -> dict[str, Any]:
+        """Flight-recorder identity for the pool this stage used."""
+        return {"pool": "ephemeral", "workers": window, "restarts": restarts, "persistent": False}
+
+    # -- the supervision loop ---------------------------------------------------
+
     def map_shards(
         self, task: ShardTask, shards: list[Shard], telemetry: Telemetry | None, label: str
     ) -> list[Any]:
         capture = telemetry is not None and telemetry.enabled
         obs = ensure_telemetry(telemetry)
-        context = multiprocessing.get_context(preferred_start_method())
-        max_workers = min(self.workers, len(shards))
+        # Backstop for SIGKILLed predecessors: reap shared-memory segments
+        # whose creating process is gone before exporting our own.
+        sweep_orphan_segments()
+        start_method = preferred_start_method()
+        window = min(self.workers, len(shards))
         results: dict[int, Any] = {}
-        snapshots: dict[int, tuple[dict[str, Any], float, int]] = {}
-        queue: deque[tuple[Shard, int]] = deque((shard, 0) for shard in shards)
-        active: dict[Future, tuple[Shard, int, float | None, float]] = {}
-        pool = ProcessPoolExecutor(max_workers=max_workers, mp_context=context)
+        snapshots: dict[int, tuple[dict[str, Any], float, int, tuple[int, bool]]] = {}
+        # Work-stealing discipline: dispatch largest-estimated-cost-first
+        # so uneven shards overlap instead of straggling; the merge below
+        # is keyed by shard.index, so dispatch order cannot change bytes.
+        queue: deque[tuple[Shard, int]] = deque((shard, 0) for shard in steal_order(shards))
+        active: dict[Future, tuple[Shard, int, float | None, float, tuple[int, bool]]] = {}
+        restarts = 0
+        task_payload = measure_payload(task) if capture else (0, False)
+        pool = self._lease(window, start_method)
         try:
             while queue or active:
-                while queue and len(active) < max_workers:
+                while queue and len(active) < window:
                     shard, attempt = queue.popleft()
                     future = pool.submit(
                         _invoke_shard, task, shard, label, capture, self.faults, attempt
@@ -289,9 +371,20 @@ class ProcessExecutor:
                         if self.shard_timeout_s is not None
                         else None
                     )
+                    if capture:
+                        shard_bytes, shard_shm = measure_payload(shard)
+                        payload = (task_payload[0] + shard_bytes, task_payload[1] or shard_shm)
+                    else:
+                        payload = (0, False)
                     # Submission wall time feeds the flight recorder's
                     # queue-wait (worker start wall − submit wall).
-                    active[future] = (shard, attempt, deadline, time.time() if capture else 0.0)
+                    active[future] = (
+                        shard,
+                        attempt,
+                        deadline,
+                        time.time() if capture else 0.0,
+                        payload,
+                    )
                 if self.shard_timeout_s is not None:
                     poll: float | None = self._POLL_S
                 elif obs.stream.enabled:
@@ -301,7 +394,7 @@ class ProcessExecutor:
                 done, _pending = wait(list(active), timeout=poll, return_when=FIRST_COMPLETED)
                 pool_broken = False
                 for future in done:
-                    shard, attempt, _deadline, submit_wall = active.pop(future)
+                    shard, attempt, _deadline, submit_wall, payload = active.pop(future)
                     try:
                         value, snapshot = future.result()
                     except BrokenProcessPool as error:
@@ -312,29 +405,29 @@ class ProcessExecutor:
                     else:
                         results[shard.index] = value
                         if snapshot is not None:
-                            snapshots[shard.index] = (snapshot, submit_wall, attempt)
+                            snapshots[shard.index] = (snapshot, submit_wall, attempt, payload)
                 if done:
                     obs.progress(label, len(results), len(shards))
                 obs.heartbeat(label=label, in_flight=len(active))
                 now = time.monotonic()
                 hung = {
                     future
-                    for future, (_shard, _attempt, deadline, _submit) in active.items()
+                    for future, (_shard, _attempt, deadline, _submit, _payload) in active.items()
                     if deadline is not None and now > deadline
                 }
                 if pool_broken or hung:
                     # A broken pool has already failed every in-flight
                     # future; a hung worker permanently occupies a slot.
-                    # Either way this pool is unusable: abandon it and
-                    # re-dispatch the survivors on a fresh one.
+                    # Either way this pool is unusable: replace it and
+                    # re-dispatch the survivors on the fresh one.
                     if pool_broken:
                         obs.count("resilience.worker_crashes")
                     obs.count("resilience.timeouts", len(hung))
                     survivors = list(active.items())
                     active.clear()
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    pool = ProcessPoolExecutor(max_workers=max_workers, mp_context=context)
-                    for future, (shard, attempt, _deadline, _submit) in survivors:
+                    restarts += 1
+                    pool = self._recycle(pool, window, start_method)
+                    for future, (shard, attempt, _deadline, _submit, _payload) in survivors:
                         if future in hung:
                             error: Exception = ShardTimeoutError(
                                 f"shard {shard.index} exceeded its {self.shard_timeout_s}s timeout"
@@ -343,12 +436,13 @@ class ProcessExecutor:
                             error = WorkerCrashError("worker pool torn down mid-shard")
                         self._dispose(task, shard, attempt, error, queue, results, telemetry, obs, label)
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
-        if telemetry is not None:
+            self._release(pool)
+        if capture and telemetry is not None:
+            telemetry.flight.set_pool(label, self._pool_info(pool, window, restarts))
             for shard in shards:
                 entry = snapshots.get(shard.index)
                 if entry is not None:
-                    snapshot, submit_wall, attempt = entry
+                    snapshot, submit_wall, attempt, payload = entry
                     _merge_worker_snapshot(
                         telemetry,
                         snapshot,
@@ -356,6 +450,7 @@ class ProcessExecutor:
                         shard_index=shard.index,
                         submit_wall=submit_wall,
                         attempt=attempt,
+                        payload=payload,
                     )
         return [results[shard.index] for shard in shards]
 
@@ -378,7 +473,10 @@ class ProcessExecutor:
             delay = policy.delay_s(attempt, jitter_rng(label, shard.index))
             if delay > 0:
                 time.sleep(delay)
-            queue.append((shard, attempt + 1))
+            # Requeued shards go to the front: they have already waited a
+            # full dispatch cycle, and running them next keeps the
+            # stage's tail short.
+            queue.appendleft((shard, attempt + 1))
             return
         if self.resilience is not None and self.resilience.fallback_in_process:
             obs.count("resilience.fallbacks")
@@ -405,6 +503,38 @@ class ProcessExecutor:
         raise error
 
 
+class PoolExecutor(ProcessExecutor):
+    """The ``pool`` backend: supervision over a persistent worker pool.
+
+    Identical dispatch, supervision, and resilience semantics to
+    :class:`ProcessExecutor` — the only difference is pool lifetime.  The
+    pool is leased from :func:`repro.parallel.pool.get_pool` (process-wide,
+    keyed by worker count), survives stage exit, and a broken/hung pool is
+    rebuilt **in place** so its identity and restart count persist in the
+    flight recorder.  Spawn + import warmup is therefore paid once per
+    process, not once per fan-out.
+    """
+
+    name = "pool"
+
+    def _lease(self, window: int, start_method: str) -> WorkerPool:
+        # The persistent pool always holds the configured worker count;
+        # ``window`` only bounds in-flight submissions for small stages.
+        return get_pool(self.workers, start_method)
+
+    def _recycle(self, pool: WorkerPool, window: int, start_method: str) -> WorkerPool:
+        pool.rebuild()
+        return pool
+
+    def _release(self, pool: WorkerPool) -> None:
+        # Deliberately kept alive: the next stage (or campaign) reuses it.
+        pass
+
+    def _pool_info(self, pool: WorkerPool, window: int, restarts: int) -> dict[str, Any]:
+        # handle-cumulative ``restarts`` plus this stage's own share.
+        return dict(pool.info(), stage_restarts=restarts)
+
+
 Executor = SerialExecutor | ProcessExecutor
 
 
@@ -414,6 +544,13 @@ def make_executor(
     resilience: ResilienceConfig | None = None,
 ) -> Executor:
     """The executor for ``config`` (``serial`` unless told otherwise)."""
+    if config.backend == "pool":
+        return PoolExecutor(
+            config.workers,
+            faults=faults,
+            resilience=resilience,
+            shard_timeout_s=config.shard_timeout_s,
+        )
     if config.backend == "process":
         return ProcessExecutor(
             config.workers,
@@ -435,12 +572,18 @@ def run_sharded(
     label: str = "parallel",
     faults: FaultPlan | None = None,
     resilience: ResilienceConfig | None = None,
+    payloads: Sequence[Any] | None = None,
 ) -> list[Any]:
     """Execute ``task`` over every shard of ``plan``; ordered results.
 
     The fan-out is traced as ``<label>.fanout`` (attributes: backend,
     workers, shard/item counts) and every shard lands one observation in
     :data:`SHARD_DURATION_METRIC`, whichever backend ran it.
+
+    ``payloads`` (optional, one per shard) attaches per-shard data — a
+    compact RNG seed, typically — as ``shard.payload``, so a stage can
+    ship each worker only *its* shard's context instead of closing the
+    task over per-shard state for the whole stage.
 
     With ``resilience``, a shard that exhausts its attempts is replaced
     by a :class:`~repro.resilience.ShardLoss` sentinel in the returned
@@ -452,12 +595,23 @@ def run_sharded(
     shards = plan.shards()
     if not shards:
         return []
+    if payloads is not None:
+        require(
+            len(payloads) == len(shards),
+            f"payloads length {len(payloads)} != shard count {len(shards)}",
+        )
+        shards = [
+            dataclasses.replace(shard, payload=payload)
+            for shard, payload in zip(shards, payloads)
+        ]
     obs = ensure_telemetry(telemetry)
     executor = make_executor(config, faults=faults, resilience=resilience)
+    effective_workers = config.workers if executor.name != "serial" else 1
+    obs.gauge("parallel.workers_resolved", effective_workers)
     with obs.span(
         f"{label}.fanout",
         backend=executor.name,
-        workers=config.workers if executor.name == "process" else 1,
+        workers=effective_workers,
         n_shards=len(shards),
         n_items=plan.n_items,
     ):
@@ -488,6 +642,7 @@ def _record_flight(
     execute_s: float,
     attempt: int,
     started_s: float,
+    payload: tuple[int, bool] = (0, False),
 ) -> None:
     """Log one completed shard with the flight recorder (plus histograms)."""
     flight = obs.flight
@@ -501,6 +656,8 @@ def _record_flight(
         execute_s=execute_s,
         attempt=attempt,
         started_s=started_s,
+        payload_bytes=payload[0],
+        shm=payload[1],
     )
     obs.observe("flight.queue_wait_ms", 1000.0 * queue_wait_s)
     obs.observe("flight.execute_ms", 1000.0 * execute_s)
@@ -543,6 +700,7 @@ def _merge_worker_snapshot(
     shard_index: int = -1,
     submit_wall: float | None = None,
     attempt: int = 0,
+    payload: tuple[int, bool] = (0, False),
 ) -> None:
     """Fold one worker's snapshot into the parent bundle.
 
@@ -589,6 +747,7 @@ def _merge_worker_snapshot(
             float(execute_s),
             attempt,
             started_s,
+            payload=payload,
         )
 
 
@@ -598,7 +757,7 @@ def _probe_worker() -> int:
 
 
 def preferred_start_method() -> str:
-    """The multiprocessing start method the process backend uses.
+    """The multiprocessing start method the process backends use.
 
     ``fork`` when the platform offers it (cheapest, inherits the parent's
     imports), otherwise whatever the platform default is (``spawn`` on

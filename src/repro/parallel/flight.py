@@ -52,6 +52,12 @@ class ShardFlight:
     attempt: int
     #: Start offset on the recorder's shared wall timeline, seconds.
     started_s: float
+    #: Pickled size of the shard's submission (task + shard), bytes; 0 on
+    #: backends that never serialize (serial, in-process fallback).
+    payload_bytes: int = 0
+    #: Whether the payload rode shared memory (arrays by reference) —
+    #: the marker proving the zero-copy fast path engaged.
+    shm: bool = False
 
     @property
     def finished_s(self) -> float:
@@ -67,6 +73,8 @@ class ShardFlight:
             "queue_wait_ms": round(1000.0 * self.queue_wait_s, 3),
             "execute_ms": round(1000.0 * self.execute_s, 3),
             "attempt": self.attempt,
+            "payload_bytes": self.payload_bytes,
+            "shm": self.shm,
         }
 
 
@@ -86,6 +94,11 @@ class FlightRecorder:
     def __init__(self, straggler_factor: float = STRAGGLER_FACTOR) -> None:
         self.records: list[ShardFlight] = []
         self.straggler_factor = straggler_factor
+        #: Per-stage pool identity (pool id, restarts, reuse counters) —
+        #: the answer to "why does a 2-worker run show 4 pids?": each
+        #: ``process``-backend stage built its own ephemeral pool, while
+        #: the ``pool`` backend shows one id across every stage.
+        self.pools: dict[str, dict[str, Any]] = {}
 
     def record(
         self,
@@ -96,6 +109,8 @@ class FlightRecorder:
         execute_s: float,
         attempt: int = 0,
         started_s: float = 0.0,
+        payload_bytes: int = 0,
+        shm: bool = False,
     ) -> None:
         """Append one completed shard's record."""
         self.records.append(
@@ -107,8 +122,14 @@ class FlightRecorder:
                 execute_s=max(0.0, execute_s),
                 attempt=attempt,
                 started_s=started_s,
+                payload_bytes=payload_bytes,
+                shm=shm,
             )
         )
+
+    def set_pool(self, label: str, info: dict[str, Any]) -> None:
+        """Record which pool served stage ``label`` (identity + restarts)."""
+        self.pools[label] = dict(info)
 
     # -- derived views ----------------------------------------------------------
 
@@ -166,6 +187,16 @@ class FlightRecorder:
 
     # -- export -----------------------------------------------------------------
 
+    def payload_stats(self) -> dict[str, Any]:
+        """Serialization-cost rollup: total/max payload bytes, shm share."""
+        measured = [r for r in self.records if r.payload_bytes > 0]
+        return {
+            "measured_shards": len(measured),
+            "total_bytes": sum(r.payload_bytes for r in measured),
+            "max_bytes": max((r.payload_bytes for r in measured), default=0),
+            "shm_shards": sum(1 for r in self.records if r.shm),
+        }
+
     def to_json(self) -> dict[str, Any]:
         """Aggregate summary (workers, stragglers, queue-wait share)."""
         stragglers = self.stragglers()
@@ -174,6 +205,8 @@ class FlightRecorder:
             "makespan_s": round(self.makespan_s(), 6),
             "queue_wait_fraction": round(self.queue_wait_fraction(), 3),
             "workers": self.worker_utilization(),
+            "payload": self.payload_stats(),
+            "pools": dict(self.pools),
             "stragglers": [record.to_json() for record in stragglers],
         }
 
@@ -191,6 +224,26 @@ class FlightRecorder:
             f"queue-wait share: {self.queue_wait_fraction():.1%} of dispatch time "
             f"across {len(self.records)} shards",
         ]
+        payload = self.payload_stats()
+        if payload["measured_shards"]:
+            lines.append(
+                f"payloads: {payload['total_bytes'] / 1024:.1f} KiB total, "
+                f"max {payload['max_bytes'] / 1024:.1f} KiB/shard, "
+                f"{payload['shm_shards']}/{len(self.records)} shards via shared memory"
+            )
+        for label, info in sorted(self.pools.items()):
+            if info.get("persistent"):
+                lines.append(
+                    f"pool {label}: {info.get('pool')} ({info.get('workers')} workers, "
+                    f"{info.get('restarts', 0)} restarts, "
+                    f"stage {info.get('stages_served', '?')} on this pool)"
+                )
+            else:
+                lines.append(
+                    f"pool {label}: ephemeral ({info.get('workers')} workers, "
+                    f"{info.get('restarts', 0)} restarts) — a fresh pool per stage, "
+                    "which is why an N-worker run can show more than N pids"
+                )
         stragglers = self.stragglers()
         if stragglers:
             for record in stragglers:
@@ -209,8 +262,12 @@ class NullFlightRecorder:
 
     enabled = False
     records: tuple = ()
+    pools: dict = {}
 
     def record(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def set_pool(self, *args: Any, **kwargs: Any) -> None:
         pass
 
     def labels(self) -> list[str]:
@@ -228,8 +285,19 @@ class NullFlightRecorder:
     def queue_wait_fraction(self) -> float:
         return 0.0
 
+    def payload_stats(self) -> dict[str, Any]:
+        return {"measured_shards": 0, "total_bytes": 0, "max_bytes": 0, "shm_shards": 0}
+
     def to_json(self) -> dict[str, Any]:
-        return {"shards": 0, "makespan_s": 0.0, "queue_wait_fraction": 0.0, "workers": {}, "stragglers": []}
+        return {
+            "shards": 0,
+            "makespan_s": 0.0,
+            "queue_wait_fraction": 0.0,
+            "workers": {},
+            "payload": self.payload_stats(),
+            "pools": {},
+            "stragglers": [],
+        }
 
     def render(self) -> str:
         return "no shard flights recorded"

@@ -13,13 +13,20 @@ Invariants (property-tested in ``tests/test_parallel.py``):
 * **disjoint** — no item appears in two shards;
 * **order-stable** — concatenating ``shards()`` in index order reproduces
   the original item order for *any* chunk size.
+
+Shards optionally carry a **cost estimate** (``ShardPlan.of(...,
+costs=...)``, summed per chunk): the process backends *dispatch*
+largest-cost-first (:func:`steal_order`, classic LPT scheduling) so one
+oversized ISP doesn't straggle the whole stage, while results are still
+*merged* in shard-index order — dispatch order is an execution detail and
+provably cannot change artifact bytes.
 """
 
 from __future__ import annotations
 
 import math
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
@@ -33,9 +40,33 @@ class Shard:
 
     index: int
     items: tuple[Any, ...]
+    #: Estimated execution cost (work-stealing dispatch key); defaults to
+    #: the item count.  Never consulted for partitioning or merging.
+    cost: float | None = field(default=None, compare=False)
+    #: Optional per-shard payload attached by :func:`~repro.parallel.run_sharded`
+    #: (e.g. a compact RNG seed), available to the task as ``shard.payload``.
+    payload: Any = None
 
     def __len__(self) -> int:
         return len(self.items)
+
+    @property
+    def cost_estimate(self) -> float:
+        """The dispatch-ordering key: explicit cost, else the item count."""
+        return float(len(self.items)) if self.cost is None else self.cost
+
+
+def steal_order(shards: Sequence[Shard]) -> list[Shard]:
+    """Shards in dispatch order: largest estimated cost first, index-stable.
+
+    The work-stealing queue discipline of the process backends: big shards
+    enter the pool first so their tails overlap the small shards' work
+    instead of starting last and straggling.  Ties (and the default
+    all-equal costs) preserve index order, so plans without estimates
+    dispatch exactly as before.  Purely an execution-order choice — the
+    executors still key results by ``shard.index``.
+    """
+    return sorted(shards, key=lambda shard: (-shard.cost_estimate, shard.index))
 
 
 @dataclass(frozen=True)
@@ -44,14 +75,32 @@ class ShardPlan:
 
     items: tuple[Any, ...]
     chunk_size: int
+    #: Optional per-item cost estimates (same length as ``items``); each
+    #: shard's cost is the sum over its slice.  Purely advisory: costs
+    #: shape dispatch order, never the partition or the RNG streams.
+    costs: tuple[float, ...] | None = None
 
     def __post_init__(self) -> None:
         require(self.chunk_size >= 1, "chunk_size must be >= 1")
+        if self.costs is not None:
+            require(
+                len(self.costs) == len(self.items),
+                f"costs length {len(self.costs)} != items length {len(self.items)}",
+            )
 
     @classmethod
-    def of(cls, items: Iterable[Any] | Sequence[Any], chunk_size: int) -> "ShardPlan":
+    def of(
+        cls,
+        items: Iterable[Any] | Sequence[Any],
+        chunk_size: int,
+        costs: Iterable[float] | None = None,
+    ) -> "ShardPlan":
         """Build a plan over ``items`` (materialised in iteration order)."""
-        return cls(items=tuple(items), chunk_size=int(chunk_size))
+        return cls(
+            items=tuple(items),
+            chunk_size=int(chunk_size),
+            costs=None if costs is None else tuple(float(c) for c in costs),
+        )
 
     @property
     def n_items(self) -> int:
@@ -66,7 +115,15 @@ class ShardPlan:
     def shards(self) -> list[Shard]:
         """The contiguous chunks, in index order."""
         return [
-            Shard(index=i, items=self.items[i * self.chunk_size : (i + 1) * self.chunk_size])
+            Shard(
+                index=i,
+                items=self.items[i * self.chunk_size : (i + 1) * self.chunk_size],
+                cost=(
+                    None
+                    if self.costs is None
+                    else float(sum(self.costs[i * self.chunk_size : (i + 1) * self.chunk_size]))
+                ),
+            )
             for i in range(self.n_shards)
         ]
 
@@ -79,3 +136,21 @@ class ShardPlan:
         sharing a root still get independent streams).
         """
         return tuple(spawn_rng(root, f"{label}.shard-{i}") for i in range(self.n_shards))
+
+    def shard_seeds(self, root: np.random.Generator, label: str) -> tuple[tuple[int, ...], ...]:
+        """Compact seed material for each shard's RNG stream.
+
+        ``np.random.default_rng(seed)`` over one of these tuples yields the
+        *same generator* :meth:`shard_rngs` would have returned (both fold
+        the label into the entropy the way :func:`repro._util.spawn_rng`
+        does, drawing from ``root`` once per shard in shard order).  A seed
+        tuple pickles in tens of bytes where a generator costs hundreds —
+        and, critically, a shard task can carry *its own* seed instead of
+        the whole stage's generator tuple, keeping submissions O(1).
+        """
+        seeds = []
+        for i in range(self.n_shards):
+            label_entropy = tuple(ord(ch) for ch in f"{label}.shard-{i}")
+            seed_material = int(root.integers(0, 2**63 - 1))
+            seeds.append((seed_material, *label_entropy))
+        return tuple(seeds)

@@ -38,7 +38,7 @@ from typing import Any
 from repro._util import atomic_write_text
 from repro.faults import FaultPlan, InjectedFault
 from repro.obs import Telemetry
-from repro.parallel import ParallelConfig
+from repro.parallel import ParallelConfig, shutdown_pools
 from repro.resilience import CoverageReport
 from repro.serve.journal import Journal
 from repro.serve.model import (
@@ -261,7 +261,10 @@ class Scheduler:
         Writes the drain flag so an in-flight campaign raises
         :class:`DrainRequested` at its next cell boundary — everything
         already completed is checkpointed, so nothing is lost — then
-        joins the scheduler thread and journals ``server_stop``.
+        joins the scheduler thread, journals ``server_stop``, and tears
+        down any persistent worker pool the campaigns shared (with
+        ``--backend pool`` the server leases one pool across *all*
+        campaigns it executes; workers must not outlive the server).
         """
         self._flag_path.write_text("drain\n")
         with self._wake:
@@ -272,6 +275,7 @@ class Scheduler:
         self._journal_append("server_stop", pid=os.getpid())
         self.journal.close()
         self._flag_path.unlink(missing_ok=True)
+        shutdown_pools()
 
     def wait(self, cid: str, timeout_s: float = 60.0) -> str:
         """Block until ``cid`` reaches a terminal status; returns it."""

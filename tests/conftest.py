@@ -53,6 +53,29 @@ def pytest_collection_modifyitems(config, items):
             item.add_marker(skip)
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _shm_leak_sweep():
+    """The zero-leak guarantee, enforced at session end.
+
+    Any ``repro_shm_*`` segment created by this test process and still
+    present in ``/dev/shm`` after the suite is a lifecycle bug (registry
+    not closed); persistent pools are also torn down so worker processes
+    never outlive the session.
+    """
+    import os
+
+    yield
+    from repro.parallel import shutdown_pools
+
+    shutdown_pools()
+    from repro.parallel.shm import SHM_PREFIX
+
+    if os.path.isdir("/dev/shm"):
+        prefix = f"{SHM_PREFIX}_{os.getpid()}_"
+        leaked = [entry for entry in os.listdir("/dev/shm") if entry.startswith(prefix)]
+        assert not leaked, f"shared-memory segments leaked by the test session: {leaked}"
+
+
 @pytest.fixture(scope="session")
 def small_study() -> Study:
     """The full small-scenario study (scan -> detect -> ping -> cluster).

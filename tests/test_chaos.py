@@ -129,6 +129,40 @@ class TestTransientFaultsAreInert:
         assert _archive_digests(study, tmp_path / f"w{workers}") == clean_digests
         assert telemetry.metrics.counter("resilience.worker_crashes") >= 1
 
+    @pytest.mark.parallel
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_pool_worker_kill_mid_campaign_recovers_identically(
+        self, clean_digests, tmp_path, workers
+    ):
+        """Killing a persistent-pool worker mid-campaign (os._exit in the
+        child via the injected crash) rebuilds the pool *in place*, requeues
+        the dead worker's shards, and still exports byte-identical
+        artifacts — and the flight recorder shows one pool identity with a
+        non-zero restart count rather than a parade of fresh pools."""
+        from repro.parallel import shutdown_pools
+
+        telemetry = Telemetry.capture()
+        try:
+            study = run_study(
+                _config(
+                    faults=TRANSIENT_PLAN,
+                    resilience=ResilienceConfig(),
+                    parallel=ParallelConfig(backend="pool", workers=workers),
+                ),
+                telemetry=telemetry,
+            )
+        finally:
+            shutdown_pools()
+        assert study.coverage.complete
+        assert _archive_digests(study, tmp_path / f"pool-w{workers}") == clean_digests
+        assert telemetry.metrics.counter("resilience.worker_crashes") >= 1
+        assert telemetry.metrics.counter("resilience.requeues") >= 1
+        pools = telemetry.flight.pools
+        assert pools["campaign"]["persistent"]
+        # Same handle across stages, crash counted as a restart on it.
+        assert pools["campaign"]["pool"] == pools["clustering"]["pool"]
+        assert pools["clustering"]["restarts"] >= 1
+
     def test_transient_store_load_fault_is_retried(self, clean_digests, tmp_path):
         """A store entry whose first load fails rehydrates on retry, and the
         rehydrated study exports the clean bytes."""

@@ -43,6 +43,8 @@ class TestShardFlight:
             "queue_wait_ms": 50.0,
             "execute_ms": 200.0,
             "attempt": 1,
+            "payload_bytes": 0,
+            "shm": False,
         }
 
 
@@ -108,8 +110,43 @@ class TestFlightRecorder:
         _record_uniform(recorder, "campaign", 5)
         data = recorder.to_json()
         assert data["shards"] == 5
-        assert set(data) == {"shards", "makespan_s", "queue_wait_fraction", "workers", "stragglers"}
+        assert set(data) == {
+            "shards",
+            "makespan_s",
+            "queue_wait_fraction",
+            "workers",
+            "payload",
+            "pools",
+            "stragglers",
+        }
         assert set(data["workers"]) == {"pid-0", "pid-1"}
+
+    def test_payload_stats_rollup(self):
+        recorder = FlightRecorder()
+        recorder.record("x", 0, "w", 0.0, 0.1, payload_bytes=100, shm=True)
+        recorder.record("x", 1, "w", 0.0, 0.1, payload_bytes=300, shm=True)
+        recorder.record("x", 2, "w", 0.0, 0.1)  # unmeasured (serial fallback)
+        stats = recorder.payload_stats()
+        assert stats == {
+            "measured_shards": 2,
+            "total_bytes": 400,
+            "max_bytes": 300,
+            "shm_shards": 2,
+        }
+        assert "via shared memory" in recorder.render()
+
+    def test_set_pool_lands_in_json_and_render(self):
+        recorder = FlightRecorder()
+        recorder.record("campaign", 0, "w", 0.0, 0.1)
+        recorder.set_pool(
+            "campaign",
+            {"pool": "pool-1-0", "workers": 2, "restarts": 0, "persistent": True, "stages_served": 1},
+        )
+        recorder.set_pool("clustering", {"pool": "ephemeral", "workers": 2, "restarts": 1, "persistent": False})
+        assert recorder.to_json()["pools"]["campaign"]["pool"] == "pool-1-0"
+        text = recorder.render()
+        assert "pool campaign: pool-1-0" in text
+        assert "ephemeral" in text
 
     def test_render(self):
         recorder = FlightRecorder()

@@ -1,15 +1,20 @@
 """The serial≡parallel differential harness.
 
 Runs the *same* :class:`StudyConfig` under the serial backend and under the
-process backend at 1, 2, and 4 workers, exports each run with
-:func:`repro.io.archive.save_archive`, and asserts the archives are
-**byte-identical** file by file.  This is the strongest equivalence claim
-the executor makes: not "statistically close", but the same artifact bytes
-a third party would download.
+process and persistent-pool backends at 1, 2, 4, and 8 workers, exports
+each run with :func:`repro.io.archive.save_archive`, and asserts the
+archives are **byte-identical** file by file.  This is the strongest
+equivalence claim the executor makes: not "statistically close", but the
+same artifact bytes a third party would download — and it holds through
+the zero-copy shared-memory payload path and the largest-cost-first
+work-stealing dispatch, both of which are execution details the merge
+provably erases.
 
 A second axis checks that execution knobs that *should* be inert (backend,
 workers) are, while knobs documented to shape the artifact (chunk size,
 which pins the shard RNG stream layout) are allowed to change it.
+Equivalence *under injected transient faults* lives in
+``tests/test_chaos.py``.
 """
 
 from __future__ import annotations
@@ -80,9 +85,9 @@ class TestSerialReference:
 
 @pytest.mark.parallel
 class TestProcessEquivalence:
-    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("workers", [1, 2, 4, 8])
     def test_process_backend_bytes_identical(self, serial_run, tmp_path, workers):
-        """The headline differential: serial ≡ process at 1/2/4 workers."""
+        """The headline differential: serial ≡ process at 1/2/4/8 workers."""
         _, reference = serial_run
         study = run_study(
             _study_config(ParallelConfig(backend="process", workers=workers))
@@ -92,6 +97,48 @@ class TestProcessEquivalence:
             f"process backend at {workers} workers diverged from serial on: "
             f"{sorted(name for name in reference if digests.get(name) != reference[name])}"
         )
+
+    @pytest.mark.parametrize("workers", [1, 2, 4, 8])
+    def test_pool_backend_bytes_identical(self, serial_run, tmp_path, workers):
+        """The persistent pool joins the differential: serial ≡ pool at
+        1/2/4/8 workers, with every stage reusing one pool."""
+        from repro.parallel import shutdown_pools
+
+        _, reference = serial_run
+        try:
+            study = run_study(
+                _study_config(ParallelConfig(backend="pool", workers=workers))
+            )
+        finally:
+            shutdown_pools()
+        digests = _archive_digests(study, tmp_path / f"pool-{workers}")
+        assert digests == reference, (
+            f"pool backend at {workers} workers diverged from serial on: "
+            f"{sorted(name for name in reference if digests.get(name) != reference[name])}"
+        )
+
+    def test_pool_reused_across_both_stages(self, tmp_path):
+        """One pool identity serves the campaign *and* clustering fan-outs."""
+        import io
+
+        from repro.obs import Telemetry
+        from repro.parallel import shutdown_pools
+
+        try:
+            with Telemetry.capture(stream=io.StringIO()) as telemetry:
+                run_study(
+                    _study_config(ParallelConfig(backend="pool", workers=2)),
+                    telemetry=telemetry,
+                )
+            pools = telemetry.flight.pools
+        finally:
+            shutdown_pools()
+        assert {"campaign", "clustering"} <= set(pools)
+        assert pools["campaign"]["pool"] == pools["clustering"]["pool"]
+        assert pools["campaign"]["persistent"] and pools["clustering"]["persistent"]
+        # And the campaign payloads rode shared memory, not the pickle path.
+        campaign_records = [r for r in telemetry.flight.records if r.label == "campaign"]
+        assert campaign_records and all(r.shm for r in campaign_records)
 
     def test_in_memory_artifacts_equal(self, serial_run):
         """Beyond the export: the live Study objects agree field by field."""
@@ -155,6 +202,18 @@ class TestGoldenExport:
         study = run_study(_study_config(ParallelConfig(backend="process", workers=workers)))
         save_archive(study, tmp_path / "proc")
         assert _composite_digest(tmp_path / "proc") == GOLDEN_EXPORT_SHA256
+
+    @pytest.mark.parallel
+    @pytest.mark.parametrize("workers", [2, 8])
+    def test_pool_export_matches_golden_digest(self, tmp_path, workers):
+        from repro.parallel import shutdown_pools
+
+        try:
+            study = run_study(_study_config(ParallelConfig(backend="pool", workers=workers)))
+        finally:
+            shutdown_pools()
+        save_archive(study, tmp_path / "pool")
+        assert _composite_digest(tmp_path / "pool") == GOLDEN_EXPORT_SHA256
 
     def test_reference_implementations_reproduce_golden_digest(self, tmp_path, monkeypatch):
         """The kept reference OPTICS loop exports the same bytes — the
